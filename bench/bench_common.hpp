@@ -1,0 +1,78 @@
+// bench/bench_common.hpp
+//
+// Shared scaffolding for the paper-artifact benches: command-line options
+// (problem class, trials, CSV emission) and the benchmark list of the
+// paper's single-program study.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+
+namespace paxsim::bench {
+
+/// Options common to every artifact bench.
+struct BenchOptions {
+  harness::RunOptions run;
+  bool csv = false;       ///< additionally emit CSV rows after each table
+  std::string plot_dir;   ///< when set, also write gnuplot .dat/.gp files
+};
+
+/// Parses --class=S|W|A|B, --trials=N, --seed=N, --csv, --no-verify.
+/// Returns false (after printing usage) on an unknown flag.
+inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--class=", 0) == 0) {
+      const char c = a[8];
+      using npb::ProblemClass;
+      opt.run.cls = c == 'S'   ? ProblemClass::kClassS
+                    : c == 'W' ? ProblemClass::kClassW
+                    : c == 'A' ? ProblemClass::kClassA
+                               : ProblemClass::kClassB;
+    } else if (a.rfind("--trials=", 0) == 0) {
+      opt.run.trials = std::atoi(a.c_str() + 9);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      opt.run.base_seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--csv") {
+      opt.csv = true;
+    } else if (a.rfind("--plot=", 0) == 0) {
+      opt.plot_dir = a.substr(7);
+    } else if (a == "--no-verify") {
+      opt.run.verify = false;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--csv] "
+          "[--plot=DIR] [--no-verify]\n",
+          argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The six benchmarks of the paper's single-program sections (the two
+/// remaining suite members, EP and IS, appear in the cross-product study).
+inline const std::vector<npb::Benchmark>& study_benchmarks() {
+  static const std::vector<npb::Benchmark> v = {
+      npb::Benchmark::kCG, npb::Benchmark::kMG, npb::Benchmark::kLU,
+      npb::Benchmark::kFT, npb::Benchmark::kSP, npb::Benchmark::kBT};
+  return v;
+}
+
+/// Prints the Table-1 header so each artifact is self-describing.
+inline void print_study_header(const char* artifact) {
+  std::printf("paxsim reproduction of Grant & Afsahi, IPPS 2007 — %s\n",
+              artifact);
+  std::printf("machine: 2 chips x 2 cores x 2 HT contexts (capacity scale 1/16)\n\n");
+}
+
+}  // namespace paxsim::bench

@@ -1,0 +1,67 @@
+// bench/fig3_speedup.cpp — regenerates Figure 3 of the paper:
+// speedup of each NAS OpenMP benchmark over serial, for every Table-1
+// configuration, averaged over trials.  Also prints the paper's §4.1.7
+// CG deep-dive (HT on -8-2 vs HT off -4-2 architectural comparison).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "harness/plot.hpp"
+#include "harness/report.hpp"
+#include "perf/metrics.hpp"
+
+using namespace paxsim;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  if (!bench::parse_args(argc, argv, opt)) return 1;
+  bench::print_study_header("Figure 3: speedup of NAS OpenMP applications");
+
+  const auto configs = harness::parallel_configs();
+  std::vector<std::string> cols;
+  for (const auto& c : configs) cols.emplace_back(c.name);
+
+  harness::Table table("Figure 3 — speedup over serial", cols);
+  harness::Table cv("trial variance (coefficient of variation)", cols);
+  harness::BarChart chart{"Figure 3 — speedup of NAS OpenMP applications",
+                          "speedup over serial", cols, {}, {}};
+  for (const npb::Benchmark b : bench::study_benchmarks()) {
+    std::vector<double> speedups, cvs;
+    for (const auto& cfg : configs) {
+      const harness::TrialStats st = harness::speedup_over_trials(b, cfg, opt.run);
+      speedups.push_back(st.mean);
+      cvs.push_back(st.cv());
+    }
+    chart.groups.emplace_back(npb::benchmark_name(b));
+    chart.values.push_back(speedups);
+    table.add_row(std::string(npb::benchmark_name(b)), speedups);
+    cv.add_row(std::string(npb::benchmark_name(b)), cvs);
+  }
+  table.print(std::cout);
+  cv.print(std::cout, 4);
+  if (opt.csv) table.print_csv(std::cout);
+  if (!opt.plot_dir.empty()) {
+    const std::string gp =
+        harness::write_bar_chart(opt.plot_dir, "fig3_speedup", chart);
+    std::printf("wrote %s (render with gnuplot)\n\n", gp.c_str());
+  }
+
+  // --- §4.1.7: why CG behaves differently at full load ----------------------
+  const auto* cmp_smp = harness::find_config("HT off -4-2");
+  const auto* cmt_smp = harness::find_config("HT on -8-2");
+  const auto seed = opt.run.trial_seed(0);
+  const auto r4 = harness::run_single(npb::Benchmark::kCG, *cmp_smp, opt.run, seed);
+  const auto r8 = harness::run_single(npb::Benchmark::kCG, *cmt_smp, opt.run, seed);
+  harness::Table dive("CG deep-dive (paper §4.1.7)",
+                      {"HT off -4-2", "HT on -8-2"});
+  dive.add_row("L2 miss rate", {r4.metrics.l2_miss_rate, r8.metrics.l2_miss_rate});
+  dive.add_row("L1 miss rate", {r4.metrics.l1d_miss_rate, r8.metrics.l1d_miss_rate});
+  dive.add_row("CPI", {r4.metrics.cpi, r8.metrics.cpi});
+  dive.add_row("prefetch bus share",
+               {r4.metrics.prefetch_bus_fraction, r8.metrics.prefetch_bus_fraction});
+  dive.add_row("bus transactions",
+               {static_cast<double>(r4.counters.get(perf::Event::kBusTransactions)),
+                static_cast<double>(r8.counters.get(perf::Event::kBusTransactions))});
+  dive.print(std::cout);
+  if (opt.csv) dive.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// bench/fig5_crossproduct.cpp — regenerates Figure 5 of the paper: the
+// cross-product multi-program study.  Every unordered pair from the full
+// eight-benchmark suite (including identical pairs) is co-scheduled on each
+// fully-loaded configuration; the distribution of per-program speedups over
+// serial is summarised as a box-and-whiskers plot per configuration.
+//
+// This is the heaviest artifact: use --class=A (default here) or --class=W
+// for a quick pass; --class=B matches the other figures.
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "harness/plot.hpp"
+#include "harness/report.hpp"
+
+using namespace paxsim;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  opt.run.cls = npb::ProblemClass::kClassA;  // cross-product default
+  if (!bench::parse_args(argc, argv, opt)) return 1;
+  bench::print_study_header("Figure 5: multi-programmed speedup of NAS benchmark pairs");
+
+  // The configurations a pair can fully load (>= 2 contexts).
+  const char* config_names[] = {"HT on -2-1", "HT off -2-1", "HT on -4-1",
+                                "HT off -2-2", "HT on -4-2", "HT off -4-2",
+                                "HT on -8-2"};
+
+  const std::uint64_t seed = opt.run.trial_seed(0);
+
+  // Serial baselines per benchmark.
+  std::map<npb::Benchmark, double> serial;
+  for (const npb::Benchmark b : npb::kAllBenchmarks) {
+    serial[b] = harness::run_serial(b, opt.run, seed).wall_cycles;
+  }
+
+  std::vector<std::pair<std::string, harness::BoxStats>> boxes;
+  double lo = 1e300, hi = -1e300;
+  for (const char* name : config_names) {
+    const harness::StudyConfig* cfg = harness::find_config(name);
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < std::size(npb::kAllBenchmarks); ++i) {
+      for (std::size_t j = i; j < std::size(npb::kAllBenchmarks); ++j) {
+        const npb::Benchmark a = npb::kAllBenchmarks[i];
+        const npb::Benchmark b = npb::kAllBenchmarks[j];
+        const harness::PairResult r =
+            harness::run_pair(a, b, *cfg, opt.run, seed);
+        speedups.push_back(serial[a] / r.program[0].wall_cycles);
+        speedups.push_back(serial[b] / r.program[1].wall_cycles);
+      }
+    }
+    const harness::BoxStats box = harness::box_summary(speedups);
+    lo = std::min(lo, box.min);
+    hi = std::max(hi, box.max);
+    boxes.emplace_back(name, box);
+    if (opt.csv) {
+      for (const double s : speedups) {
+        std::printf("fig5,%s,speedup,%.4f\n", name, s);
+      }
+    }
+  }
+
+  std::printf("Multi-Programmed Speedup of NAS Benchmark Pairs (per-program, "
+              "all %zu pairs)\n",
+              std::size(npb::kAllBenchmarks) * (std::size(npb::kAllBenchmarks) + 1) / 2);
+  std::printf("scale: [%.2f, %.2f]\n\n", lo, hi);
+  for (const auto& [name, box] : boxes) {
+    harness::print_box_line(std::cout, name, box, lo, hi);
+  }
+  if (!opt.plot_dir.empty()) {
+    harness::BoxChart chart{"Figure 5 — multi-programmed speedup of NAS pairs",
+                            "speedup over serial",
+                            {},
+                            {}};
+    for (const auto& [name, box] : boxes) {
+      chart.labels.push_back(name);
+      chart.boxes.push_back(box);
+    }
+    const std::string gp =
+        harness::write_box_chart(opt.plot_dir, "fig5_crossproduct", chart);
+    std::printf("\nwrote %s (render with gnuplot)\n", gp.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// bench/table2_avg_speedup.cpp — regenerates Table 2 of the paper:
+// average speedup across all study benchmarks, per multithreaded
+// architecture (SMT, CMP, CMT, SMP, SMT-/CMP-/CMT-based SMP).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "harness/report.hpp"
+
+using namespace paxsim;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  if (!bench::parse_args(argc, argv, opt)) return 1;
+  bench::print_study_header("Table 2: average speedup per architecture");
+
+  const auto configs = harness::parallel_configs();
+  std::vector<std::string> cols;
+  for (const auto& c : configs) {
+    cols.emplace_back(harness::architecture_name(c.arch));
+  }
+
+  std::vector<double> avg(configs.size(), 0.0);
+  for (const npb::Benchmark b : bench::study_benchmarks()) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      avg[i] += harness::speedup_over_trials(b, configs[i], opt.run).mean;
+    }
+  }
+  const auto nb = static_cast<double>(bench::study_benchmarks().size());
+  for (double& v : avg) v /= nb;
+
+  harness::Table table("Table 2 — average speedup for architectures", cols);
+  table.add_row("avg speedup", avg);
+  table.print(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+
+  // The paper's two headline deltas.
+  const auto at = [&](const char* name) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (configs[i].name == name) return avg[i];
+    }
+    return 0.0;
+  };
+  const double cmt = at("HT on -4-1");
+  const double cmp_smp = at("HT off -4-2");
+  const double cmt_smp = at("HT on -8-2");
+  std::printf("CMT (HT on -4-1) vs CMP-based SMP (HT off -4-2): %+.1f%%  (paper: -3.6%%)\n",
+              100.0 * (cmt / cmp_smp - 1.0));
+  std::printf("CMT-based SMP (HT on -8-2) vs CMP-based SMP    : %+.1f%%  (paper: ~-6.7%%)\n",
+              100.0 * (cmt_smp / cmp_smp - 1.0));
+  return 0;
+}

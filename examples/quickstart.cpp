@@ -1,0 +1,59 @@
+// examples/quickstart.cpp
+//
+// Tour of the paxsim public API in five minutes:
+//   1. calibrate-check the machine with the LMbench analog (paper §3),
+//   2. run one NAS kernel serially and on a parallel configuration,
+//   3. print its speedup and the Figure-2 metric bundle.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "lmb/lmbench.hpp"
+#include "npb/kernel.hpp"
+#include "perf/metrics.hpp"
+
+using namespace paxsim;
+
+int main() {
+  // --- 1. The machine reports the paper's Section-3 numbers ---------------
+  const sim::MachineParams full{};  // the calibrated Paxville SMP
+  std::printf("LMbench analog (paper: L1 1.43 ns, L2 10.6 ns, mem 136.85 ns)\n");
+  const auto ladder = lmb::latency_ladder(
+      full, {8 * 1024, 256 * 1024, 32 * 1024 * 1024}, 4000);
+  for (const auto& pt : ladder) {
+    std::printf("  %8zu KiB working set : %7.2f ns/load\n",
+                pt.working_set_bytes / 1024, pt.ns_per_load);
+  }
+  const auto bw1 = lmb::stream_bandwidth(full, /*both_chips=*/false);
+  const auto bw2 = lmb::stream_bandwidth(full, /*both_chips=*/true);
+  std::printf("  one chip : read %.2f GB/s, write %.2f GB/s  (paper 3.57 / 1.77)\n",
+              bw1.read_gbps, bw1.write_gbps);
+  std::printf("  two chips: read %.2f GB/s, write %.2f GB/s  (paper 4.43 / 2.60)\n\n",
+              bw2.read_gbps, bw2.write_gbps);
+
+  // --- 2. One benchmark, serial vs the CMT configuration ------------------
+  harness::RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassA;  // quick
+  opt.trials = 1;
+
+  const std::uint64_t seed = opt.trial_seed(0);
+  const auto serial = harness::run_serial(npb::Benchmark::kCG, opt, seed);
+  const harness::StudyConfig* cmt = harness::find_config("HT on -4-1");
+  const auto par = harness::run_single(npb::Benchmark::kCG, *cmt, opt, seed);
+
+  std::printf("CG class A: serial %.0f cycles, %s %.0f cycles -> speedup %.2f\n",
+              serial.wall_cycles, std::string(cmt->name).c_str(),
+              par.wall_cycles, serial.wall_cycles / par.wall_cycles);
+  std::printf("  verified: serial=%s parallel=%s\n\n",
+              serial.verified ? "yes" : "no", par.verified ? "yes" : "no");
+
+  // --- 3. The Figure-2 metric bundle ---------------------------------------
+  std::printf("Figure-2 metrics for CG on %s:\n", std::string(cmt->name).c_str());
+  for (int i = 0; i < perf::kMetricCount; ++i) {
+    std::printf("  %-24s %12.4f\n", std::string(perf::metric_name(i)).c_str(),
+                perf::metric_value(par.metrics, i));
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// examples/schedule_tuning.cpp
+//
+// Domain scenario 3: OpenMP loop-schedule tuning on SMT hardware.
+//
+// The paper's related work (Zhang & Voss, IPDPS'05) and its conclusions
+// both point at *loop scheduling* as the lever for SMT-aware OpenMP
+// performance.  This example measures static vs dynamic vs guided schedules
+// for an imbalanced sparse workload (CG-like rows of wildly varying length)
+// across Hyper-Threading configurations — the experiment a runtime-schedule
+// autotuner starts from.
+//
+// Run: ./build/examples/schedule_tuning
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "npb/array.hpp"
+#include "npb/rng.hpp"
+#include "sim/machine.hpp"
+#include "xomp/team.hpp"
+
+using namespace paxsim;
+
+namespace {
+
+/// An imbalanced sparse sweep: row i costs ~len[i] work, where len follows
+/// a heavy-tailed distribution (a few rows are 100x the median).
+class ImbalancedSweep {
+ public:
+  ImbalancedSweep(sim::AddressSpace& space, std::size_t rows)
+      : lens_(rows), data_(space, rows * 64) {
+    // The imbalance is *clustered* (as in triangular loops or sorted sparse
+    // matrices): the first eighth of the rows carries most of the work, so
+    // a default static schedule dumps it all on thread 0.
+    npb::NpbRandom rng(7);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double u = rng.next();
+      lens_[i] = i < rows / 8 ? 120 + static_cast<int>(u * 120)
+                              : 4 + static_cast<int>(u * 12);
+    }
+    for (std::size_t c = 0; c < data_.size(); ++c) data_.host(c) = 1.0;
+  }
+
+  double run(xomp::Team& team, xomp::Schedule sched) {
+    constexpr xomp::CodeBlock kBody{1, 40};
+    const double t0 = team.wall_time();
+    team.parallel_for(0, lens_.size(), sched, kBody,
+                      [&](std::size_t i, sim::HwContext& ctx, int) {
+                        const int len = lens_[i];
+                        for (int k = 0; k < len; ++k) {
+                          ctx.load(data_.addr((i * 64 + k) % data_.size()));
+                          ctx.alu(3);
+                        }
+                      });
+    return team.wall_time() - t0;
+  }
+
+ private:
+  std::vector<int> lens_;
+  npb::Array<double> data_;
+};
+
+}  // namespace
+
+int main() {
+  const struct {
+    const char* label;
+    xomp::Schedule sched;
+  } schedules[] = {
+      {"static", xomp::Schedule::static_default()},
+      {"static,8", {xomp::ScheduleKind::kStatic, 8}},
+      {"dynamic,1", xomp::Schedule::dynamic(1)},
+      {"dynamic,8", xomp::Schedule::dynamic(8)},
+      {"guided", xomp::Schedule::guided()},
+  };
+
+  std::printf("loop-schedule tuning, heavy-tailed sparse sweep (4096 rows)\n\n");
+  std::printf("%-14s", "config");
+  for (const auto& s : schedules) std::printf("%12s", s.label);
+  std::printf("      cycles; lower is better\n");
+
+  for (const char* cname :
+       {"HT off -2-1", "HT on -4-1", "HT off -4-2", "HT on -8-2"}) {
+    const harness::StudyConfig* cfg = harness::find_config(cname);
+    std::printf("%-14s", cname);
+    for (const auto& s : schedules) {
+      sim::MachineParams params = sim::MachineParams{}.scaled(16);
+      sim::Machine machine(params);
+      sim::AddressSpace space(0);
+      perf::CounterSet counters;
+      ImbalancedSweep sweep(space, 4096);
+      xomp::Team team(machine, cfg->cpus, &counters, space);
+      for (int chip = 0; chip < params.chips; ++chip) {
+        for (int core = 0; core < params.cores_per_chip; ++core) {
+          int nctx = 0;
+          for (const auto c : cfg->cpus) {
+            if (c.chip == chip && c.core == core) ++nctx;
+          }
+          machine.core(chip, core).set_active_contexts(nctx > 0 ? nctx : 1);
+        }
+      }
+      std::printf("%12.0f", sweep.run(team, s.sched));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: static loses badly under imbalance; dynamic's\n"
+              "shared-cursor line ping-pongs (visible as the dynamic,1 penalty\n"
+              "at higher thread counts); dynamic,8 / guided balance both.\n");
+  return 0;
+}

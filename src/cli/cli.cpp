@@ -1,0 +1,342 @@
+#include "cli/cli.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "harness/report.hpp"
+#include "harness/sched_runner.hpp"
+#include "perf/timeline.hpp"
+#include "xomp/team.hpp"
+#include "lmb/lmbench.hpp"
+#include "perf/metrics.hpp"
+#include "sched/scheduler.hpp"
+
+namespace paxsim::cli {
+namespace {
+
+bool parse_class(const std::string& s, npb::ProblemClass& out) {
+  if (s.size() != 1) return false;
+  switch (s[0]) {
+    case 'S': out = npb::ProblemClass::kClassS; return true;
+    case 'W': out = npb::ProblemClass::kClassW; return true;
+    case 'A': out = npb::ProblemClass::kClassA; return true;
+    case 'B': out = npb::ProblemClass::kClassB; return true;
+    default: return false;
+  }
+}
+
+bool parse_bench_list(const std::string& s, std::vector<npb::Benchmark>& out) {
+  out.clear();
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    npb::Benchmark b;
+    if (!npb::parse_benchmark(tok, b)) return false;
+    out.push_back(b);
+  }
+  return !out.empty();
+}
+
+/// Splits "--key=value" into (key, value); bare flags get empty value.
+bool split_flag(const std::string& a, std::string& key, std::string& value) {
+  if (a.rfind("--", 0) != 0) return false;
+  const std::size_t eq = a.find('=');
+  if (eq == std::string::npos) {
+    key = a.substr(2);
+    value.clear();
+  } else {
+    key = a.substr(2, eq - 2);
+    value = a.substr(eq + 1);
+  }
+  return true;
+}
+
+std::unique_ptr<sched::Scheduler> make_policy(const std::string& name,
+                                              std::uint64_t seed) {
+  if (name == "pinned-spread") return sched::make_pinned_spread();
+  if (name == "naive-pack") return sched::make_naive_pack();
+  if (name == "random-migrating") return sched::make_random_migrating(0.5, seed);
+  if (name == "ht-aware") return sched::make_ht_aware();
+  if (name == "symbiotic") return sched::make_symbiotic();
+  return nullptr;
+}
+
+void print_result(std::ostream& out, const std::string& label,
+                  const harness::RunResult& r, bool csv) {
+  if (csv) {
+    out << label << ",wall_cycles," << r.wall_cycles << '\n';
+    for (int m = 0; m < perf::kMetricCount; ++m) {
+      out << label << ',' << perf::metric_name(m) << ','
+          << perf::metric_value(r.metrics, m) << '\n';
+    }
+    return;
+  }
+  out << label << ": " << static_cast<std::uint64_t>(r.wall_cycles)
+      << " cycles, verified=" << (r.verified ? "yes" : "no") << '\n';
+  out << "  cpi=" << r.metrics.cpi
+      << " stalled=" << r.metrics.stalled_fraction
+      << " l1_miss=" << r.metrics.l1d_miss_rate
+      << " l2_miss=" << r.metrics.l2_miss_rate
+      << " bp_rate=" << r.metrics.branch_prediction_rate
+      << " prefetch_share=" << r.metrics.prefetch_bus_fraction << '\n';
+}
+
+int do_list(std::ostream& out) {
+  out << "benchmarks:";
+  for (const npb::Benchmark b : npb::kAllBenchmarks) {
+    out << ' ' << npb::benchmark_name(b);
+  }
+  out << "\nclasses: S W A B\nconfigurations:\n";
+  for (const auto& c : harness::all_configs()) {
+    out << "  \"" << c.name << "\"  (" << harness::architecture_name(c.arch)
+        << ", " << c.threads << " thread" << (c.threads > 1 ? "s" : "")
+        << ", " << c.chips << " chip" << (c.chips > 1 ? "s" : "") << ")\n";
+  }
+  out << "scheduler policies: pinned-spread naive-pack random-migrating "
+         "ht-aware symbiotic\n";
+  return 0;
+}
+
+int do_lmbench(std::ostream& out) {
+  const sim::MachineParams full{};
+  out << "working-set ladder (ns/load):\n";
+  for (const auto& pt : lmb::latency_ladder(
+           full, lmb::default_ladder_sizes(4096, 64 << 20), 6000)) {
+    out << "  " << pt.working_set_bytes / 1024 << " KB: " << pt.ns_per_load
+        << '\n';
+  }
+  const auto one = lmb::stream_bandwidth(full, false);
+  const auto two = lmb::stream_bandwidth(full, true);
+  out << "bandwidth GB/s: one-chip read " << one.read_gbps << " write "
+      << one.write_gbps << "; two-chip read " << two.read_gbps << " write "
+      << two.write_gbps << '\n';
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: paxsim <subcommand> [flags]\n"
+      "  list                                      enumerate benchmarks/configs\n"
+      "  run   --bench=CG --config=\"HT on -4-1\"    single-program run\n"
+      "  pair  --bench=CG,FT --config=\"HT off -4-2\" co-scheduled pair\n"
+      "  sched --bench=CG,FT --config=\"HT on -8-2\" --policy=symbiotic\n"
+      "  timeline --bench=CG --config=\"HT on -8-2\"  per-step metric deltas\n"
+      "  lmbench                                   section-3 characterisation\n"
+      "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
+      "              --baseline (also run and report the serial baseline)\n"
+      "              --no-verify\n";
+}
+
+ParseResult parse(const std::vector<std::string>& args) {
+  ParseResult res;
+  if (args.empty()) {
+    res.error = "missing subcommand";
+    return res;
+  }
+  Command cmd;
+  const std::string& sub = args[0];
+  if (sub == "list") {
+    cmd.kind = Command::Kind::kList;
+  } else if (sub == "run") {
+    cmd.kind = Command::Kind::kRun;
+  } else if (sub == "pair") {
+    cmd.kind = Command::Kind::kPair;
+  } else if (sub == "sched") {
+    cmd.kind = Command::Kind::kSched;
+  } else if (sub == "timeline") {
+    cmd.kind = Command::Kind::kTimeline;
+  } else if (sub == "lmbench") {
+    cmd.kind = Command::Kind::kLmbench;
+  } else if (sub == "help" || sub == "--help" || sub == "-h") {
+    cmd.kind = Command::Kind::kHelp;
+  } else {
+    res.error = "unknown subcommand '" + sub + "'";
+    return res;
+  }
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string key, value;
+    if (!split_flag(args[i], key, value)) {
+      res.error = "unexpected argument '" + args[i] + "'";
+      return res;
+    }
+    if (key == "bench") {
+      if (!parse_bench_list(value, cmd.benches)) {
+        res.error = "bad --bench '" + value + "'";
+        return res;
+      }
+    } else if (key == "config") {
+      cmd.config_name = value;
+    } else if (key == "class") {
+      if (!parse_class(value, cmd.options.cls)) {
+        res.error = "bad --class '" + value + "' (use S, W, A or B)";
+        return res;
+      }
+    } else if (key == "trials") {
+      cmd.options.trials = std::atoi(value.c_str());
+      if (cmd.options.trials < 1) {
+        res.error = "bad --trials";
+        return res;
+      }
+    } else if (key == "seed") {
+      cmd.options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "policy") {
+      cmd.policy = value;
+    } else if (key == "csv") {
+      cmd.csv = true;
+    } else if (key == "baseline") {
+      cmd.baseline = true;
+    } else if (key == "no-verify") {
+      cmd.options.verify = false;
+    } else {
+      res.error = "unknown flag '--" + key + "'";
+      return res;
+    }
+  }
+
+  // Per-subcommand requirements.
+  const auto need = [&](bool cond, const char* msg) {
+    if (!cond && res.error.empty()) res.error = msg;
+  };
+  switch (cmd.kind) {
+    case Command::Kind::kRun:
+    case Command::Kind::kTimeline:
+      need(cmd.benches.size() == 1,
+           "run/timeline need --bench=<one benchmark>");
+      need(!cmd.config_name.empty(), "run/timeline need --config=<name>");
+      break;
+    case Command::Kind::kPair:
+    case Command::Kind::kSched:
+      need(cmd.benches.size() == 2, "pair/sched need --bench=<A,B>");
+      need(!cmd.config_name.empty(), "pair/sched need --config=<name>");
+      if (cmd.kind == Command::Kind::kSched &&
+          make_policy(cmd.policy, 0) == nullptr) {
+        res.error = "unknown --policy '" + cmd.policy + "'";
+      }
+      break;
+    default:
+      break;
+  }
+  if (!res.error.empty()) return res;
+  if (!cmd.config_name.empty() &&
+      harness::find_config(cmd.config_name) == nullptr) {
+    res.error = "unknown configuration '" + cmd.config_name +
+                "' (see `paxsim list`)";
+    return res;
+  }
+  res.command = std::move(cmd);
+  return res;
+}
+
+int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
+  try {
+    switch (cmd.kind) {
+      case Command::Kind::kHelp:
+        out << usage();
+        return 0;
+      case Command::Kind::kList:
+        return do_list(out);
+      case Command::Kind::kLmbench:
+        return do_lmbench(out);
+      case Command::Kind::kRun: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto seed = cmd.options.trial_seed(0);
+        const auto r =
+            harness::run_single(cmd.benches[0], *cfg, cmd.options, seed);
+        print_result(out,
+                     std::string(npb::benchmark_name(cmd.benches[0])) + "@" +
+                         cmd.config_name,
+                     r, cmd.csv);
+        if (cmd.baseline) {
+          const auto s = harness::run_serial(cmd.benches[0], cmd.options, seed);
+          print_result(out,
+                       std::string(npb::benchmark_name(cmd.benches[0])) +
+                           "@Serial",
+                       s, cmd.csv);
+          out << "speedup," << s.wall_cycles / r.wall_cycles << '\n';
+        }
+        return 0;
+      }
+      case Command::Kind::kPair: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto seed = cmd.options.trial_seed(0);
+        const auto r = harness::run_pair(cmd.benches[0], cmd.benches[1], *cfg,
+                                         cmd.options, seed);
+        for (int p = 0; p < 2; ++p) {
+          print_result(out,
+                       std::string(npb::benchmark_name(cmd.benches[p])) +
+                           "[" + std::to_string(p) + "]@" + cmd.config_name,
+                       r.program[p], cmd.csv);
+        }
+        return 0;
+      }
+      case Command::Kind::kTimeline: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto seed = cmd.options.trial_seed(0);
+        sim::Machine machine(cmd.options.machine_params());
+        sim::AddressSpace space(0);
+        perf::CounterSet counters;
+        perf::Timeline timeline;
+        auto kernel = npb::make_kernel(cmd.benches[0]);
+        kernel->setup(space, npb::ProblemConfig{cmd.options.cls, seed});
+        xomp::Team team(machine, cfg->cpus, &counters, space);
+        for (int chip = 0; chip < machine.params().chips; ++chip) {
+          for (int core = 0; core < machine.params().cores_per_chip; ++core) {
+            int n = 0;
+            for (const auto c : cfg->cpus) {
+              if (c.chip == chip && c.core == core) ++n;
+            }
+            machine.core(chip, core).set_active_contexts(n > 0 ? n : 1);
+          }
+        }
+        for (int s = 0; s < kernel->total_steps(); ++s) {
+          kernel->step(team, s);
+          team.flush();
+          timeline.sample(counters);
+        }
+        if (cmd.options.verify && !kernel->verify()) {
+          err << "error: verification failed\n";
+          return 1;
+        }
+        if (cmd.csv) {
+          timeline.print_csv(out);
+        } else {
+          for (std::size_t i = 0; i < timeline.intervals(); ++i) {
+            const perf::Metrics m = timeline.metrics(i);
+            out << "step " << i << ": cpi=" << m.cpi
+                << " stalled=" << m.stalled_fraction
+                << " l2_miss=" << m.l2_miss_rate
+                << " prefetch_share=" << m.prefetch_bus_fraction << '\n';
+          }
+        }
+        return 0;
+      }
+      case Command::Kind::kSched: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto seed = cmd.options.trial_seed(0);
+        auto policy = make_policy(cmd.policy, seed);
+        const auto r = harness::run_scheduled(cmd.benches, *cfg, *policy,
+                                              cmd.options, seed);
+        for (std::size_t p = 0; p < r.program.size(); ++p) {
+          print_result(out,
+                       std::string(npb::benchmark_name(cmd.benches[p])) +
+                           "[" + std::to_string(p) + "]@" + cmd.config_name +
+                           "/" + r.scheduler,
+                       r.program[p], cmd.csv);
+        }
+        out << "migrations," << r.migrations << '\n';
+        return 0;
+      }
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 1;
+}
+
+}  // namespace paxsim::cli

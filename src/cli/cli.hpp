@@ -1,0 +1,57 @@
+// paxsim/cli/cli.hpp
+//
+// The `paxsim` command-line driver, split into a testable library (command
+// parsing + execution against an abstract output stream) and a thin main.
+//
+// Subcommands:
+//   paxsim list                        — benchmarks, classes, configurations
+//   paxsim run   --bench=CG --config="HT on -4-1" [--class=B] [--trials=N]
+//                [--seed=N] [--csv] [--baseline]
+//   paxsim pair  --bench=CG,FT --config="HT off -4-2" [...]
+//   paxsim sched --bench=CG,FT --config="HT on -8-2" --policy=symbiotic
+//   paxsim timeline --bench=CG --config="HT on -8-2"
+//   paxsim lmbench
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+
+namespace paxsim::cli {
+
+/// Parsed command line.
+struct Command {
+  enum class Kind { kList, kRun, kPair, kSched, kTimeline, kLmbench, kHelp };
+
+  Kind kind = Kind::kHelp;
+  std::vector<npb::Benchmark> benches;  ///< 1 for run, 2 for pair/sched
+  std::string config_name;              ///< Table-1 configuration
+  std::string policy = "pinned-spread"; ///< sched subcommand policy
+  harness::RunOptions options;
+  bool csv = false;
+  bool baseline = false;                ///< also run + report serial
+};
+
+/// Parse result: a command, or an error message for the user.
+struct ParseResult {
+  std::optional<Command> command;
+  std::string error;  ///< non-empty iff command is empty
+
+  [[nodiscard]] bool ok() const noexcept { return command.has_value(); }
+};
+
+/// Parses argv (excluding argv[0]).  Pure; no I/O.
+[[nodiscard]] ParseResult parse(const std::vector<std::string>& args);
+
+/// Executes @p cmd, writing human-readable (or CSV) output to @p out and
+/// diagnostics to @p err.  Returns a process exit code.
+int execute(const Command& cmd, std::ostream& out, std::ostream& err);
+
+/// Usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace paxsim::cli

@@ -1,0 +1,16 @@
+// paxsim CLI entry point — all logic lives in the testable cli library.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const paxsim::cli::ParseResult parsed = paxsim::cli::parse(args);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error << "\n\n" << paxsim::cli::usage();
+    return 2;
+  }
+  return paxsim::cli::execute(*parsed.command, std::cout, std::cerr);
+}

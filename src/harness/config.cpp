@@ -1,0 +1,83 @@
+#include "harness/config.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+using sim::LogicalCpu;
+
+constexpr LogicalCpu cpu(int chip, int core, int ctx) {
+  return LogicalCpu{static_cast<std::uint8_t>(chip),
+                    static_cast<std::uint8_t>(core),
+                    static_cast<std::uint8_t>(ctx)};
+}
+
+std::vector<StudyConfig> build_configs() {
+  std::vector<StudyConfig> v;
+  // Serial baseline: B0.
+  v.push_back({"Serial", Architecture::kSerial, false, 1, 1, {cpu(0, 0, 0)}});
+  // Group 1: HT on -2-1 vs serial.
+  v.push_back({"HT on -2-1", Architecture::kSMT, true, 2, 1,
+               {cpu(0, 0, 0), cpu(0, 0, 1)}});
+  // Group 2: one chip.
+  v.push_back({"HT off -2-1", Architecture::kCMP, false, 2, 1,
+               {cpu(0, 0, 0), cpu(0, 1, 0)}});
+  v.push_back({"HT on -4-1", Architecture::kCMT, true, 4, 1,
+               {cpu(0, 0, 0), cpu(0, 0, 1), cpu(0, 1, 0), cpu(0, 1, 1)}});
+  // Group 3: both chips at half use.
+  v.push_back({"HT off -2-2", Architecture::kSMP, false, 2, 2,
+               {cpu(0, 0, 0), cpu(1, 0, 0)}});
+  v.push_back({"HT on -4-2", Architecture::kSmtSmp, true, 4, 2,
+               {cpu(0, 0, 0), cpu(0, 0, 1), cpu(1, 0, 0), cpu(1, 0, 1)}});
+  // Group 4: everything.
+  v.push_back({"HT off -4-2", Architecture::kCmpSmp, false, 4, 2,
+               {cpu(0, 0, 0), cpu(0, 1, 0), cpu(1, 0, 0), cpu(1, 1, 0)}});
+  v.push_back({"HT on -8-2", Architecture::kCmtSmp, true, 8, 2,
+               {cpu(0, 0, 0), cpu(0, 0, 1), cpu(0, 1, 0), cpu(0, 1, 1),
+                cpu(1, 0, 0), cpu(1, 0, 1), cpu(1, 1, 0), cpu(1, 1, 1)}});
+  return v;
+}
+
+}  // namespace
+
+std::string_view architecture_name(Architecture a) noexcept {
+  switch (a) {
+    case Architecture::kSerial: return "Serial";
+    case Architecture::kSMT: return "SMT";
+    case Architecture::kCMP: return "CMP";
+    case Architecture::kCMT: return "CMT";
+    case Architecture::kSMP: return "SMP";
+    case Architecture::kSmtSmp: return "SMT-based SMP";
+    case Architecture::kCmpSmp: return "CMP-based SMP";
+    case Architecture::kCmtSmp: return "CMT-based SMP";
+  }
+  return "?";
+}
+
+const std::vector<StudyConfig>& all_configs() {
+  static const std::vector<StudyConfig> configs = build_configs();
+  return configs;
+}
+
+std::vector<StudyConfig> parallel_configs() {
+  std::vector<StudyConfig> out;
+  for (const StudyConfig& c : all_configs()) {
+    if (!c.is_serial()) out.push_back(c);
+  }
+  return out;
+}
+
+const StudyConfig* find_config(std::string_view name) {
+  for (const StudyConfig& c : all_configs()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on) {
+  if (ht_on) {
+    return "A" + std::to_string(cpu_.flat());
+  }
+  return "B" + std::to_string(cpu_.chip * 2 + cpu_.core);
+}
+
+}  // namespace paxsim::harness

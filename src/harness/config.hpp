@@ -1,0 +1,59 @@
+// paxsim/harness/config.hpp
+//
+// The study configurations of the paper's Table 1 — the eight ways of
+// exposing the PowerEdge 2850's hardware contexts via Hyper-Threading
+// enable/disable plus `maxcpus=` masking, with Figure 1's A0..A7 / B0..B3
+// context labelling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace paxsim::harness {
+
+/// The multithreaded architecture each configuration realises (Table 1's
+/// right-hand column).
+enum class Architecture {
+  kSerial,
+  kSMT,        ///< HT on  -2-1: two contexts of one core
+  kCMP,        ///< HT off -2-1: two cores of one chip
+  kCMT,        ///< HT on  -4-1: one chip, both cores, HT on
+  kSMP,        ///< HT off -2-2: one core on each chip
+  kSmtSmp,     ///< HT on  -4-2: one HT core on each chip
+  kCmpSmp,     ///< HT off -4-2: all four cores
+  kCmtSmp,     ///< HT on  -8-2: everything
+};
+
+[[nodiscard]] std::string_view architecture_name(Architecture a) noexcept;
+
+/// One row of Table 1.
+struct StudyConfig {
+  std::string_view name;   ///< paper terminology, e.g. "HT on -4-1"
+  Architecture arch = Architecture::kSerial;
+  bool ht_on = false;      ///< Hyper-Threading state
+  int threads = 1;         ///< application threads
+  int chips = 1;           ///< physical packages used
+  std::vector<sim::LogicalCpu> cpus;  ///< the hardware contexts, in order
+
+  [[nodiscard]] bool is_serial() const noexcept {
+    return arch == Architecture::kSerial;
+  }
+};
+
+/// All Table-1 configurations, serial first, in the paper's group order.
+[[nodiscard]] const std::vector<StudyConfig>& all_configs();
+
+/// The seven multithreaded configurations (Table 1 minus serial).
+[[nodiscard]] std::vector<StudyConfig> parallel_configs();
+
+/// Finds a configuration by its paper name ("HT on -4-1"); nullptr if absent.
+[[nodiscard]] const StudyConfig* find_config(std::string_view name);
+
+/// Figure-1 label of a hardware context under the given HT state:
+/// "A0".."A7" when HT is on, "B0".."B3" when it is off.
+[[nodiscard]] std::string cpu_label(sim::LogicalCpu cpu, bool ht_on);
+
+}  // namespace paxsim::harness

@@ -1,0 +1,103 @@
+#include "harness/plot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace paxsim::harness {
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  return f;
+}
+
+/// Quotes a string for gnuplot double-quoted context.
+std::string q(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string write_bar_chart(const std::string& dir, const std::string& stem,
+                            const BarChart& chart) {
+  const std::string dat = dir + "/" + stem + ".dat";
+  const std::string gp = dir + "/" + stem + ".gp";
+  {
+    std::ofstream f = open_or_throw(dat);
+    f << "# " << chart.title << "\n# group";
+    for (const auto& s : chart.series) f << '\t' << s;
+    f << '\n';
+    for (std::size_t g = 0; g < chart.groups.size(); ++g) {
+      f << chart.groups[g];
+      for (const double v : chart.values[g]) f << '\t' << v;
+      f << '\n';
+    }
+  }
+  {
+    std::ofstream f = open_or_throw(gp);
+    f << "set terminal pngcairo size 1100,520\n"
+      << "set output " << q(stem + ".png") << "\n"
+      << "set title " << q(chart.title) << "\n"
+      << "set ylabel " << q(chart.ylabel) << "\n"
+      << "set style data histogram\n"
+      << "set style histogram clustered gap 1\n"
+      << "set style fill solid 0.8 border -1\n"
+      << "set boxwidth 0.9\n"
+      << "set key outside right\n"
+      << "set xtics rotate by -20\n"
+      << "plot ";
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+      if (s != 0) f << ", \\\n     ";
+      f << q(stem + ".dat") << " using " << (s + 2)
+        << (s == 0 ? ":xtic(1)" : "") << " title " << q(chart.series[s]);
+    }
+    f << '\n';
+  }
+  return gp;
+}
+
+std::string write_box_chart(const std::string& dir, const std::string& stem,
+                            const BoxChart& chart) {
+  const std::string dat = dir + "/" + stem + ".dat";
+  const std::string gp = dir + "/" + stem + ".gp";
+  {
+    std::ofstream f = open_or_throw(dat);
+    f << "# x\tmin\tq1\tmedian\tq3\tmax\tlabel\n";
+    for (std::size_t i = 0; i < chart.boxes.size(); ++i) {
+      const BoxStats& b = chart.boxes[i];
+      f << i + 1 << '\t' << b.min << '\t' << b.q1 << '\t' << b.median << '\t'
+        << b.q3 << '\t' << b.max << '\t' << chart.labels[i] << '\n';
+    }
+  }
+  {
+    std::ofstream f = open_or_throw(gp);
+    f << "set terminal pngcairo size 900,520\n"
+      << "set output " << q(stem + ".png") << "\n"
+      << "set title " << q(chart.title) << "\n"
+      << "set ylabel " << q(chart.ylabel) << "\n"
+      << "set boxwidth 0.4\n"
+      << "set style fill empty\n"
+      << "set xrange [0.4:" << chart.boxes.size() + 0.6 << "]\n"
+      << "set xtics (";
+    for (std::size_t i = 0; i < chart.labels.size(); ++i) {
+      if (i != 0) f << ", ";
+      f << q(chart.labels[i]) << ' ' << i + 1;
+    }
+    f << ") rotate by -20\n"
+      // candlesticks: x box_min whisker_min whisker_max box_max (+ median)
+      << "plot " << q(stem + ".dat")
+      << " using 1:3:2:6:5 with candlesticks notitle whiskerbars, \\\n"
+      << "     " << q(stem + ".dat")
+      << " using 1:4:4:4:4 with candlesticks lt -1 notitle\n";
+  }
+  return gp;
+}
+
+}  // namespace paxsim::harness

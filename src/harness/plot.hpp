@@ -1,0 +1,44 @@
+// paxsim/harness/plot.hpp
+//
+// Gnuplot emitters: turn the benches' tables and box summaries into .dat /
+// .gp file pairs so each paper figure can be rendered graphically
+// (`gnuplot fig3_speedup.gp` -> fig3_speedup.png).  Pure file generation;
+// no plotting dependency is linked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/stats.hpp"
+
+namespace paxsim::harness {
+
+/// A grouped-bar dataset: one row per group (benchmark), one value per
+/// series (configuration) — the layout of Figures 2 and 3.
+struct BarChart {
+  std::string title;
+  std::string ylabel;
+  std::vector<std::string> series;              ///< configuration names
+  std::vector<std::string> groups;              ///< benchmark names
+  std::vector<std::vector<double>> values;      ///< [group][series]
+};
+
+/// Writes `<stem>.dat` and `<stem>.gp` into @p dir.  Returns the .gp path.
+/// Throws std::runtime_error on I/O failure.
+std::string write_bar_chart(const std::string& dir, const std::string& stem,
+                            const BarChart& chart);
+
+/// A box-and-whiskers dataset: one five-number summary per x position —
+/// the layout of Figure 5.
+struct BoxChart {
+  std::string title;
+  std::string ylabel;
+  std::vector<std::string> labels;
+  std::vector<BoxStats> boxes;
+};
+
+/// Writes `<stem>.dat` and `<stem>.gp` (candlesticks) into @p dir.
+std::string write_box_chart(const std::string& dir, const std::string& stem,
+                            const BoxChart& chart);
+
+}  // namespace paxsim::harness

@@ -1,0 +1,74 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace paxsim::harness {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::string label, std::vector<double> values) {
+  rows_.push_back(Row{std::move(label), std::move(values)});
+}
+
+void Table::print(std::ostream& os, int precision) const {
+  std::size_t label_w = 12;
+  for (const Row& r : rows_) label_w = std::max(label_w, r.label.size() + 2);
+  std::size_t col_w = 10;
+  for (const std::string& c : columns_) col_w = std::max(col_w, c.size() + 2);
+
+  os << "== " << title_ << " ==\n";
+  os << std::left << std::setw(static_cast<int>(label_w)) << "";
+  for (const std::string& c : columns_) {
+    os << std::right << std::setw(static_cast<int>(col_w)) << c;
+  }
+  os << '\n';
+  for (const Row& r : rows_) {
+    os << std::left << std::setw(static_cast<int>(label_w)) << r.label;
+    for (const double v : r.values) {
+      os << std::right << std::setw(static_cast<int>(col_w)) << std::fixed
+         << std::setprecision(precision) << v;
+    }
+    os << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+  os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.values.size() && c < columns_.size(); ++c) {
+      os << title_ << ',' << r.label << ',' << columns_[c] << ','
+         << r.values[c] << '\n';
+    }
+  }
+}
+
+void print_box_line(std::ostream& os, const std::string& label,
+                    const BoxStats& box, double lo, double hi, int width) {
+  auto pos = [&](double v) {
+    if (hi <= lo) return 0;
+    const double f = (v - lo) / (hi - lo);
+    return static_cast<int>(std::clamp(f, 0.0, 1.0) * (width - 1));
+  };
+  std::string line(static_cast<std::size_t>(width), ' ');
+  const int pmin = pos(box.min), p1 = pos(box.q1), pm = pos(box.median),
+            p3 = pos(box.q3), pmax = pos(box.max);
+  for (int i = pmin; i <= pmax; ++i) line[static_cast<std::size_t>(i)] = '-';
+  for (int i = p1; i <= p3; ++i) line[static_cast<std::size_t>(i)] = '=';
+  line[static_cast<std::size_t>(pmin)] = '|';
+  line[static_cast<std::size_t>(pmax)] = '|';
+  line[static_cast<std::size_t>(p1)] = '[';
+  line[static_cast<std::size_t>(p3)] = ']';
+  line[static_cast<std::size_t>(pm)] = '#';
+  os << std::left << std::setw(14) << label << line << "  med="
+     << std::fixed << std::setprecision(2) << box.median << " iqr=["
+     << box.q1 << "," << box.q3 << "] range=[" << box.min << "," << box.max
+     << "] n=" << box.n << '\n';
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace paxsim::harness

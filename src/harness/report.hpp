@@ -1,0 +1,48 @@
+// paxsim/harness/report.hpp
+//
+// Plain-text emitters for the paper's artifacts: fixed-width tables (one per
+// metric panel of Figures 2 and 4, plus Tables 1-2) and an ASCII
+// box-and-whiskers rendering of Figure 5.  Every emitter can also append
+// CSV rows so results are machine-readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/stats.hpp"
+
+namespace paxsim::harness {
+
+/// A simple fixed-width table: column headers plus labelled numeric rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a labelled row; @p values must match the column count.
+  void add_row(std::string label, std::vector<double> values);
+
+  /// Renders with aligned columns; values printed with @p precision digits.
+  void print(std::ostream& os, int precision = 3) const;
+
+  /// Emits "title,label,col,value" CSV lines.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Renders one box-and-whiskers line:  min |--[ q1 | median | q3 ]--| max,
+/// scaled into [lo, hi] over @p width characters.
+void print_box_line(std::ostream& os, const std::string& label,
+                    const BoxStats& box, double lo, double hi, int width = 60);
+
+}  // namespace paxsim::harness

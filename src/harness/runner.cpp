@@ -1,0 +1,156 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "xomp/team.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+/// Declares each core's SMT activity from the set of occupied contexts.
+void apply_smt_activity(sim::Machine& machine,
+                        const std::vector<sim::LogicalCpu>& occupied) {
+  const auto& p = machine.params();
+  for (int chip = 0; chip < p.chips; ++chip) {
+    for (int core = 0; core < p.cores_per_chip; ++core) {
+      int n = 0;
+      for (const sim::LogicalCpu c : occupied) {
+        if (c.chip == chip && c.core == core) ++n;
+      }
+      machine.core(chip, core).set_active_contexts(std::max(1, n));
+    }
+  }
+}
+
+/// One resident program: kernel + address space + counters + team.
+struct Program {
+  std::unique_ptr<npb::Kernel> kernel;
+  std::unique_ptr<sim::AddressSpace> space;
+  perf::CounterSet counters;
+  std::unique_ptr<xomp::Team> team;
+  int steps_done = 0;
+  double finish_time = 0;
+
+  [[nodiscard]] bool done() const {
+    return steps_done >= kernel->total_steps();
+  }
+};
+
+std::unique_ptr<Program> make_program(npb::Benchmark bench, int slot,
+                                      std::vector<sim::LogicalCpu> cpus,
+                                      sim::Machine& machine,
+                                      const RunOptions& opt,
+                                      std::uint64_t seed) {
+  auto prog = std::make_unique<Program>();
+  prog->kernel = npb::make_kernel(bench);
+  prog->space = std::make_unique<sim::AddressSpace>(slot);
+  prog->kernel->setup(*prog->space, npb::ProblemConfig{opt.cls, seed});
+  prog->team = std::make_unique<xomp::Team>(machine, std::move(cpus),
+                                            &prog->counters, *prog->space);
+  return prog;
+}
+
+RunResult finish_result(Program& prog, bool verify) {
+  prog.team->flush();
+  RunResult r;
+  r.wall_cycles = prog.finish_time;
+  r.counters = prog.counters;
+  r.metrics = perf::derive_metrics(r.counters);
+  r.verified = !verify || prog.kernel->verify();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
+                     const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
+  apply_smt_activity(machine, cfg.cpus);
+  while (!prog->done()) {
+    prog->kernel->step(*prog->team, prog->steps_done);
+    ++prog->steps_done;
+  }
+  prog->finish_time = prog->team->wall_time();
+  RunResult r = finish_result(*prog, opt.verify);
+  if (opt.verify && !r.verified) {
+    throw std::runtime_error(std::string("verification failed: ") +
+                             std::string(prog->kernel->name()) + " on " +
+                             std::string(cfg.name));
+  }
+  return r;
+}
+
+RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
+                     std::uint64_t seed) {
+  return run_single(bench, all_configs().front(), opt, seed);
+}
+
+PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
+                    const RunOptions& opt, std::uint64_t seed) {
+  assert(cfg.cpus.size() >= 2 && "pair runs need at least two contexts");
+  // Even list positions to program 0, odd to program 1.
+  std::vector<sim::LogicalCpu> cpus_a, cpus_b;
+  for (std::size_t i = 0; i < cfg.cpus.size(); ++i) {
+    (i % 2 == 0 ? cpus_a : cpus_b).push_back(cfg.cpus[i]);
+  }
+
+  sim::Machine machine(opt.machine_params());
+  std::array<std::unique_ptr<Program>, 2> progs;
+  progs[0] = make_program(a, 0, cpus_a, machine, opt, seed);
+  progs[1] = make_program(b, 1, cpus_b, machine, opt, seed + 17);
+  apply_smt_activity(machine, cfg.cpus);
+
+  // Co-schedule: always advance the program that is behind in virtual time.
+  auto runnable = [&](int i) { return !progs[i]->done(); };
+  while (runnable(0) || runnable(1)) {
+    int pick;
+    if (!runnable(0)) {
+      pick = 1;
+    } else if (!runnable(1)) {
+      pick = 0;
+    } else {
+      pick = progs[0]->team->wall_time() <= progs[1]->team->wall_time() ? 0 : 1;
+    }
+    Program& p = *progs[pick];
+    p.kernel->step(*p.team, p.steps_done);
+    ++p.steps_done;
+    if (p.done()) {
+      p.finish_time = p.team->wall_time();
+      // The finished program's contexts go idle: recompute SMT activity so
+      // the survivor regains full issue width on shared cores.
+      const auto& still = progs[pick == 0 ? 1 : 0];
+      if (!still->done()) {
+        apply_smt_activity(machine, pick == 0 ? cpus_b : cpus_a);
+      }
+    }
+  }
+
+  PairResult out;
+  out.program[0] = finish_result(*progs[0], opt.verify);
+  out.program[1] = finish_result(*progs[1], opt.verify);
+  if (opt.verify && (!out.program[0].verified || !out.program[1].verified)) {
+    throw std::runtime_error("pair verification failed on " +
+                             std::string(cfg.name));
+  }
+  return out;
+}
+
+TrialStats speedup_over_trials(npb::Benchmark bench, const StudyConfig& cfg,
+                               const RunOptions& opt) {
+  std::vector<double> speedups;
+  speedups.reserve(static_cast<std::size_t>(opt.trials));
+  for (int t = 0; t < opt.trials; ++t) {
+    const std::uint64_t seed = opt.trial_seed(t);
+    const RunResult serial = run_serial(bench, opt, seed);
+    const RunResult par = run_single(bench, cfg, opt, seed);
+    speedups.push_back(serial.wall_cycles / par.wall_cycles);
+  }
+  return summarize(speedups);
+}
+
+}  // namespace paxsim::harness

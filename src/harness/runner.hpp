@@ -1,0 +1,78 @@
+// paxsim/harness/runner.hpp
+//
+// Experiment runners:
+//   * run_single    — one benchmark on one Table-1 configuration (the
+//                     Figure 2 / Figure 3 workhorse);
+//   * run_pair      — two programs co-scheduled on one configuration with
+//                     threads split evenly (Figure 4 / Figure 5), the
+//                     programs interleaved in virtual time the way two
+//                     processes share a real machine;
+//   * speedup helpers over repeated trials.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/stats.hpp"
+#include "npb/kernel.hpp"
+#include "perf/counters.hpp"
+#include "perf/metrics.hpp"
+#include "sim/machine.hpp"
+
+namespace paxsim::harness {
+
+/// Knobs shared by every experiment.
+struct RunOptions {
+  npb::ProblemClass cls = npb::ProblemClass::kClassB;
+  /// Capacity scale factor applied to the machine (DESIGN.md: caches and
+  /// problem classes shrink together; 16 is the study default the class
+  /// tables are tuned for).
+  double machine_scale = 16.0;
+  int trials = 3;                    ///< paper used 10; 3 is the quick default
+  std::uint64_t base_seed = 314159265;
+  bool verify = true;                ///< run numeric verification per trial
+
+  [[nodiscard]] sim::MachineParams machine_params() const {
+    return sim::MachineParams{}.scaled(machine_scale);
+  }
+  [[nodiscard]] std::uint64_t trial_seed(int trial) const noexcept {
+    return base_seed + static_cast<std::uint64_t>(trial) * 104729;
+  }
+};
+
+/// Outcome of one program execution (one trial).
+struct RunResult {
+  double wall_cycles = 0;            ///< virtual completion time
+  perf::CounterSet counters;         ///< raw PMU-event deltas
+  perf::Metrics metrics;             ///< the Figure-2 bundle
+  bool verified = false;             ///< numeric validation outcome
+};
+
+/// Runs @p bench once on @p cfg (single-program).
+RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
+                     const RunOptions& opt, std::uint64_t seed);
+
+/// Outcome of a co-scheduled pair.
+struct PairResult {
+  std::array<RunResult, 2> program;  ///< per-program results
+};
+
+/// Runs @p a and @p b co-scheduled on @p cfg, threads split evenly between
+/// the two programs (even list positions to program 0, odd to program 1 —
+/// the spread the 2.6-era Linux balancer converges to).
+PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
+                    const RunOptions& opt, std::uint64_t seed);
+
+/// Serial-baseline wall times per benchmark, per trial seed (memoised by
+/// the callers; computed with run_single on the Serial config).
+RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
+                     std::uint64_t seed);
+
+/// Mean speedup (serial wall / config wall) over opt.trials trials,
+/// with the per-trial serial baseline sharing the trial's seed.
+TrialStats speedup_over_trials(npb::Benchmark bench, const StudyConfig& cfg,
+                               const RunOptions& opt);
+
+}  // namespace paxsim::harness

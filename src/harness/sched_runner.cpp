@@ -1,0 +1,162 @@
+#include "harness/sched_runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "xomp/team.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+/// One resident program under the scheduled runner.
+struct Program {
+  std::unique_ptr<npb::Kernel> kernel;
+  std::unique_ptr<sim::AddressSpace> space;
+  perf::CounterSet counters;
+  std::unique_ptr<xomp::Team> team;
+  int steps_done = 0;
+  double finish_time = 0;
+  std::uint64_t last_instructions = 0;
+  double last_wall = 0;
+
+  [[nodiscard]] bool done() const {
+    return steps_done >= kernel->total_steps();
+  }
+};
+
+/// Recomputes every core's SMT-activity count from the live placements of
+/// all unfinished programs.
+void refresh_smt_activity(sim::Machine& machine,
+                          const std::vector<std::unique_ptr<Program>>& progs) {
+  const auto& p = machine.params();
+  for (int chip = 0; chip < p.chips; ++chip) {
+    for (int core = 0; core < p.cores_per_chip; ++core) {
+      int n = 0;
+      for (const auto& prog : progs) {
+        if (prog->done()) continue;
+        for (int r = 0; r < prog->team->size(); ++r) {
+          const sim::LogicalCpu c = prog->team->placement_of(r);
+          if (c.chip == chip && c.core == core) ++n;
+        }
+      }
+      machine.core(chip, core).set_active_contexts(std::max(1, n));
+    }
+  }
+}
+
+std::vector<sched::ThreadView> collect_views(
+    const std::vector<std::unique_ptr<Program>>& progs) {
+  std::vector<sched::ThreadView> views;
+  for (std::size_t p = 0; p < progs.size(); ++p) {
+    Program& prog = *progs[p];
+    if (prog.done()) continue;
+    // Progress signal: instructions retired per wall cycle since the last
+    // rebalance (an OS would read this from the PMU, as the paper's
+    // future-work scheduler proposes).
+    prog.team->flush();
+    const std::uint64_t instr =
+        prog.counters.get(perf::Event::kInstructions);
+    const double wall = prog.team->wall_time();
+    const double dwall = std::max(1.0, wall - prog.last_wall);
+    const double progress =
+        static_cast<double>(instr - prog.last_instructions) / dwall;
+    prog.last_instructions = instr;
+    prog.last_wall = wall;
+    for (int r = 0; r < prog.team->size(); ++r) {
+      views.push_back(sched::ThreadView{static_cast<int>(p), r,
+                                        prog.team->placement_of(r), progress});
+    }
+  }
+  return views;
+}
+
+}  // namespace
+
+ScheduledResult run_scheduled(const std::vector<npb::Benchmark>& benches,
+                              const StudyConfig& cfg, sched::Scheduler& policy,
+                              const RunOptions& opt, std::uint64_t seed) {
+  assert(!benches.empty() && benches.size() <= 2);
+  const int np = static_cast<int>(benches.size());
+  const int per = cfg.threads / np;
+  assert(per >= 1 && "configuration too small for the program count");
+
+  std::vector<int> tpp(static_cast<std::size_t>(np), per);
+  auto placement = policy.place(tpp, cfg.cpus);
+  if (placement.size() != static_cast<std::size_t>(np)) {
+    throw std::runtime_error("scheduler returned wrong program count");
+  }
+
+  sim::Machine machine(opt.machine_params());
+  std::vector<std::unique_ptr<Program>> progs;
+  for (int p = 0; p < np; ++p) {
+    auto prog = std::make_unique<Program>();
+    prog->kernel = npb::make_kernel(benches[static_cast<std::size_t>(p)]);
+    prog->space = std::make_unique<sim::AddressSpace>(p);
+    prog->kernel->setup(*prog->space,
+                        npb::ProblemConfig{opt.cls, seed + 17u * p});
+    prog->team = std::make_unique<xomp::Team>(
+        machine, placement[static_cast<std::size_t>(p)], &prog->counters,
+        *prog->space);
+    progs.push_back(std::move(prog));
+  }
+  refresh_smt_activity(machine, progs);
+
+  ScheduledResult out;
+  out.scheduler = std::string(policy.name());
+
+  auto any_running = [&] {
+    for (const auto& p : progs) {
+      if (!p->done()) return true;
+    }
+    return false;
+  };
+
+  while (any_running()) {
+    // Advance the program furthest behind in virtual time.
+    Program* pick = nullptr;
+    for (const auto& p : progs) {
+      if (p->done()) continue;
+      if (pick == nullptr || p->team->wall_time() < pick->team->wall_time()) {
+        pick = p.get();
+      }
+    }
+    pick->kernel->step(*pick->team, pick->steps_done);
+    ++pick->steps_done;
+    if (pick->done()) {
+      pick->finish_time = pick->team->wall_time();
+      refresh_smt_activity(machine, progs);
+    }
+
+    // Consult the policy.
+    if (any_running()) {
+      const auto views = collect_views(progs);
+      const auto migrations = policy.rebalance(views);
+      for (const sched::Migration& m : migrations) {
+        Program& prog = *progs[static_cast<std::size_t>(m.program)];
+        if (prog.done()) continue;
+        prog.team->repin(m.rank, m.to, sched::kMigrationPenaltyCycles);
+        ++out.migrations;
+      }
+      if (!migrations.empty()) refresh_smt_activity(machine, progs);
+    }
+  }
+
+  for (auto& prog : progs) {
+    prog->team->flush();
+    RunResult r;
+    r.wall_cycles = prog->finish_time;
+    r.counters = prog->counters;
+    r.metrics = perf::derive_metrics(r.counters);
+    r.verified = !opt.verify || prog->kernel->verify();
+    if (opt.verify && !r.verified) {
+      throw std::runtime_error("scheduled-run verification failed: " +
+                               std::string(prog->kernel->name()));
+    }
+    out.program.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace paxsim::harness

@@ -1,0 +1,34 @@
+// paxsim/harness/sched_runner.hpp
+//
+// Scheduler-driven experiment runner: runs one or two programs on a
+// Table-1 configuration under an OS-scheduler policy (src/sched), letting
+// the policy choose initial placement and migrate threads between kernel
+// steps.  This is the harness for the paper's future-work question: how
+// much do scheduler decisions cost or gain on a chip-multithreaded SMP?
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "sched/scheduler.hpp"
+
+namespace paxsim::harness {
+
+/// Outcome of a scheduled (possibly multi-program) run.
+struct ScheduledResult {
+  std::vector<RunResult> program;  ///< per-program results
+  int migrations = 0;              ///< migrations the policy performed
+  std::string scheduler;           ///< policy name
+};
+
+/// Runs @p benches (one or two programs) co-scheduled on @p cfg under
+/// @p policy.  The policy is consulted for initial placement and after
+/// every kernel step for rebalancing.  Thread counts are split evenly
+/// between programs (all contexts to a single program).
+ScheduledResult run_scheduled(const std::vector<npb::Benchmark>& benches,
+                              const StudyConfig& cfg, sched::Scheduler& policy,
+                              const RunOptions& opt, std::uint64_t seed);
+
+}  // namespace paxsim::harness

@@ -1,0 +1,55 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paxsim::harness {
+namespace {
+
+double quantile_sorted(const std::vector<double>& s, double q) {
+  if (s.empty()) return 0;
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+}  // namespace
+
+TrialStats summarize(const std::vector<double>& samples) {
+  TrialStats st;
+  st.n = static_cast<int>(samples.size());
+  if (samples.empty()) return st;
+  double sum = 0;
+  st.min = samples[0];
+  st.max = samples[0];
+  for (const double v : samples) {
+    sum += v;
+    st.min = std::min(st.min, v);
+    st.max = std::max(st.max, v);
+  }
+  st.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0;
+    for (const double v : samples) ss += (v - st.mean) * (v - st.mean);
+    st.stdev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  return st;
+}
+
+BoxStats box_summary(std::vector<double> samples) {
+  BoxStats b;
+  b.n = static_cast<int>(samples.size());
+  if (samples.empty()) return b;
+  std::sort(samples.begin(), samples.end());
+  b.min = samples.front();
+  b.max = samples.back();
+  b.q1 = quantile_sorted(samples, 0.25);
+  b.median = quantile_sorted(samples, 0.50);
+  b.q3 = quantile_sorted(samples, 0.75);
+  return b;
+}
+
+}  // namespace paxsim::harness

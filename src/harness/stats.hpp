@@ -1,0 +1,40 @@
+// paxsim/harness/stats.hpp
+//
+// Small statistics helpers: trial summaries (mean/stdev/CV, matching the
+// paper's "<~1-5% variance over ten trials" reporting) and the
+// box-and-whiskers quartile summary of Figure 5.
+#pragma once
+
+#include <vector>
+
+namespace paxsim::harness {
+
+/// Mean / sample standard deviation / extremes of a set of trials.
+struct TrialStats {
+  double mean = 0;
+  double stdev = 0;
+  double min = 0;
+  double max = 0;
+  int n = 0;
+
+  /// Coefficient of variation (stdev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept { return mean == 0 ? 0 : stdev / mean; }
+};
+
+[[nodiscard]] TrialStats summarize(const std::vector<double>& samples);
+
+/// Five-number summary: min, first quartile, median, third quartile, max
+/// (linear interpolation between order statistics, the common "type 7"
+/// definition).  Drives the Figure-5 box-and-whiskers plot.
+struct BoxStats {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  int n = 0;
+};
+
+[[nodiscard]] BoxStats box_summary(std::vector<double> samples);
+
+}  // namespace paxsim::harness

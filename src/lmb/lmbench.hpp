@@ -1,0 +1,52 @@
+// paxsim/lmb/lmbench.hpp
+//
+// LMbench-style microbenchmarks run *on the simulator*, reproducing the
+// paper's Section 3 platform characterisation:
+//   * lat_mem_rd analog — a dependent pointer chase over working sets from
+//     a few cache lines up to many times the L2, yielding the L1 / L2 /
+//     memory latency plateaus (paper: 1.43 ns / 10.6 ns / 136.85 ns);
+//   * bw_mem analog — streaming read and write bandwidth with the threads
+//     on one package or spread over both (paper: 3.57 -> 4.43 GB/s read,
+//     1.77 -> 2.60 GB/s write).
+//
+// These close the calibration loop: tests assert the simulated machine
+// reports the paper's numbers back.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace paxsim::lmb {
+
+/// One point of the latency ladder.
+struct LatencyPoint {
+  std::size_t working_set_bytes = 0;
+  double ns_per_load = 0;
+};
+
+/// Dependent-chain load latency over the given working-set sizes, measured
+/// on context (0,0,0) of a fresh machine built from @p params.
+std::vector<LatencyPoint> latency_ladder(const sim::MachineParams& params,
+                                         const std::vector<std::size_t>& sizes,
+                                         std::size_t chases_per_size = 20000);
+
+/// Convenient ladder of power-of-two working sets in [min_bytes, max_bytes].
+std::vector<std::size_t> default_ladder_sizes(std::size_t min_bytes,
+                                              std::size_t max_bytes);
+
+/// Result of a streaming bandwidth run.
+struct BandwidthResult {
+  double read_gbps = 0;
+  double write_gbps = 0;
+};
+
+/// Streaming bandwidth with @p n_threads threads placed on one package
+/// (@p both_chips = false) or spread over both packages (true), one thread
+/// per core, mirroring the paper's one-chip vs two-chip measurement.
+BandwidthResult stream_bandwidth(const sim::MachineParams& params,
+                                 bool both_chips,
+                                 std::size_t bytes_per_thread = 4 << 20);
+
+}  // namespace paxsim::lmb

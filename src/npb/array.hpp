@@ -1,0 +1,85 @@
+// paxsim/npb/array.hpp
+//
+// Instrumented arrays: real host storage whose every simulated access is
+// routed through a hardware context, so the kernels compute *real numbers*
+// (verifiable) while the cache hierarchy, TLBs and bus see the *real address
+// stream*.
+//
+// Two access planes:
+//   * get()/put()   — instrumented: charge a simulated load/store, then
+//                     touch host memory.
+//   * host()        — uninstrumented: used only by untimed setup and
+//                     verification code.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::npb {
+
+/// A 1-D instrumented array of trivially-copyable T.
+template <typename T>
+class Array {
+ public:
+  Array() = default;
+
+  /// Allocates @p n elements in @p space (64-byte aligned, like a real
+  /// allocator would for scientific arrays).
+  Array(sim::AddressSpace& space, std::size_t n)
+      : data_(n), base_(space.alloc(n * sizeof(T), 64)) {}
+
+  /// Simulated address of element @p i.
+  [[nodiscard]] sim::Addr addr(std::size_t i) const noexcept {
+    return base_ + static_cast<sim::Addr>(i) * sizeof(T);
+  }
+
+  /// Instrumented load of element @p i.
+  [[nodiscard]] T get(sim::HwContext& ctx, std::size_t i,
+                      sim::Dep dep = sim::Dep::kIndependent) const {
+    assert(i < data_.size());
+    ctx.load(addr(i), dep);
+    return data_[i];
+  }
+
+  /// Instrumented store of @p v to element @p i.
+  void put(sim::HwContext& ctx, std::size_t i, T v,
+           sim::Dep dep = sim::Dep::kIndependent) {
+    assert(i < data_.size());
+    ctx.store(addr(i), dep);
+    data_[i] = v;
+  }
+
+  /// Instrumented read-modify-write add (one load + one store).
+  void add(sim::HwContext& ctx, std::size_t i, T v,
+           sim::Dep dep = sim::Dep::kIndependent) {
+    assert(i < data_.size());
+    ctx.load(addr(i), dep);
+    ctx.store(addr(i), dep);
+    data_[i] += v;
+  }
+
+  /// Uninstrumented host access (setup / verification only).
+  [[nodiscard]] T& host(std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& host(std::size_t i) const noexcept { return data_[i]; }
+
+  /// Uninstrumented raw pointer to the host backing store.
+  [[nodiscard]] const T* host_data() const noexcept { return data_.data(); }
+  [[nodiscard]] T* host_data() noexcept { return data_.data(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return data_.size() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> data_;
+  sim::Addr base_ = 0;
+};
+
+}  // namespace paxsim::npb

@@ -1,0 +1,61 @@
+#include "npb/kernel.hpp"
+
+#include <cctype>
+
+#include "npb/kernels_impl.hpp"
+
+namespace paxsim::npb {
+
+std::string_view benchmark_name(Benchmark b) noexcept {
+  switch (b) {
+    case Benchmark::kCG: return "CG";
+    case Benchmark::kMG: return "MG";
+    case Benchmark::kFT: return "FT";
+    case Benchmark::kIS: return "IS";
+    case Benchmark::kEP: return "EP";
+    case Benchmark::kBT: return "BT";
+    case Benchmark::kSP: return "SP";
+    case Benchmark::kLU: return "LU";
+  }
+  return "??";
+}
+
+bool parse_benchmark(std::string_view s, Benchmark& out) noexcept {
+  if (s.size() != 2) return false;
+  const char a = static_cast<char>(std::toupper(s[0]));
+  const char b = static_cast<char>(std::toupper(s[1]));
+  for (const Benchmark bm : kAllBenchmarks) {
+    const std::string_view n = benchmark_name(bm);
+    if (n[0] == a && n[1] == b) {
+      out = bm;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view class_name(ProblemClass c) noexcept {
+  switch (c) {
+    case ProblemClass::kClassS: return "S";
+    case ProblemClass::kClassW: return "W";
+    case ProblemClass::kClassA: return "A";
+    case ProblemClass::kClassB: return "B";
+  }
+  return "?";
+}
+
+std::unique_ptr<Kernel> make_kernel(Benchmark b) {
+  switch (b) {
+    case Benchmark::kCG: return detail::make_cg();
+    case Benchmark::kMG: return detail::make_mg();
+    case Benchmark::kFT: return detail::make_ft();
+    case Benchmark::kIS: return detail::make_is();
+    case Benchmark::kEP: return detail::make_ep();
+    case Benchmark::kBT: return detail::make_bt();
+    case Benchmark::kSP: return detail::make_sp();
+    case Benchmark::kLU: return detail::make_lu();
+  }
+  return nullptr;
+}
+
+}  // namespace paxsim::npb

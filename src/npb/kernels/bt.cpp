@@ -1,0 +1,20 @@
+// NPB BT — block tridiagonal ADI application (see adi_kernel.hpp).
+#include "npb/kernels/adi_kernel.hpp"
+#include "npb/kernels_impl.hpp"
+
+namespace paxsim::npb::detail {
+namespace {
+
+// BT: all five components per pass, heavy 5x5-block arithmetic per cell.
+constexpr AdiProfile kBtProfile{Benchmark::kBT,
+                                /*per_component_passes=*/false,
+                                /*cell_uops=*/40,
+                                /*body_uops=*/64};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_bt() {
+  return std::make_unique<AdiKernel<kBtProfile>>();
+}
+
+}  // namespace paxsim::npb::detail

@@ -1,0 +1,268 @@
+// NPB CG — conjugate gradient.
+//
+// Estimates the smallest eigenvalue of a sparse symmetric positive-definite
+// matrix by inverse power iteration, each outer iteration running `kCgIts`
+// iterations of unpreconditioned CG (the NPB 3.x structure).
+//
+// Memory signature (why the paper's CG behaves the way it does):
+//   * the sparse mat-vec gathers x[colidx[k]] — an *indirect, chained* load
+//     stream that defeats the stream prefetcher and exposes full memory
+//     latency;
+//   * row lengths vary pseudo-randomly, so the inner-loop trip count — and
+//     with it the back-edge branch history — is irregular; under SMT the
+//     shared pattern table takes cross-thread aliasing, which is exactly the
+//     branch-prediction collapse Figure 2 shows for CG on HT-on configs.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "npb/array.hpp"
+#include "npb/kernel.hpp"
+#include "npb/kernels_impl.hpp"
+#include "npb/rng.hpp"
+
+namespace paxsim::npb {
+namespace {
+
+struct CgSize {
+  std::size_t n;        // rows
+  int nz_min, nz_max;   // off-diagonal entries per row (upper triangle)
+  int cg_its;           // CG iterations per outer step
+  int outer;            // outer (timed) steps
+};
+
+CgSize cg_size(ProblemClass c) {
+  // Class B is sized so that x (the gather target) is a sizeable fraction
+  // of the scaled L2 while the a/colidx streams churn many times the L2 per
+  // mat-vec: the unbanded quarter of the gathers then misses L2 — the
+  // paper's measured CG regime (~50% L2 miss rate) — and exposes the full
+  // chained DRAM latency, which is what makes CG the latency-bound,
+  // HT-loving member of the suite.
+  switch (c) {
+    case ProblemClass::kClassS: return {512, 2, 5, 10, 2};
+    case ProblemClass::kClassW: return {2048, 3, 7, 12, 2};
+    case ProblemClass::kClassA: return {4096, 3, 9, 10, 3};
+    case ProblemClass::kClassB: return {8192, 4, 11, 12, 3};
+  }
+  return {512, 2, 5, 10, 2};
+}
+
+// Static code-block ids (front-end model).
+constexpr xomp::CodeBlock kBlkMatvec{1, 36};
+constexpr xomp::CodeBlock kBlkDot{2, 10};
+constexpr xomp::CodeBlock kBlkAxpy{3, 14};
+constexpr xomp::CodeBlock kBlkScale{4, 10};
+constexpr std::uint32_t kInnerBranchSite = 101;
+
+class CgKernel final : public Kernel {
+ public:
+  [[nodiscard]] Benchmark id() const noexcept override { return Benchmark::kCG; }
+
+  void setup(sim::AddressSpace& space, const ProblemConfig& cfg) override {
+    const CgSize sz = cg_size(cfg.cls);
+    n_ = sz.n;
+    cg_its_ = sz.cg_its;
+    outer_ = sz.outer;
+
+    // Build a symmetric, strongly diagonally dominant sparse matrix from a
+    // reproducible random pattern (a compact stand-in for NPB's makea).
+    // Like makea's geometrically clustered columns, most entries land in a
+    // band near the diagonal: the x-gather then mostly hits near-resident
+    // lines while the a/colidx streams sweep the whole matrix — which is
+    // what gives real CG its high *L2* miss rate (the streams) alongside a
+    // tolerable L1 hit rate (the gather).
+    NpbRandom rng(cfg.seed);
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(n_);
+    const std::int64_t band = 48;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const int nz = sz.nz_min +
+                     static_cast<int>(rng.next() * (sz.nz_max - sz.nz_min + 1));
+      for (int k = 0; k < nz; ++k) {
+        std::uint32_t j;
+        if (rng.next() < 0.75) {
+          // Banded entry: within +/- band of the diagonal.
+          const auto off =
+              static_cast<std::int64_t>(rng.next() * (2 * band + 1)) - band;
+          const auto cand = static_cast<std::int64_t>(i) + off;
+          if (cand < 0 || cand >= static_cast<std::int64_t>(n_)) continue;
+          j = static_cast<std::uint32_t>(cand);
+        } else {
+          j = static_cast<std::uint32_t>(rng.next() * n_);
+        }
+        if (j == i) continue;
+        const double v = rng.next() * 0.1;
+        rows[i].push_back({j, v});
+        rows[j].push_back({static_cast<std::uint32_t>(i), v});
+      }
+    }
+    // Diagonal dominance: diag = 1 + sum|offdiag|.
+    std::size_t nnz = n_;  // diagonals
+    for (auto& r : rows) nnz += r.size();
+
+    a_ = Array<double>(space, nnz);
+    colidx_ = Array<std::uint32_t>(space, nnz);
+    rowstr_ = Array<std::uint32_t>(space, n_ + 1);
+    x_ = Array<double>(space, n_);
+    z_ = Array<double>(space, n_);
+    p_ = Array<double>(space, n_);
+    q_ = Array<double>(space, n_);
+    r_ = Array<double>(space, n_);
+
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      rowstr_.host(i) = static_cast<std::uint32_t>(pos);
+      double offsum = 0;
+      for (const auto& [j, v] : rows[i]) offsum += std::abs(v);
+      a_.host(pos) = 1.0 + offsum;  // diagonal first
+      colidx_.host(pos) = static_cast<std::uint32_t>(i);
+      ++pos;
+      for (const auto& [j, v] : rows[i]) {
+        a_.host(pos) = v;
+        colidx_.host(pos) = j;
+        ++pos;
+      }
+    }
+    rowstr_.host(n_) = static_cast<std::uint32_t>(pos);
+
+    for (std::size_t i = 0; i < n_; ++i) x_.host(i) = 1.0;
+    zeta_ = 0.0;
+  }
+
+  [[nodiscard]] int total_steps() const noexcept override { return outer_; }
+
+  void step(xomp::Team& team, int /*s*/) override {
+    // One NPB outer iteration: z = A^{-1} x by CG, zeta update, x = z/||z||.
+    cg_solve(team);
+    const double xz = dot(team, x_, z_);
+    const double znorm = std::sqrt(dot(team, z_, z_));
+    zeta_ = kShift + 1.0 / xz;
+    // x = z / ||z||
+    team.parallel_for(0, n_, xomp::Schedule::static_default(), kBlkScale,
+                      [&](std::size_t i, sim::HwContext& ctx, int) {
+                        const double zi = z_.get(ctx, i);
+                        ctx.alu(2);
+                        x_.put(ctx, i, zi / znorm);
+                      });
+  }
+
+  [[nodiscard]] bool verify() const override {
+    if (b_saved_.size() != n_) return false;  // no solve was run
+    if (!std::isfinite(zeta_)) return false;
+    // Independent residual check of the last solve: ||x_prev - A z|| must be
+    // tiny relative to ||x_prev||.  x_ has been overwritten by z/||z||, so
+    // recompute b = x from z: b_i = x_i * ||z||; equivalently check
+    // A z ≈ b using the saved pre-normalisation vector.
+    double rnorm = 0, bnorm = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      double az = 0;
+      for (std::uint32_t k = rowstr_.host(i); k < rowstr_.host(i + 1); ++k) {
+        az += a_.host(k) * z_.host(colidx_.host(k));
+      }
+      const double bi = b_saved_[i];
+      rnorm += (az - bi) * (az - bi);
+      bnorm += bi * bi;
+    }
+    return std::sqrt(rnorm) <= 1e-5 * std::sqrt(bnorm);
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept override {
+    return a_.footprint_bytes() + colidx_.footprint_bytes() +
+           rowstr_.footprint_bytes() + 5 * x_.footprint_bytes();
+  }
+
+  [[nodiscard]] double zeta() const noexcept { return zeta_; }
+
+  [[nodiscard]] double result_signature() const override { return zeta_; }
+
+ private:
+  static constexpr double kShift = 20.0;
+
+  // q = A * p  — the irregular heart of CG.
+  void matvec(xomp::Team& team, Array<double>& pv, Array<double>& qv) {
+    team.parallel_for(
+        0, n_, xomp::Schedule::static_default(), kBlkMatvec,
+        [&](std::size_t i, sim::HwContext& ctx, int) {
+          const std::uint32_t lo = rowstr_.get(ctx, i);
+          const std::uint32_t hi = rowstr_.get(ctx, i + 1);
+          double sum = 0;
+          for (std::uint32_t k = lo; k < hi; ++k) {
+            const std::uint32_t j = colidx_.get(ctx, k);
+            const double av = a_.get(ctx, k);
+            // The gather: address depends on the just-loaded colidx -> chained.
+            const double pj = pv.get(ctx, j, sim::Dep::kChained);
+            ctx.alu(2);
+            sum += av * pj;
+            // Variable-trip inner back-edge: the CG branch signature.
+            ctx.branch(kInnerBranchSite, k + 1 < hi);
+          }
+          qv.put(ctx, i, sum);
+        });
+  }
+
+  double dot(xomp::Team& team, Array<double>& u, Array<double>& v) {
+    return team.parallel_reduce(0, n_, xomp::Schedule::static_default(), kBlkDot,
+                                [&](std::size_t i, sim::HwContext& ctx, int) {
+                                  const double a = u.get(ctx, i);
+                                  const double b = v.get(ctx, i);
+                                  ctx.alu(2);
+                                  return a * b;
+                                });
+  }
+
+  void cg_solve(xomp::Team& team) {
+    // r = p = x (b := x), z = 0.
+    b_saved_.assign(n_, 0.0);
+    team.parallel_for(0, n_, xomp::Schedule::static_default(), kBlkAxpy,
+                      [&](std::size_t i, sim::HwContext& ctx, int) {
+                        const double xi = x_.get(ctx, i);
+                        r_.put(ctx, i, xi);
+                        p_.put(ctx, i, xi);
+                        z_.put(ctx, i, 0.0);
+                        b_saved_[i] = xi;
+                      });
+    double rho = dot(team, r_, r_);
+    for (int it = 0; it < cg_its_; ++it) {
+      matvec(team, p_, q_);
+      const double pq = dot(team, p_, q_);
+      const double alpha = rho / pq;
+      // z += alpha p;  r -= alpha q  (fused axpy pair)
+      team.parallel_for(0, n_, xomp::Schedule::static_default(), kBlkAxpy,
+                        [&](std::size_t i, sim::HwContext& ctx, int) {
+                          const double pi = p_.get(ctx, i);
+                          const double qi = q_.get(ctx, i);
+                          ctx.alu(4);
+                          z_.add(ctx, i, alpha * pi);
+                          r_.add(ctx, i, -alpha * qi);
+                        });
+      const double rho_new = dot(team, r_, r_);
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      // p = r + beta p
+      team.parallel_for(0, n_, xomp::Schedule::static_default(), kBlkAxpy,
+                        [&](std::size_t i, sim::HwContext& ctx, int) {
+                          const double ri = r_.get(ctx, i);
+                          const double pi = p_.get(ctx, i);
+                          ctx.alu(2);
+                          p_.put(ctx, i, ri + beta * pi);
+                        });
+    }
+  }
+
+  std::size_t n_ = 0;
+  int cg_its_ = 0;
+  int outer_ = 0;
+  double zeta_ = 0;
+  Array<double> a_;
+  Array<std::uint32_t> colidx_;
+  Array<std::uint32_t> rowstr_;
+  Array<double> x_, z_, p_, q_, r_;
+  std::vector<double> b_saved_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Kernel> make_cg() { return std::make_unique<CgKernel>(); }
+}  // namespace detail
+
+}  // namespace paxsim::npb

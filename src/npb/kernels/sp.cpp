@@ -1,0 +1,21 @@
+// NPB SP — scalar pentadiagonal ADI application (see adi_kernel.hpp).
+#include "npb/kernels/adi_kernel.hpp"
+#include "npb/kernels_impl.hpp"
+
+namespace paxsim::npb::detail {
+namespace {
+
+// SP: one component per pass (5x the sweeps of BT over the same data),
+// light scalar arithmetic per cell: the bandwidth-hungry sibling.
+constexpr AdiProfile kSpProfile{Benchmark::kSP,
+                                /*per_component_passes=*/true,
+                                /*cell_uops=*/25,
+                                /*body_uops=*/40};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_sp() {
+  return std::make_unique<AdiKernel<kSpProfile>>();
+}
+
+}  // namespace paxsim::npb::detail

@@ -1,0 +1,23 @@
+// paxsim/npb/kernels_impl.hpp
+//
+// Internal factory functions, one per suite member (each implemented in its
+// own translation unit under kernels/).
+#pragma once
+
+#include <memory>
+
+namespace paxsim::npb {
+class Kernel;
+namespace detail {
+
+std::unique_ptr<Kernel> make_cg();
+std::unique_ptr<Kernel> make_mg();
+std::unique_ptr<Kernel> make_ft();
+std::unique_ptr<Kernel> make_is();
+std::unique_ptr<Kernel> make_ep();
+std::unique_ptr<Kernel> make_bt();
+std::unique_ptr<Kernel> make_sp();
+std::unique_ptr<Kernel> make_lu();
+
+}  // namespace detail
+}  // namespace paxsim::npb

@@ -1,0 +1,62 @@
+#include "perf/counters.hpp"
+
+#include <ostream>
+
+namespace paxsim::perf {
+
+std::string_view event_name(Event e) noexcept {
+  switch (e) {
+    case Event::kCycles: return "cycles";
+    case Event::kInstructions: return "instructions";
+    case Event::kL1dReferences: return "l1d_references";
+    case Event::kL1dMisses: return "l1d_misses";
+    case Event::kL2References: return "l2_references";
+    case Event::kL2Misses: return "l2_misses";
+    case Event::kTraceCacheReferences: return "trace_cache_references";
+    case Event::kTraceCacheMisses: return "trace_cache_misses";
+    case Event::kItlbReferences: return "itlb_references";
+    case Event::kItlbMisses: return "itlb_misses";
+    case Event::kDtlbReferences: return "dtlb_references";
+    case Event::kDtlbLoadMisses: return "dtlb_load_misses";
+    case Event::kDtlbStoreMisses: return "dtlb_store_misses";
+    case Event::kBranches: return "branches";
+    case Event::kBranchMispredicts: return "branch_mispredicts";
+    case Event::kStallCyclesMemory: return "stall_cycles_memory";
+    case Event::kStallCyclesBranch: return "stall_cycles_branch";
+    case Event::kStallCyclesTlb: return "stall_cycles_tlb";
+    case Event::kStallCyclesFrontend: return "stall_cycles_frontend";
+    case Event::kBusTransactions: return "bus_transactions";
+    case Event::kBusReads: return "bus_reads";
+    case Event::kBusWrites: return "bus_writes";
+    case Event::kBusPrefetches: return "bus_prefetches";
+    case Event::kPrefetchesIssued: return "prefetches_issued";
+    case Event::kPrefetchesUseful: return "prefetches_useful";
+    case Event::kL2Invalidations: return "l2_invalidations";
+    case Event::kCount: break;
+  }
+  return "unknown";
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& rhs) noexcept {
+  for (std::size_t i = 0; i < kEventCount; ++i) values_[i] += rhs.values_[i];
+  return *this;
+}
+
+CounterSet CounterSet::delta_since(const CounterSet& earlier) const noexcept {
+  CounterSet out;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    out.values_[i] =
+        values_[i] >= earlier.values_[i] ? values_[i] - earlier.values_[i] : 0;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const CounterSet& c) {
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    const auto e = static_cast<Event>(i);
+    if (c.get(e) != 0) os << event_name(e) << ',' << c.get(e) << '\n';
+  }
+  return os;
+}
+
+}  // namespace paxsim::perf

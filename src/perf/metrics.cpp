@@ -1,0 +1,74 @@
+#include "perf/metrics.hpp"
+
+#include <ostream>
+
+namespace paxsim::perf {
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+Metrics derive_metrics(const CounterSet& c) noexcept {
+  Metrics m;
+  m.l1d_miss_rate = ratio(c.get(Event::kL1dMisses), c.get(Event::kL1dReferences));
+  m.l2_miss_rate = ratio(c.get(Event::kL2Misses), c.get(Event::kL2References));
+  m.trace_cache_miss_rate =
+      ratio(c.get(Event::kTraceCacheMisses), c.get(Event::kTraceCacheReferences));
+  m.itlb_miss_rate = ratio(c.get(Event::kItlbMisses), c.get(Event::kItlbReferences));
+  m.dtlb_misses = static_cast<double>(c.get(Event::kDtlbLoadMisses) +
+                                      c.get(Event::kDtlbStoreMisses));
+  const std::uint64_t stalls =
+      c.get(Event::kStallCyclesMemory) + c.get(Event::kStallCyclesBranch) +
+      c.get(Event::kStallCyclesTlb) + c.get(Event::kStallCyclesFrontend);
+  m.stalled_fraction = ratio(stalls, c.get(Event::kCycles));
+  const std::uint64_t branches = c.get(Event::kBranches);
+  m.branch_prediction_rate =
+      branches == 0 ? 1.0
+                    : 1.0 - ratio(c.get(Event::kBranchMispredicts), branches);
+  m.prefetch_bus_fraction =
+      ratio(c.get(Event::kBusPrefetches), c.get(Event::kBusTransactions));
+  m.cpi = ratio(c.get(Event::kCycles), c.get(Event::kInstructions));
+  return m;
+}
+
+std::string_view metric_name(int i) noexcept {
+  switch (i) {
+    case 0: return "l1d_miss_rate";
+    case 1: return "l2_miss_rate";
+    case 2: return "trace_cache_miss_rate";
+    case 3: return "itlb_miss_rate";
+    case 4: return "dtlb_misses";
+    case 5: return "stalled_fraction";
+    case 6: return "branch_prediction_rate";
+    case 7: return "prefetch_bus_fraction";
+    case 8: return "cpi";
+    default: return "unknown";
+  }
+}
+
+double metric_value(const Metrics& m, int i) noexcept {
+  switch (i) {
+    case 0: return m.l1d_miss_rate;
+    case 1: return m.l2_miss_rate;
+    case 2: return m.trace_cache_miss_rate;
+    case 3: return m.itlb_miss_rate;
+    case 4: return m.dtlb_misses;
+    case 5: return m.stalled_fraction;
+    case 6: return m.branch_prediction_rate;
+    case 7: return m.prefetch_bus_fraction;
+    case 8: return m.cpi;
+    default: return 0.0;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  for (int i = 0; i < kMetricCount; ++i) {
+    os << metric_name(i) << ',' << metric_value(m, i) << '\n';
+  }
+  return os;
+}
+
+}  // namespace paxsim::perf

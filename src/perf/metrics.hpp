@@ -1,0 +1,53 @@
+// paxsim/perf/metrics.hpp
+//
+// Derived metrics — exactly the nine quantities plotted in Figure 2 (and
+// again, per-workload, in Figure 4) of the paper:
+//
+//   L1 / L2 / trace-cache miss rate, ITLB miss rate, DTLB load+store misses
+//   (normalised to the serial run), % of execution cycles spent stalled,
+//   branch prediction rate, % of bus accesses that are prefetches, and CPI.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "perf/counters.hpp"
+
+namespace paxsim::perf {
+
+/// The derived per-run metric bundle of Figure 2 / Figure 4.
+///
+/// Rates are fractions in [0,1] unless noted.  `dtlb_misses` is the raw
+/// load+store miss count; the harness normalises it against the serial run
+/// when emitting the figure (the paper plots "DTLB Load and Store Misses
+/// normalized over Serial").
+struct Metrics {
+  double l1d_miss_rate = 0.0;        ///< L1D misses / references
+  double l2_miss_rate = 0.0;         ///< L2 misses / references
+  double trace_cache_miss_rate = 0.0;///< TC misses / references
+  double itlb_miss_rate = 0.0;       ///< ITLB misses / references
+  double dtlb_misses = 0.0;          ///< load+store DTLB misses (raw count)
+  double stalled_fraction = 0.0;     ///< stall cycles / total cycles
+  double branch_prediction_rate = 0.0;///< 1 - mispredicts/branches
+  double prefetch_bus_fraction = 0.0;///< prefetch transactions / all bus transactions
+  double cpi = 0.0;                  ///< cycles / instructions retired
+};
+
+/// Computes the Figure-2 metric bundle from a counter delta.
+/// Ratios with a zero denominator are reported as 0 (the paper's plots do
+/// the same for benchmarks that never touch a structure).
+[[nodiscard]] Metrics derive_metrics(const CounterSet& c) noexcept;
+
+/// Number of scalar metrics in `Metrics` (for tabular emission).
+inline constexpr int kMetricCount = 9;
+
+/// Stable column name of the i-th metric (0-based, declaration order).
+[[nodiscard]] std::string_view metric_name(int i) noexcept;
+
+/// Value of the i-th metric (0-based, declaration order).
+[[nodiscard]] double metric_value(const Metrics& m, int i) noexcept;
+
+/// Emits "name,value" CSV lines.
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+}  // namespace paxsim::perf

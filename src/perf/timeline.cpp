@@ -1,0 +1,21 @@
+#include "perf/timeline.hpp"
+
+#include <ostream>
+
+namespace paxsim::perf {
+
+void Timeline::sample(const CounterSet& now) {
+  deltas_.push_back(now.delta_since(last_));
+  last_ = now;
+}
+
+void Timeline::print_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    const Metrics m = derive_metrics(deltas_[i]);
+    for (int k = 0; k < kMetricCount; ++k) {
+      os << i << ',' << metric_name(k) << ',' << metric_value(m, k) << '\n';
+    }
+  }
+}
+
+}  // namespace paxsim::perf

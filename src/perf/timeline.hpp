@@ -1,0 +1,51 @@
+// paxsim/perf/timeline.hpp
+//
+// Interval sampling of a counter set — the VTune time-sampling mode the
+// paper used, rebuilt on exact counters: snapshot at phase boundaries (e.g.
+// after every kernel step) and read back per-interval deltas and derived
+// metric series.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "perf/metrics.hpp"
+
+namespace paxsim::perf {
+
+/// Accumulates per-interval counter deltas.
+class Timeline {
+ public:
+  /// Records the interval since the previous sample (or since start).
+  void sample(const CounterSet& now);
+
+  /// Number of completed intervals.
+  [[nodiscard]] std::size_t intervals() const noexcept {
+    return deltas_.size();
+  }
+
+  /// Counter delta of interval @p i.
+  [[nodiscard]] const CounterSet& delta(std::size_t i) const {
+    return deltas_[i];
+  }
+
+  /// Derived Figure-2 metric bundle of interval @p i.
+  [[nodiscard]] Metrics metrics(std::size_t i) const {
+    return derive_metrics(deltas_[i]);
+  }
+
+  /// Emits "interval,metric,value" CSV lines for all intervals.
+  void print_csv(std::ostream& os) const;
+
+  void clear() {
+    deltas_.clear();
+    last_ = CounterSet{};
+  }
+
+ private:
+  CounterSet last_;
+  std::vector<CounterSet> deltas_;
+};
+
+}  // namespace paxsim::perf

@@ -1,0 +1,244 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace paxsim::sched {
+namespace {
+
+/// Splits @p allowed across programs by dealing positions round-robin
+/// (program 0 gets positions 0, n, 2n, ...; with two programs: even/odd).
+std::vector<std::vector<sim::LogicalCpu>> deal(
+    const std::vector<int>& threads_per_program,
+    const std::vector<sim::LogicalCpu>& order) {
+  const std::size_t np = threads_per_program.size();
+  std::vector<std::vector<sim::LogicalCpu>> out(np);
+  std::size_t pos = 0;
+  // Deal one context to each program in turn until everyone is satisfied.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t p = 0; p < np && pos < order.size(); ++p) {
+      if (out[p].size() <
+          static_cast<std::size_t>(threads_per_program[p])) {
+        out[p].push_back(order[pos++]);
+        progressed = true;
+      }
+    }
+  }
+  return out;
+}
+
+/// Orders contexts cores-first: all context-0 slots (distinct cores), then
+/// the SMT siblings.
+std::vector<sim::LogicalCpu> cores_first(
+    std::vector<sim::LogicalCpu> allowed) {
+  std::stable_sort(allowed.begin(), allowed.end(),
+                   [](const sim::LogicalCpu& a, const sim::LogicalCpu& b) {
+                     return a.context < b.context;
+                   });
+  return allowed;
+}
+
+class PinnedSpreadScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pinned-spread";
+  }
+  std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& tpp,
+      const std::vector<sim::LogicalCpu>& allowed) override {
+    return deal(tpp, allowed);
+  }
+};
+
+class NaivePackScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "naive-pack";
+  }
+  std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& tpp,
+      const std::vector<sim::LogicalCpu>& allowed) override {
+    // Fill program 0 entirely from the front (packing siblings together),
+    // then program 1, etc.
+    std::vector<std::vector<sim::LogicalCpu>> out(tpp.size());
+    std::size_t pos = 0;
+    for (std::size_t p = 0; p < tpp.size(); ++p) {
+      for (int r = 0; r < tpp[p] && pos < allowed.size(); ++r) {
+        out[p].push_back(allowed[pos++]);
+      }
+    }
+    return out;
+  }
+};
+
+class RandomMigratingScheduler final : public Scheduler {
+ public:
+  RandomMigratingScheduler(double prob, std::uint64_t seed)
+      : prob_(prob), rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random-migrating";
+  }
+  std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& tpp,
+      const std::vector<sim::LogicalCpu>& allowed) override {
+    allowed_ = allowed;
+    return deal(tpp, allowed);
+  }
+  std::vector<Migration> rebalance(
+      const std::vector<ThreadView>& threads) override {
+    std::vector<Migration> out;
+    if (threads.size() < 2) return out;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(rng_) >= prob_) return out;
+    // Swap two random threads' contexts — the classic churn pattern of a
+    // topology-blind balancer chasing instantaneous load.
+    std::uniform_int_distribution<std::size_t> pick(0, threads.size() - 1);
+    const std::size_t a = pick(rng_);
+    std::size_t b = pick(rng_);
+    while (b == a) b = pick(rng_);
+    out.push_back({threads[a].program, threads[a].rank, threads[b].where});
+    out.push_back({threads[b].program, threads[b].rank, threads[a].where});
+    return out;
+  }
+
+ private:
+  double prob_;
+  std::mt19937_64 rng_;
+  std::vector<sim::LogicalCpu> allowed_;
+};
+
+class HtAwareScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ht-aware";
+  }
+  std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& tpp,
+      const std::vector<sim::LogicalCpu>& allowed) override {
+    // Whole cores first; when siblings must be used, keep them within one
+    // program (a program sharing a core with *itself* shares code and data
+    // constructively; sharing with a stranger only contends).
+    const std::vector<sim::LogicalCpu> order = cores_first(allowed);
+    std::vector<std::vector<sim::LogicalCpu>> out(tpp.size());
+    std::size_t pos = 0;
+    for (std::size_t p = 0; p < tpp.size(); ++p) {
+      for (int r = 0; r < tpp[p] && pos < order.size(); ++r) {
+        out[p].push_back(order[pos++]);
+      }
+    }
+    return out;
+  }
+};
+
+class SymbioticScheduler final : public Scheduler {
+ public:
+  explicit SymbioticScheduler(int sample_steps) : sample_steps_(sample_steps) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "symbiotic";
+  }
+
+  std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& tpp,
+      const std::vector<sim::LogicalCpu>& allowed) override {
+    // Candidate placements to sample: dealt (spread) and packed and
+    // cores-first.  The rebalance hook walks through them.
+    candidates_.clear();
+    candidates_.push_back(deal(tpp, allowed));
+    {
+      std::vector<std::vector<sim::LogicalCpu>> packed(tpp.size());
+      std::size_t pos = 0;
+      for (std::size_t p = 0; p < tpp.size(); ++p) {
+        for (int r = 0; r < tpp[p] && pos < allowed.size(); ++r) {
+          packed[p].push_back(allowed[pos++]);
+        }
+      }
+      candidates_.push_back(std::move(packed));
+    }
+    candidates_.push_back([&] {
+      const auto order = cores_first(allowed);
+      std::vector<std::vector<sim::LogicalCpu>> v(tpp.size());
+      std::size_t pos = 0;
+      for (std::size_t p = 0; p < tpp.size(); ++p) {
+        for (int r = 0; r < tpp[p] && pos < order.size(); ++r) {
+          v[p].push_back(order[pos++]);
+        }
+      }
+      return v;
+    }());
+    current_ = 0;
+    steps_in_current_ = 0;
+    scores_.assign(candidates_.size(), 0.0);
+    locked_ = false;
+    return candidates_[0];
+  }
+
+  std::vector<Migration> rebalance(
+      const std::vector<ThreadView>& threads) override {
+    if (locked_) return {};
+    // Accumulate the progress the current placement achieved.
+    for (const ThreadView& t : threads) {
+      scores_[current_] += t.recent_progress;
+    }
+    if (++steps_in_current_ < sample_steps_) return {};
+    // Advance to the next candidate, or lock the best.
+    std::size_t target;
+    if (current_ + 1 < candidates_.size()) {
+      target = ++current_;
+      steps_in_current_ = 0;
+    } else {
+      target = static_cast<std::size_t>(
+          std::max_element(scores_.begin(), scores_.end()) - scores_.begin());
+      locked_ = true;
+    }
+    return migrations_to(candidates_[target], threads);
+  }
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+ private:
+  static std::vector<Migration> migrations_to(
+      const std::vector<std::vector<sim::LogicalCpu>>& placement,
+      const std::vector<ThreadView>& threads) {
+    std::vector<Migration> out;
+    for (const ThreadView& t : threads) {
+      const sim::LogicalCpu want =
+          placement[static_cast<std::size_t>(t.program)]
+                   [static_cast<std::size_t>(t.rank)];
+      if (!(want == t.where)) out.push_back({t.program, t.rank, want});
+    }
+    return out;
+  }
+
+  int sample_steps_;
+  std::vector<std::vector<std::vector<sim::LogicalCpu>>> candidates_;
+  std::vector<double> scores_;
+  std::size_t current_ = 0;
+  int steps_in_current_ = 0;
+  bool locked_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_pinned_spread() {
+  return std::make_unique<PinnedSpreadScheduler>();
+}
+std::unique_ptr<Scheduler> make_naive_pack() {
+  return std::make_unique<NaivePackScheduler>();
+}
+std::unique_ptr<Scheduler> make_random_migrating(double migrate_probability,
+                                                 std::uint64_t seed) {
+  return std::make_unique<RandomMigratingScheduler>(migrate_probability, seed);
+}
+std::unique_ptr<Scheduler> make_ht_aware() {
+  return std::make_unique<HtAwareScheduler>();
+}
+std::unique_ptr<Scheduler> make_symbiotic(int sample_steps) {
+  return std::make_unique<SymbioticScheduler>(sample_steps);
+}
+
+}  // namespace paxsim::sched

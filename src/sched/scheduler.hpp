@@ -1,0 +1,95 @@
+// paxsim/sched/scheduler.hpp
+//
+// OS-scheduler substrate — the paper's stated future work ("devising
+// optimal schedulers to improve the performance of multithreaded
+// applications running on emerging multithreaded, multi-core
+// architectures"; "we are currently experimenting with other schedulers").
+//
+// A Scheduler makes two kinds of decisions, mirroring what an OS kernel
+// does for OpenMP processes:
+//   * initial placement of each program's threads onto the configuration's
+//     hardware contexts;
+//   * periodic rebalancing between kernel steps, which may *migrate*
+//     threads — migrated threads pay a context-switch penalty and find the
+//     destination core's private caches cold (the cold misses emerge from
+//     the cache state; nothing is modelled by formula).
+//
+// Shipped policies:
+//   * PinnedSpreadScheduler  — the study default: spread threads across
+//     the context list, never migrate (what a well-pinned OpenMP run does).
+//   * NaivePackScheduler     — packs threads onto sibling contexts first
+//     (what a topology-blind scheduler can do); shows placement cost.
+//   * RandomMigratingScheduler — migrates a random thread every rebalance
+//     with probability p: the 2.6-era load-balancer churn the paper
+//     suspects behind its multi-program stall anomalies.
+//   * HtAwareScheduler       — cores first, SMT contexts last, and pairs
+//     each program's threads with its *own* siblings where possible.
+//   * SymbioticScheduler     — Snavely/Tullsen-style sample phase: tries
+//     candidate placements for a few steps each, watches achieved
+//     progress, then locks the best (the direction the paper proposes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace paxsim::sched {
+
+/// What the scheduler can observe about one simulated thread, roughly the
+/// information an OS tick handler has.
+struct ThreadView {
+  int program = 0;               ///< program slot (0 or 1)
+  int rank = 0;                  ///< thread rank within the program
+  sim::LogicalCpu where;         ///< current hardware context
+  double recent_progress = 0;    ///< work completed in the last interval
+};
+
+/// One migration decision.
+struct Migration {
+  int program = 0;
+  int rank = 0;
+  sim::LogicalCpu to;
+};
+
+/// Scheduler policy interface.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Places each program's threads.  @p threads_per_program lists thread
+  /// counts (one entry per program); @p allowed is the configuration's
+  /// hardware-context list in Table-1 order.  Returns one context list per
+  /// program; lists must be disjoint and each of the requested size.
+  [[nodiscard]] virtual std::vector<std::vector<sim::LogicalCpu>> place(
+      const std::vector<int>& threads_per_program,
+      const std::vector<sim::LogicalCpu>& allowed) = 0;
+
+  /// Called between kernel steps with the current thread views; returns
+  /// migrations to apply.  Default: never migrate.
+  [[nodiscard]] virtual std::vector<Migration> rebalance(
+      const std::vector<ThreadView>& threads) {
+    (void)threads;
+    return {};
+  }
+};
+
+/// Cycles a migrated thread pays for the kernel-mode switch (register
+/// state, run-queue surgery); the dominant cost — cold caches — emerges
+/// from the simulation itself.
+inline constexpr double kMigrationPenaltyCycles = 3000.0;
+
+[[nodiscard]] std::unique_ptr<Scheduler> make_pinned_spread();
+[[nodiscard]] std::unique_ptr<Scheduler> make_naive_pack();
+[[nodiscard]] std::unique_ptr<Scheduler> make_random_migrating(
+    double migrate_probability, std::uint64_t seed);
+[[nodiscard]] std::unique_ptr<Scheduler> make_ht_aware();
+/// @param sample_steps steps spent on each candidate placement before the
+///        scheduler locks the best one.
+[[nodiscard]] std::unique_ptr<Scheduler> make_symbiotic(int sample_steps = 2);
+
+}  // namespace paxsim::sched

@@ -1,0 +1,47 @@
+// paxsim/sim/branch.hpp
+//
+// Conditional-branch predictor: gshare pattern-history table of 2-bit
+// saturating counters.  The PHT is a per-core structure shared by both SMT
+// contexts (as on NetBurst), so enabling Hyper-Threading introduces
+// cross-thread aliasing — one of the interference channels the paper
+// observes (CG's data-dependent branches degrade sharply under HT).
+// Each context keeps a private global-history register.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+/// Per-context branch history state.
+struct BranchHistory {
+  std::uint32_t ghr = 0;  ///< global history register (low bits used)
+};
+
+/// gshare predictor with a shared PHT.
+class BranchPredictor {
+ public:
+  /// @param pht_entries  pattern table size (power of two)
+  /// @param history_bits global-history length
+  explicit BranchPredictor(std::size_t pht_entries = 4096,
+                           unsigned history_bits = 12);
+
+  /// Predicts the branch at static site @p site with outcome @p taken under
+  /// the context history @p h, updates the table and history, and returns
+  /// whether the prediction was correct.
+  bool predict_and_update(std::uint32_t site, bool taken, BranchHistory& h) noexcept;
+
+  /// Resets the table to weakly-not-taken and clears nothing else.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t table_size() const noexcept { return pht_.size(); }
+
+ private:
+  std::vector<std::uint8_t> pht_;  // 2-bit counters
+  std::uint32_t mask_;
+  std::uint32_t history_mask_;
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,115 @@
+// paxsim/sim/cache.hpp
+//
+// Generic set-associative cache with true-LRU replacement, writeback /
+// write-allocate policy, MESI-lite line states and a "prefetched" line tag
+// used to credit the hardware prefetcher.  Used for L1D and L2; the trace
+// cache and the TLBs reuse the same structure via thin adapters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+/// MESI-lite coherence state of a cached line.
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+/// Result of a cache probe.
+struct ProbeResult {
+  bool hit = false;          ///< line present
+  bool prefetched = false;   ///< line was brought in by the prefetcher
+  double ready_at = 0;       ///< virtual time the line's data arrives
+                             ///< (an in-flight fill hit must wait for it)
+};
+
+/// A line evicted to make room for a fill.
+struct Eviction {
+  Addr line_addr = 0;  ///< line-aligned byte address
+  bool dirty = false;  ///< needs writeback
+};
+
+/// Set-associative cache.  Addresses are byte addresses; the cache aligns
+/// them internally.  The caller owns all timing; this class is purely
+/// functional state plus hit/miss bookkeeping hooks (the owner counts).
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geom);
+
+  /// Looks up @p addr.  On a hit the line's LRU stamp is refreshed and, if
+  /// @p is_store, the line is upgraded towards kModified (coherence actions
+  /// for other caches are the owner's job — see `needs_upgrade`).
+  ProbeResult probe(Addr addr, bool is_store) noexcept;
+
+  /// True if a store to @p addr requires invalidating remote copies, i.e.
+  /// the line is present but only in kShared state.
+  [[nodiscard]] bool needs_upgrade(Addr addr) const noexcept;
+
+  /// Installs the line containing @p addr with state @p st.  @p ready_at is
+  /// the virtual time the fill data arrives (0 for an immediate fill).
+  /// Returns the eviction performed to make room, if any.
+  std::optional<Eviction> fill(Addr addr, LineState st, bool prefetched,
+                               double ready_at = 0) noexcept;
+
+  /// Removes the line containing @p addr if present; returns true if it was
+  /// dirty (the caller emits the writeback).
+  bool invalidate(Addr addr) noexcept;
+
+  /// Downgrades the line containing @p addr to kShared (remote read snoop).
+  /// Returns true if it was dirty (implicit writeback of the modified data).
+  bool downgrade_to_shared(Addr addr) noexcept;
+
+  /// True if the line containing @p addr is resident.
+  [[nodiscard]] bool contains(Addr addr) const noexcept;
+
+  /// Current state of the line containing @p addr (kInvalid if absent).
+  [[nodiscard]] LineState state_of(Addr addr) const noexcept;
+
+  /// Marks the store-upgrade of a present line to kModified.
+  void upgrade_to_modified(Addr addr) noexcept;
+
+  /// Line-aligned address of @p addr under this cache's geometry.
+  [[nodiscard]] Addr line_of(Addr addr) const noexcept {
+    return addr & ~static_cast<Addr>(line_bytes_ - 1);
+  }
+
+  /// Drops all content (used between trials).
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::size_t line_bytes() const noexcept { return line_bytes_; }
+
+  /// Number of valid lines currently resident (for tests / introspection).
+  [[nodiscard]] std::size_t resident_lines() const noexcept;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t stamp = 0;
+    double ready_at = 0;
+    LineState state = LineState::kInvalid;
+    bool prefetched = false;
+  };
+
+  [[nodiscard]] std::size_t set_index(Addr line_addr) const noexcept {
+    return (line_addr >> line_shift_) & (sets_ - 1);
+  }
+  [[nodiscard]] Addr tag_of(Addr line_addr) const noexcept {
+    return line_addr >> line_shift_;
+  }
+  Line* find(Addr addr) noexcept;
+  const Line* find(Addr addr) const noexcept;
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::size_t line_bytes_;
+  unsigned line_shift_;
+  std::uint64_t clock_ = 0;  // LRU stamp source
+  std::vector<Line> lines_;  // sets_ * ways_, set-major
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,293 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/machine.hpp"
+
+namespace paxsim::sim {
+
+using perf::Event;
+
+// ---------------------------------------------------------------------------
+// HwContext
+// ---------------------------------------------------------------------------
+
+void HwContext::alu(std::uint32_t uops) noexcept {
+  advance_busy(static_cast<double>(uops) * core_->issue_cycles_per_uop());
+  counters_->add(Event::kInstructions, uops);
+}
+
+void HwContext::load(Addr addr, Dep dep) noexcept {
+  advance_busy(core_->issue_cycles_per_uop());
+  counters_->add(Event::kInstructions, 1);
+  const double stall = core_->access_memory(*this, addr, /*is_store=*/false, dep);
+  now_ += stall;
+  stall_mem_ += stall;
+}
+
+void HwContext::store(Addr addr, Dep dep) noexcept {
+  advance_busy(core_->issue_cycles_per_uop());
+  counters_->add(Event::kInstructions, 1);
+  const double stall = core_->access_memory(*this, addr, /*is_store=*/true, dep);
+  now_ += stall;
+  stall_mem_ += stall;
+}
+
+void HwContext::branch(std::uint32_t site, bool taken) noexcept {
+  advance_busy(core_->issue_cycles_per_uop());
+  counters_->add(Event::kInstructions, 1);
+  counters_->add(Event::kBranches, 1);
+  const bool correct = core_->predictor_.predict_and_update(site, taken, history_);
+  if (!correct) {
+    counters_->add(Event::kBranchMispredicts, 1);
+    const double penalty = static_cast<double>(core_->params_->mispredict_penalty);
+    now_ += penalty;
+    stall_branch_ += penalty;
+  }
+}
+
+void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
+  const MachineParams& p = *core_->params_;
+  counters_->add(Event::kItlbReferences, 1);
+  const Addr code_addr = code_base_ + static_cast<Addr>(block) * p.code_block_bytes;
+  if (!core_->itlb_.access(code_addr)) {
+    counters_->add(Event::kItlbMisses, 1);
+    const double walk = static_cast<double>(p.tlb_walk_penalty);
+    now_ += walk;
+    stall_tlb_ += walk;
+  }
+  // NetBurst statically splits the trace cache between contexts in MT mode.
+  const int partition =
+      (core_->active_contexts_ > 1 && p.trace_mt_static_partition)
+          ? id_.context
+          : -1;
+  const TraceFetch tf =
+      core_->trace_cache_.fetch(code_base_, block, uops, partition);
+  counters_->add(Event::kTraceCacheReferences, tf.lines_referenced);
+  if (tf.lines_missed != 0) {
+    counters_->add(Event::kTraceCacheMisses, tf.lines_missed);
+    const double decode =
+        static_cast<double>(tf.lines_missed) * static_cast<double>(p.trace_miss_penalty);
+    now_ += decode;
+    stall_fe_ += decode;
+  }
+}
+
+void HwContext::flush_accumulators() noexcept {
+  if (counters_ == nullptr) return;
+  const double total = busy_ + stall_mem_ + stall_branch_ + stall_tlb_ + stall_fe_;
+  executed_total_ += total;
+  counters_->add(Event::kCycles, static_cast<std::uint64_t>(std::llround(total)));
+  counters_->add(Event::kStallCyclesMemory,
+                 static_cast<std::uint64_t>(std::llround(stall_mem_)));
+  counters_->add(Event::kStallCyclesBranch,
+                 static_cast<std::uint64_t>(std::llround(stall_branch_)));
+  counters_->add(Event::kStallCyclesTlb,
+                 static_cast<std::uint64_t>(std::llround(stall_tlb_)));
+  counters_->add(Event::kStallCyclesFrontend,
+                 static_cast<std::uint64_t>(std::llround(stall_fe_)));
+  busy_ = stall_mem_ = stall_branch_ = stall_tlb_ = stall_fe_ = 0;
+}
+
+void HwContext::reset() noexcept {
+  now_ = 0;
+  busy_ = stall_mem_ = stall_branch_ = stall_tlb_ = stall_fe_ = 0;
+  executed_total_ = 0;
+  history_ = BranchHistory{};
+  counters_ = nullptr;
+  code_base_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------------
+
+Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
+    : params_(&p),
+      machine_(machine),
+      chip_idx_(chip_idx),
+      core_idx_(core_idx),
+      l1d_(p.l1d),
+      l2_(p.l2),
+      trace_cache_(p.trace_cache_uops, p.trace_uops_per_line, p.trace_cache_ways),
+      itlb_(p.itlb_entries, p.itlb_ways, p.page_bytes),
+      dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
+      predictor_(),
+      prefetcher_(p) {
+  for (int i = 0; i < 2; ++i) {
+    contexts_[i].core_ = this;
+    contexts_[i].id_ = LogicalCpu{static_cast<std::uint8_t>(chip_idx),
+                                  static_cast<std::uint8_t>(core_idx),
+                                  static_cast<std::uint8_t>(i)};
+  }
+}
+
+double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
+                           Dep dep) noexcept {
+  const MachineParams& p = *params_;
+  perf::CounterSet& c = *ctx.counters_;
+
+  // --- DTLB ------------------------------------------------------------------
+  c.add(Event::kDtlbReferences, 1);
+  double stall = 0;
+  if (!dtlb_.access(addr)) {
+    c.add(is_store ? Event::kDtlbStoreMisses : Event::kDtlbLoadMisses, 1);
+    // Page walks are charged to the TLB stall class directly on the context.
+    const double walk = static_cast<double>(p.tlb_walk_penalty);
+    ctx.now_ += walk;
+    ctx.stall_tlb_ += walk;
+  }
+
+  // --- L1D --------------------------------------------------------------------
+  c.add(Event::kL1dReferences, 1);
+  const Addr line = l1d_.line_of(addr);
+  const ProbeResult l1 = l1d_.probe(addr, is_store);
+  double latency = 0;    // load-to-use latency of the level that served us
+  double hard_wait = 0;  // in-flight fill arrival wait (not overlappable)
+  if (l1.hit) {
+    latency = static_cast<double>(p.l1_latency);
+    if (is_store && l1d_.needs_upgrade(addr)) {
+      machine_->store_upgrade(global_id(), line, ctx);
+      l1d_.upgrade_to_modified(addr);
+      l2_.upgrade_to_modified(addr);
+      latency += static_cast<double>(p.l2_latency);  // snoop round-trip
+    }
+  } else {
+    c.add(Event::kL1dMisses, 1);
+    // --- L2 -------------------------------------------------------------------
+    c.add(Event::kL2References, 1);
+    const ProbeResult l2 = l2_.probe(addr, is_store);
+    if (l2.hit) {
+      if (l2.prefetched) {
+        c.add(Event::kPrefetchesUseful, 1);
+        // A demand hit on a prefetched line confirms the stream: keep it
+        // running (real stream engines advance on prefetch hits, otherwise
+        // a perfectly covered stream would starve its own detector).
+        issue_prefetches(ctx, l2_.line_of(addr));
+      }
+      latency = static_cast<double>(p.l2_latency);
+      // A hit on an in-flight fill waits for the data to land.  The wait is
+      // a hard arrival constraint — charged in full, not scaled by the
+      // overlap factor — which is what throttles an eager prefetcher to the
+      // memory controller's service rate instead of conjuring bandwidth.
+      if (l2.ready_at > ctx.now_) hard_wait = l2.ready_at - ctx.now_;
+      if (is_store && l2_.needs_upgrade(addr)) {
+        machine_->store_upgrade(global_id(), line, ctx);
+        l2_.upgrade_to_modified(addr);
+        latency += static_cast<double>(p.l2_latency);
+      }
+    } else {
+      c.add(Event::kL2Misses, 1);
+      latency = resolve_l2_miss(ctx, line, is_store);
+    }
+    // Fill L1 (evictions write through to the L2, on-chip, no bus traffic).
+    // The L1 state must mirror the L2's sharing: caching a remotely-shared
+    // line as Exclusive in L1 would let a later store skip the remote
+    // invalidation (caught by the coherence fuzz suite).
+    const LineState l1_state =
+        is_store ? LineState::kModified
+                 : (l2_.state_of(addr) == LineState::kShared
+                        ? LineState::kShared
+                        : LineState::kExclusive);
+    if (auto ev = l1d_.fill(addr, l1_state, false); ev && ev->dirty) {
+      if (l2_.contains(ev->line_addr)) {
+        l2_.upgrade_to_modified(ev->line_addr);
+      } else {
+        fill_l2(ctx, ev->line_addr, /*is_store=*/true, /*prefetched=*/false);
+      }
+    }
+  }
+
+  // --- exposure of the latency ------------------------------------------------
+  const double issue = issue_cycles_per_uop();
+  if (dep == Dep::kChained) {
+    stall += std::max(0.0, latency + hard_wait - issue);
+  } else {
+    stall += hard_wait;
+    // MT mode halves the per-thread load/store-buffer and ROB share
+    // (NetBurst static partitioning), so less of an independent miss's
+    // latency can be hidden.
+    const bool mt = active_contexts_ > 1;
+    const double store_ov = mt ? p.mt_store_overlap : p.store_overlap;
+    if (latency >= static_cast<double>(p.mem_latency)) {
+      stall += latency * (is_store ? store_ov
+                                   : (mt ? p.mt_mem_overlap : p.mem_overlap));
+    } else if (latency > static_cast<double>(p.l1_latency)) {
+      stall += latency * (is_store ? store_ov
+                                   : (mt ? p.mt_l2_overlap : p.l2_overlap));
+    }
+    // Independent L1 hits are fully pipelined: no exposed stall.
+  }
+  return stall;
+}
+
+double Core::resolve_l2_miss(HwContext& ctx, Addr line_addr, bool is_store) noexcept {
+  perf::CounterSet& c = *ctx.counters_;
+  c.add(Event::kBusTransactions, 1);
+  c.add(Event::kBusReads, 1);
+  const double latency = machine_->bus(chip_idx_).read(ctx.now_);
+  fill_l2(ctx, line_addr, is_store, /*prefetched=*/false, ctx.now_ + latency);
+  issue_prefetches(ctx, line_addr);
+  return latency;
+}
+
+void Core::fill_l2(HwContext& ctx, Addr line_addr, bool is_store,
+                   bool prefetched, double ready_at) noexcept {
+  const LineState st =
+      machine_->coherent_fill(global_id(), line_addr, is_store, ctx);
+  if (auto ev = l2_.fill(line_addr, st, prefetched, ready_at)) {
+    machine_->on_l2_evict(global_id(), ev->line_addr);
+    // Keep L1 inclusive: a line leaving the L2 leaves the L1 too.
+    l1d_.invalidate(ev->line_addr);
+    if (ev->dirty) {
+      perf::CounterSet& c = *ctx.counters_;
+      c.add(Event::kBusTransactions, 1);
+      c.add(Event::kBusWrites, 1);
+      machine_->bus(chip_idx_).write(ctx.now_);
+    }
+  }
+}
+
+void Core::issue_prefetches(HwContext& ctx, Addr line_addr) noexcept {
+  const MachineParams& p = *params_;
+  prefetch_buffer_.clear();
+  prefetcher_.on_demand_miss(line_addr, prefetch_buffer_);
+  if (prefetch_buffer_.empty()) return;
+  FrontSideBus& bus = machine_->bus(chip_idx_);
+  if (bus.utilization(ctx.now_) > p.prefetch_bus_threshold) return;
+  perf::CounterSet& c = *ctx.counters_;
+  for (const PrefetchRequest& req : prefetch_buffer_) {
+    if (l2_.contains(req.line_addr)) continue;
+    c.add(Event::kPrefetchesIssued, 1);
+    c.add(Event::kBusTransactions, 1);
+    c.add(Event::kBusPrefetches, 1);
+    const double lat = bus.read(ctx.now_);  // occupies bus + controller
+    fill_l2(ctx, req.line_addr, /*is_store=*/false, /*prefetched=*/true,
+            ctx.now_ + lat);
+  }
+}
+
+bool Core::invalidate_line(Addr line_addr) noexcept {
+  l1d_.invalidate(line_addr);
+  return l2_.invalidate(line_addr);
+}
+
+bool Core::downgrade_line(Addr line_addr) noexcept {
+  l1d_.downgrade_to_shared(line_addr);
+  return l2_.downgrade_to_shared(line_addr);
+}
+
+void Core::reset() noexcept {
+  l1d_.reset();
+  l2_.reset();
+  trace_cache_.reset();
+  itlb_.reset();
+  dtlb_.reset();
+  predictor_.reset();
+  prefetcher_.reset();
+  for (auto& ctx : contexts_) ctx.reset();
+  active_contexts_ = 1;
+}
+
+}  // namespace paxsim::sim

@@ -1,0 +1,208 @@
+// paxsim/sim/core.hpp
+//
+// One physical core of the Paxville package, with its two SMT hardware
+// contexts.  Per-core (shared by both contexts): L1D, private L2, trace
+// cache, ITLB, DTLB, branch-predictor pattern table, execution units and the
+// stream prefetcher.  Per-context (architectural): the virtual clock, stall
+// accounting, branch history, and the binding to a program's counter set.
+//
+// Timing model
+// ------------
+//   * Issue: every uop costs `cycles_per_uop`, stretched by
+//     `smt_issue_stretch` while both contexts of the core are active — the
+//     Hyper-Threading execution-unit sharing penalty.
+//   * Loads: a chained (pointer-chase) load exposes the full load-to-use
+//     latency of the level it hits in; an independent load exposes only the
+//     `*_overlap` fraction (the out-of-order window hides the rest).
+//   * Stores: write-allocate; miss latency weighted by `store_overlap`
+//     (store buffer).  Dirty evictions post writebacks on the package bus.
+//   * Branch mispredicts, TLB walks and trace-cache rebuild each charge
+//     their own stall category, so "% stalled" decomposes exactly as the
+//     paper's PMU data does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "sim/branch.hpp"
+#include "sim/cache.hpp"
+#include "sim/params.hpp"
+#include "sim/prefetcher.hpp"
+#include "sim/tlb.hpp"
+#include "sim/trace_cache.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+class Core;
+class Machine;
+
+/// One SMT hardware context (a "logical processor" in the paper's Figure 1).
+/// This is the handle instrumented kernels execute against.
+class HwContext {
+ public:
+  HwContext() = default;
+
+  /// Binds this context to a program: all events are charged to
+  /// @p counters and code addresses are based at @p code_base.
+  void bind(perf::CounterSet* counters, Addr code_base) noexcept {
+    counters_ = counters;
+    code_base_ = code_base;
+  }
+
+  /// True if a program is currently bound.
+  [[nodiscard]] bool bound() const noexcept { return counters_ != nullptr; }
+
+  /// Virtual time of this context, in (fractional) core cycles.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Jumps the clock forward (barrier release, region join).  Time skipped
+  /// this way is idle, not execution, and is not charged to any counter.
+  void set_now(double t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  /// Executes @p uops ALU/FP uops.
+  void alu(std::uint32_t uops) noexcept;
+
+  /// Executes one load of the word at @p addr.
+  void load(Addr addr, Dep dep = Dep::kIndependent) noexcept;
+
+  /// Executes one store to the word at @p addr.
+  void store(Addr addr, Dep dep = Dep::kIndependent) noexcept;
+
+  /// Executes one conditional branch at static site @p site with outcome
+  /// @p taken.
+  void branch(std::uint32_t site, bool taken) noexcept;
+
+  /// Front-end fetch of static code block @p block (@p uops decoded uops)
+  /// through the trace cache and ITLB.  Call once per dynamic execution of
+  /// the block; the uops themselves are charged by alu()/load()/store().
+  void exec_block(BlockId block, std::uint32_t uops) noexcept;
+
+  /// Folds the fractional busy/stall accumulators into the bound counter
+  /// set (kCycles and the four stall categories).  The runtime calls this at
+  /// the end of every parallel region and at program completion.
+  void flush_accumulators() noexcept;
+
+  /// This context's position in the machine.
+  [[nodiscard]] LogicalCpu id() const noexcept { return id_; }
+
+  /// The core this context belongs to.
+  [[nodiscard]] Core& core() const noexcept { return *core_; }
+
+  /// Cycles of pure execution (busy + stalls) since the last reset, i.e.
+  /// excluding idle time introduced by set_now().
+  [[nodiscard]] double execution_cycles() const noexcept {
+    return executed_total_;
+  }
+
+  /// Charges @p cycles of operating-system overhead (context-switch cost on
+  /// migration): time passes and counts as busy execution, but retires no
+  /// instructions — OS overhead inflates CPI, as on real hardware.
+  void os_overhead(double cycles) noexcept { advance_busy(cycles); }
+
+  /// Clears clock, accumulators and branch history (new trial).
+  void reset() noexcept;
+
+ private:
+  friend class Core;
+  friend class Machine;
+
+  void advance_busy(double c) noexcept {
+    now_ += c;
+    busy_ += c;
+  }
+
+  Core* core_ = nullptr;
+  LogicalCpu id_{};
+  perf::CounterSet* counters_ = nullptr;
+  Addr code_base_ = 0;
+  BranchHistory history_{};
+
+  double now_ = 0;
+  double busy_ = 0;
+  double stall_mem_ = 0;
+  double stall_branch_ = 0;
+  double stall_tlb_ = 0;
+  double stall_fe_ = 0;
+  double executed_total_ = 0;
+};
+
+/// One physical core and its shared structures.
+class Core {
+ public:
+  Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// The hardware context @p i (0 or 1).
+  [[nodiscard]] HwContext& context(int i) noexcept { return contexts_[i]; }
+
+  /// Declares how many contexts of this core are actively running threads
+  /// in the current region (1 or 2).  Set by the runtime; drives the SMT
+  /// issue-sharing stretch.
+  void set_active_contexts(int n) noexcept { active_contexts_ = n; }
+  [[nodiscard]] int active_contexts() const noexcept { return active_contexts_; }
+
+  /// Issue cost of one uop on one context under the current SMT activity.
+  [[nodiscard]] double issue_cycles_per_uop() const noexcept {
+    return active_contexts_ > 1 ? params_->cycles_per_uop * params_->smt_issue_stretch
+                                : params_->cycles_per_uop;
+  }
+
+  /// Global core id (0..3) used by the coherence directory.
+  [[nodiscard]] int global_id() const noexcept {
+    return chip_idx_ * params_->cores_per_chip + core_idx_;
+  }
+  [[nodiscard]] int chip_index() const noexcept { return chip_idx_; }
+
+  /// Coherence entry points (called by Machine on behalf of remote cores).
+  /// Invalidates the line from L1 and L2; returns true if L2 copy was dirty.
+  bool invalidate_line(Addr line_addr) noexcept;
+  /// Downgrades the L2 copy to shared; returns true if it was dirty.
+  bool downgrade_line(Addr line_addr) noexcept;
+
+  /// Cold restart (new trial): clears caches, TLBs, predictor, prefetcher
+  /// and both contexts.
+  void reset() noexcept;
+
+  // Introspection for tests.
+  [[nodiscard]] const SetAssocCache& l1d() const noexcept { return l1d_; }
+  [[nodiscard]] const SetAssocCache& l2() const noexcept { return l2_; }
+
+ private:
+  friend class HwContext;
+
+  /// Shared load/store path; returns the exposed stall cycles.
+  double access_memory(HwContext& ctx, Addr addr, bool is_store, Dep dep) noexcept;
+  /// Resolves an L2 miss: bus read, coherent fill, eviction writeback,
+  /// prefetch issue.  Returns load-to-use latency.
+  double resolve_l2_miss(HwContext& ctx, Addr line_addr, bool is_store) noexcept;
+  /// Installs @p line_addr into L2 with coherence, handling the eviction.
+  /// @p ready_at is the virtual time the fill data arrives.
+  void fill_l2(HwContext& ctx, Addr line_addr, bool is_store, bool prefetched,
+               double ready_at = 0) noexcept;
+  void issue_prefetches(HwContext& ctx, Addr line_addr) noexcept;
+
+  const MachineParams* params_;
+  Machine* machine_;
+  int chip_idx_;
+  int core_idx_;
+
+  SetAssocCache l1d_;
+  SetAssocCache l2_;
+  TraceCache trace_cache_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  BranchPredictor predictor_;
+  StreamPrefetcher prefetcher_;
+  std::vector<PrefetchRequest> prefetch_buffer_;
+  std::array<HwContext, 2> contexts_;
+  int active_contexts_ = 1;
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,99 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace paxsim::sim {
+
+using perf::Event;
+
+Machine::Machine(const MachineParams& p) : params_(p), mc_(p) {
+  buses_.reserve(static_cast<std::size_t>(p.chips));
+  for (int c = 0; c < p.chips; ++c) buses_.emplace_back(params_, &mc_);
+  cores_.reserve(static_cast<std::size_t>(p.total_cores()));
+  for (int chip = 0; chip < p.chips; ++chip) {
+    for (int core = 0; core < p.cores_per_chip; ++core) {
+      cores_.push_back(std::make_unique<Core>(params_, this, chip, core));
+    }
+  }
+}
+
+double Machine::wall_time() const noexcept {
+  double t = 0;
+  for (const auto& c : cores_) {
+    for (int i = 0; i < 2; ++i) {
+      t = std::max(t, const_cast<Core&>(*c).context(i).now());
+    }
+  }
+  return t;
+}
+
+void Machine::reset() noexcept {
+  mc_.reset();
+  for (auto& b : buses_) b.reset();
+  for (auto& c : cores_) c->reset();
+  directory_.clear();
+}
+
+LineState Machine::coherent_fill(int filler_core, Addr line_addr, bool is_store,
+                                 HwContext& ctx) noexcept {
+  std::uint8_t& holders = directory_[line_addr];
+  const std::uint8_t self = static_cast<std::uint8_t>(1u << filler_core);
+  const std::uint8_t others = static_cast<std::uint8_t>(holders & ~self);
+  LineState st;
+  if (is_store) {
+    // Read-for-ownership: every remote copy dies.
+    for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
+      if ((others & (1u << c)) == 0) continue;
+      ctx.counters_->add(Event::kL2Invalidations, 1);
+      if (cores_[c]->invalidate_line(line_addr)) {
+        // Dirty remote copy: implicit writeback on the remote package's bus.
+        ctx.counters_->add(Event::kBusTransactions, 1);
+        ctx.counters_->add(Event::kBusWrites, 1);
+        buses_[cores_[c]->chip_index()].write(ctx.now());
+      }
+    }
+    holders = self;
+    st = LineState::kModified;
+  } else {
+    for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
+      if ((others & (1u << c)) == 0) continue;
+      if (cores_[c]->downgrade_line(line_addr)) {
+        ctx.counters_->add(Event::kBusTransactions, 1);
+        ctx.counters_->add(Event::kBusWrites, 1);
+        buses_[cores_[c]->chip_index()].write(ctx.now());
+      }
+    }
+    st = others != 0 ? LineState::kShared : LineState::kExclusive;
+    holders = static_cast<std::uint8_t>(holders | self);
+  }
+  return st;
+}
+
+void Machine::on_l2_evict(int core_id, Addr line_addr) noexcept {
+  auto it = directory_.find(line_addr);
+  if (it == directory_.end()) return;
+  it->second = static_cast<std::uint8_t>(it->second & ~(1u << core_id));
+  if (it->second == 0) directory_.erase(it);
+}
+
+void Machine::store_upgrade(int core_id, Addr line_addr, HwContext& ctx) noexcept {
+  std::uint8_t& holders = directory_[line_addr];
+  const std::uint8_t self = static_cast<std::uint8_t>(1u << core_id);
+  for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
+    if (c == core_id || (holders & (1u << c)) == 0) continue;
+    ctx.counters_->add(Event::kL2Invalidations, 1);
+    if (cores_[c]->invalidate_line(line_addr)) {
+      ctx.counters_->add(Event::kBusTransactions, 1);
+      ctx.counters_->add(Event::kBusWrites, 1);
+      buses_[cores_[c]->chip_index()].write(ctx.now());
+    }
+  }
+  holders = self;
+}
+
+unsigned Machine::holders_of(Addr line_addr) const noexcept {
+  const auto it = directory_.find(line_addr);
+  return it == directory_.end() ? 0u : it->second;
+}
+
+}  // namespace paxsim::sim

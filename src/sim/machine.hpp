@@ -1,0 +1,116 @@
+// paxsim/sim/machine.hpp
+//
+// The whole platform: two packages ("chips"), each with two cores and its
+// own front-side bus, behind one shared memory controller; plus the
+// coherence directory that keeps the four private L2s consistent.
+//
+// The Machine is constructed from MachineParams and is reusable across
+// trials via reset().  Hardware-context enablement (HT on/off, the kernel's
+// `maxcpus=` masking of Table 1) is a property of the *study configuration*,
+// not the machine: the harness simply binds threads only to allowed
+// contexts.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/memsys.hpp"
+#include "sim/params.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+/// Per-program bump allocator carving disjoint regions out of the simulated
+/// physical address space, so that co-scheduled programs interfere in the
+/// caches exactly as distinct working sets do (and never falsely share).
+class AddressSpace {
+ public:
+  /// @param program_index  0-based program slot; each slot owns a 1-TiB
+  ///        window of the simulated address space.
+  explicit AddressSpace(int program_index)
+      : base_((static_cast<Addr>(program_index) + 1) << 40), next_(base_) {}
+
+  /// Allocates @p bytes aligned to @p align (power of two), never freed.
+  [[nodiscard]] Addr alloc(std::size_t bytes, std::size_t align = 64) noexcept {
+    next_ = (next_ + (align - 1)) & ~static_cast<Addr>(align - 1);
+    const Addr a = next_;
+    next_ += bytes;
+    return a;
+  }
+
+  /// Base address of this program's code segment (for the trace cache and
+  /// ITLB model), disjoint from the data window.
+  [[nodiscard]] Addr code_base() const noexcept {
+    return base_ + (static_cast<Addr>(1) << 39);
+  }
+
+  [[nodiscard]] Addr data_base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return static_cast<std::size_t>(next_ - base_);
+  }
+
+ private:
+  Addr base_;
+  Addr next_;
+};
+
+/// The two-package dual-core Hyper-Threaded SMP.
+class Machine {
+ public:
+  explicit Machine(const MachineParams& p);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineParams& params() const noexcept { return params_; }
+
+  /// Hardware context at topology position @p cpu.
+  [[nodiscard]] HwContext& context(LogicalCpu cpu) noexcept {
+    return core(cpu.chip, cpu.core).context(cpu.context);
+  }
+
+  /// Core @p core_idx of chip @p chip_idx.
+  [[nodiscard]] Core& core(int chip_idx, int core_idx) noexcept {
+    return *cores_[chip_idx * params_.cores_per_chip + core_idx];
+  }
+  [[nodiscard]] Core& core_by_id(int global_id) noexcept {
+    return *cores_[global_id];
+  }
+
+  [[nodiscard]] FrontSideBus& bus(int chip_idx) noexcept {
+    return buses_[chip_idx];
+  }
+  [[nodiscard]] MemoryController& controller() noexcept { return mc_; }
+
+  /// Wall-clock virtual time: max clock over all contexts.
+  [[nodiscard]] double wall_time() const noexcept;
+
+  /// Cold restart for a new trial: caches, TLBs, predictors, buses,
+  /// directory and context clocks all cleared.
+  void reset() noexcept;
+
+  // ---- coherence (called by Core) -----------------------------------------
+  /// Computes the MESI state for a fill of @p line_addr into @p filler_core,
+  /// performing remote downgrades/invalidations.  @p ctx is the requester
+  /// (events such as remote writebacks are charged to it).
+  LineState coherent_fill(int filler_core, Addr line_addr, bool is_store,
+                          HwContext& ctx) noexcept;
+  /// Records that @p core_id no longer holds @p line_addr in its L2.
+  void on_l2_evict(int core_id, Addr line_addr) noexcept;
+  /// Store hit on a Shared line: invalidate all remote copies.
+  void store_upgrade(int core_id, Addr line_addr, HwContext& ctx) noexcept;
+
+  /// Directory introspection (tests): bitmask of cores holding @p line.
+  [[nodiscard]] unsigned holders_of(Addr line_addr) const noexcept;
+
+ private:
+  MachineParams params_;
+  MemoryController mc_;
+  std::vector<FrontSideBus> buses_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unordered_map<Addr, std::uint8_t> directory_;
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,30 @@
+#include "sim/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paxsim::sim {
+namespace {
+
+std::size_t scale_down(std::size_t v, double factor, std::size_t floor_v) {
+  const double scaled = static_cast<double>(v) / factor;
+  std::size_t out = 1;
+  while (out * 2 <= static_cast<std::size_t>(scaled)) out *= 2;  // round to pow2
+  return std::max(out, floor_v);
+}
+
+}  // namespace
+
+MachineParams MachineParams::scaled(double factor) const {
+  MachineParams p = *this;
+  if (factor <= 1.0) return p;
+  p.l1d.size_bytes = scale_down(l1d.size_bytes, factor, l1d.line_bytes * l1d.ways);
+  p.l2.size_bytes = scale_down(l2.size_bytes, factor, l2.line_bytes * l2.ways);
+  p.trace_cache_uops = scale_down(trace_cache_uops, factor,
+                                  trace_uops_per_line * trace_cache_ways);
+  p.itlb_entries = scale_down(itlb_entries, factor, itlb_ways);
+  p.dtlb_entries = scale_down(dtlb_entries, factor, dtlb_ways);
+  return p;
+}
+
+}  // namespace paxsim::sim

@@ -1,0 +1,54 @@
+#include "sim/prefetcher.hpp"
+
+#include <cstdlib>
+
+namespace paxsim::sim {
+
+void StreamPrefetcher::on_demand_miss(Addr line_addr,
+                                      std::vector<PrefetchRequest>& out) {
+  ++tick_;
+  const std::int64_t window = 8 * line_bytes_;  // stream-association window
+
+  // 1. Exact continuation of an armed stream?
+  for (auto& s : streams_) {
+    if (!s.valid || s.stride == 0) continue;
+    if (static_cast<std::int64_t>(line_addr) -
+            static_cast<std::int64_t>(s.last_line) == s.stride) {
+      s.last_line = line_addr;
+      s.last_use = tick_;
+      if (++s.hits >= trigger_) {
+        for (int d = 1; d <= depth_; ++d) {
+          out.push_back(PrefetchRequest{
+              static_cast<Addr>(static_cast<std::int64_t>(line_addr) +
+                                s.stride * d)});
+        }
+      }
+      return;
+    }
+  }
+  // 2. Near an existing stream head: re-learn its stride.
+  for (auto& s : streams_) {
+    if (!s.valid) continue;
+    const std::int64_t delta = static_cast<std::int64_t>(line_addr) -
+                               static_cast<std::int64_t>(s.last_line);
+    if (delta != 0 && std::llabs(delta) <= window) {
+      s.stride = delta;
+      s.last_line = line_addr;
+      s.hits = 1;
+      s.last_use = tick_;
+      return;
+    }
+  }
+  // 3. Allocate the least-recently-used stream slot.
+  Stream* victim = &streams_[0];
+  for (auto& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (s.last_use < victim->last_use) victim = &s;
+  }
+  *victim = Stream{true, line_addr, 0, 0, tick_};
+}
+
+}  // namespace paxsim::sim

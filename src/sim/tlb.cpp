@@ -1,0 +1,26 @@
+#include "sim/tlb.hpp"
+
+#include <algorithm>
+
+namespace paxsim::sim {
+namespace {
+
+CacheGeometry tlb_geometry(std::size_t entries, std::size_t ways,
+                           std::size_t page_bytes) {
+  ways = std::min(ways, entries);
+  // Entries and ways are powers of two by construction of MachineParams.
+  return CacheGeometry{entries * page_bytes, page_bytes, ways};
+}
+
+}  // namespace
+
+Tlb::Tlb(std::size_t entries, std::size_t ways, std::size_t page_bytes)
+    : cache_(tlb_geometry(entries, ways, page_bytes)) {}
+
+bool Tlb::access(Addr addr) noexcept {
+  if (cache_.probe(addr, /*is_store=*/false).hit) return true;
+  cache_.fill(addr, LineState::kExclusive, /*prefetched=*/false);
+  return false;
+}
+
+}  // namespace paxsim::sim

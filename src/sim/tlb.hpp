@@ -1,0 +1,40 @@
+// paxsim/sim/tlb.hpp
+//
+// Instruction and data TLB models.  A TLB is a set-associative cache of page
+// translations; we reuse SetAssocCache keyed on page-aligned addresses.
+// Misses cost a fixed page-walk penalty charged by the core.
+#pragma once
+
+#include "sim/cache.hpp"
+#include "sim/params.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+/// A translation lookaside buffer.  Shared between the two SMT contexts of a
+/// core (as on the Xeon), so cross-thread translation pressure is emergent.
+class Tlb {
+ public:
+  /// @param entries  total translations held
+  /// @param ways     associativity (clamped to `entries`)
+  /// @param page_bytes page size; must be a power of two
+  Tlb(std::size_t entries, std::size_t ways, std::size_t page_bytes);
+
+  /// Looks up the page of @p addr; inserts it on miss. Returns true on hit.
+  bool access(Addr addr) noexcept;
+
+  /// Drops all translations.
+  void reset() noexcept { cache_.reset(); }
+
+  [[nodiscard]] std::size_t entries() const noexcept {
+    return cache_.sets() * cache_.ways();
+  }
+  [[nodiscard]] std::size_t page_bytes() const noexcept {
+    return cache_.line_bytes();
+  }
+
+ private:
+  SetAssocCache cache_;
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,60 @@
+#include "sim/trace_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxsim::sim {
+namespace {
+
+constexpr std::size_t kTraceKeyBytes = 64;  // synthetic address stride per line
+
+CacheGeometry trace_geometry(std::size_t capacity_uops,
+                             std::size_t uops_per_line, std::size_t ways) {
+  std::size_t lines = capacity_uops / uops_per_line;
+  // Round line count down to a power of two so the set math stays exact.
+  std::size_t p = 1;
+  while (p * 2 <= lines) p *= 2;
+  lines = std::max<std::size_t>(p, ways);
+  return CacheGeometry{lines * kTraceKeyBytes, kTraceKeyBytes, ways};
+}
+
+}  // namespace
+
+TraceCache::TraceCache(std::size_t capacity_uops, std::size_t uops_per_line,
+                       std::size_t ways)
+    : capacity_uops_(capacity_uops),
+      uops_per_line_(uops_per_line),
+      full_(trace_geometry(capacity_uops, uops_per_line, ways)),
+      half_{SetAssocCache(trace_geometry(capacity_uops / 2, uops_per_line,
+                                         std::max<std::size_t>(1, ways / 2))),
+            SetAssocCache(trace_geometry(capacity_uops / 2, uops_per_line,
+                                         std::max<std::size_t>(1, ways / 2)))} {
+  assert(uops_per_line_ > 0);
+}
+
+TraceFetch TraceCache::fetch(Addr code_base, BlockId block, std::uint32_t uops,
+                             int partition) noexcept {
+  SetAssocCache& cache_ =
+      partition < 0 ? full_ : half_[partition & 1];
+  const std::uint32_t n_lines =
+      std::max<std::uint32_t>(1, (uops + static_cast<std::uint32_t>(uops_per_line_) - 1) /
+                                     static_cast<std::uint32_t>(uops_per_line_));
+  // Each (program, block, line) tuple gets a distinct synthetic key
+  // address.  The per-block stride is a prime number of lines so block
+  // starts spread across the sets (a power-of-two stride would alias every
+  // block's i-th line into the same set and thrash spuriously).
+  const Addr base_key =
+      code_base + static_cast<Addr>(block) * 67 * kTraceKeyBytes;
+  TraceFetch out;
+  out.lines_referenced = n_lines;
+  for (std::uint32_t i = 0; i < n_lines; ++i) {
+    const Addr key = base_key + static_cast<Addr>(i) * kTraceKeyBytes;
+    if (!cache_.probe(key, /*is_store=*/false).hit) {
+      ++out.lines_missed;
+      cache_.fill(key, LineState::kExclusive, /*prefetched=*/false);
+    }
+  }
+  return out;
+}
+
+}  // namespace paxsim::sim

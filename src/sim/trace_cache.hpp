@@ -1,0 +1,66 @@
+// paxsim/sim/trace_cache.hpp
+//
+// Execution trace cache model (the NetBurst front-end).  Decoded uops are
+// stored as fixed-size "trace lines"; a static code block of U uops occupies
+// ceil(U / uops_per_line) consecutive trace lines.  The structure is shared
+// by both SMT contexts of a core, so two threads executing disjoint code
+// (e.g. two different programs in the multi-program study) evict each
+// other's traces — the trace-cache interference channel identified in the
+// authors' earlier IOSCA'05 work and revisited in this paper.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.hpp"
+#include "sim/params.hpp"
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+/// Outcome of fetching one code block through the trace cache.
+struct TraceFetch {
+  std::uint32_t lines_referenced = 0;  ///< trace lines looked up
+  std::uint32_t lines_missed = 0;      ///< trace lines rebuilt via decode
+};
+
+/// Trace cache: a set-associative cache whose "addresses" are synthesized
+/// from (program code base, block id, trace line index).
+///
+/// NetBurst statically partitions the trace cache in MT mode: when both
+/// SMT contexts of the core are active, each fetches from its own half.
+/// The partitions are modelled as two persistent half-size caches beside
+/// the full-size one, so alternating between ST and MT phases behaves like
+/// the hardware's partition/recombine (warm state per mode survives).
+class TraceCache {
+ public:
+  TraceCache(std::size_t capacity_uops, std::size_t uops_per_line,
+             std::size_t ways);
+
+  /// Fetches the block @p block (with static size @p uops) belonging to the
+  /// program whose code segment starts at @p code_base.
+  /// @param partition  -1 for single-threaded mode (full capacity); 0 or 1
+  ///        for the fetching context's half in MT mode.
+  TraceFetch fetch(Addr code_base, BlockId block, std::uint32_t uops,
+                   int partition = -1) noexcept;
+
+  void reset() noexcept {
+    full_.reset();
+    half_[0].reset();
+    half_[1].reset();
+  }
+
+  [[nodiscard]] std::size_t capacity_uops() const noexcept {
+    return capacity_uops_;
+  }
+  [[nodiscard]] std::size_t uops_per_line() const noexcept {
+    return uops_per_line_;
+  }
+
+ private:
+  std::size_t capacity_uops_;
+  std::size_t uops_per_line_;
+  SetAssocCache full_;
+  SetAssocCache half_[2];
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,61 @@
+// paxsim/sim/types.hpp
+//
+// Fundamental vocabulary types of the machine model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paxsim::sim {
+
+/// Virtual time, in core clock cycles (2.8 GHz in the calibrated machine).
+using Cycle = std::uint64_t;
+
+/// A byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Identifier of a static code block (loop body, function) used by the
+/// trace-cache and ITLB front-end model.  Kernels assign small dense ids.
+using BlockId = std::uint32_t;
+
+/// Dependency class of a memory access, which controls how much of the
+/// access latency an out-of-order core can hide.
+enum class Dep : std::uint8_t {
+  kIndependent,  ///< address available early; latency largely overlapped
+  kChained,      ///< pointer-chase / indirect: latency fully exposed
+};
+
+/// True if @p v is a nonzero power of two.
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Floor log2 for powers of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Identifies one of the up-to-8 logical processors of the machine.
+///
+/// Numbering follows the paper's Figure 1: with HT enabled, contexts are
+/// A0..A7 in (chip, core, context) order; with HT disabled, cores are
+/// B0..B3 in (chip, core) order.
+struct LogicalCpu {
+  std::uint8_t chip = 0;     ///< physical package, 0 or 1
+  std::uint8_t core = 0;     ///< core within the package, 0 or 1
+  std::uint8_t context = 0;  ///< SMT hardware context within the core, 0 or 1
+
+  /// Flat index in 0..7 (chip-major, as the Linux kernel enumerated them).
+  [[nodiscard]] constexpr int flat() const noexcept {
+    return chip * 4 + core * 2 + context;
+  }
+
+  friend constexpr bool operator==(LogicalCpu, LogicalCpu) = default;
+};
+
+}  // namespace paxsim::sim

@@ -1,0 +1,70 @@
+#include "xomp/team.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxsim::xomp {
+
+Team::Team(sim::Machine& machine, std::vector<sim::LogicalCpu> cpus,
+           perf::CounterSet* counters, sim::AddressSpace& space)
+    : machine_(&machine), counters_(counters), code_base_(space.code_base()) {
+  assert(!cpus.empty() && "a team needs at least one thread");
+  ctxs_.reserve(cpus.size());
+  for (const sim::LogicalCpu cpu : cpus) {
+    sim::HwContext& ctx = machine.context(cpu);
+    ctx.bind(counters, code_base_);
+    ctxs_.push_back(&ctx);
+  }
+  // One cache line each so runtime structures do not falsely share.
+  lock_addr_ = space.alloc(64, 64);
+  cursor_addr_ = space.alloc(64, 64);
+  barrier_addr_ = space.alloc(64, 64);
+  reduction_addr_ = space.alloc(64 * ctxs_.size(), 64);
+}
+
+double Team::wall_time() const noexcept {
+  double t = 0;
+  for (const sim::HwContext* c : ctxs_) t = std::max(t, c->now());
+  return t;
+}
+
+void Team::fork() {
+  // Workers that idled through a serial section catch up to the master.
+  const double t = wall_time();
+  for (sim::HwContext* c : ctxs_) c->set_now(t);
+}
+
+void Team::join() { barrier(); }
+
+void Team::barrier() {
+  if (size() > 1) {
+    // Centralized sense-reversing barrier: each thread RMWs the shared
+    // counter line, which ping-pongs between the participating caches.
+    for (sim::HwContext* c : ctxs_) {
+      c->load(barrier_addr_, sim::Dep::kChained);
+      c->store(barrier_addr_);
+    }
+  }
+  const double t = wall_time();
+  for (sim::HwContext* c : ctxs_) c->set_now(t);
+  flush();
+}
+
+void Team::flush() {
+  for (sim::HwContext* c : ctxs_) c->flush_accumulators();
+}
+
+void Team::repin(int rank, sim::LogicalCpu to, double os_penalty_cycles) {
+  sim::HwContext& dst = machine_->context(to);
+  sim::HwContext& src = *ctxs_[rank];
+  if (&dst == &src) return;
+  // Account the time the thread has accrued on the old context before it
+  // leaves, so nothing is lost if the old context is never used again.
+  src.flush_accumulators();
+  dst.bind(counters_, code_base_);
+  dst.set_now(std::max(dst.now(), src.now()));
+  dst.os_overhead(os_penalty_cycles);
+  ctxs_[rank] = &dst;
+}
+
+}  // namespace paxsim::xomp

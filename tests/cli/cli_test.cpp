@@ -1,0 +1,179 @@
+// Tests for the paxsim CLI: parsing (pure), validation diagnostics and
+// end-to-end execution of every subcommand against string streams.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paxsim::cli {
+namespace {
+
+ParseResult P(std::initializer_list<const char*> args) {
+  return parse(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(CliParseTest, EmptyIsError) {
+  const auto r = P({});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("subcommand"), std::string::npos);
+}
+
+TEST(CliParseTest, HelpVariants) {
+  for (const char* h : {"help", "--help", "-h"}) {
+    const auto r = P({h});
+    ASSERT_TRUE(r.ok()) << h;
+    EXPECT_EQ(r.command->kind, Command::Kind::kHelp);
+  }
+}
+
+TEST(CliParseTest, ListAndLmbench) {
+  EXPECT_EQ(P({"list"}).command->kind, Command::Kind::kList);
+  EXPECT_EQ(P({"lmbench"}).command->kind, Command::Kind::kLmbench);
+}
+
+TEST(CliParseTest, RunParsesEverything) {
+  const auto r = P({"run", "--bench=cg", "--config=HT on -4-1", "--class=W",
+                    "--trials=5", "--seed=99", "--csv", "--baseline",
+                    "--no-verify"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Command& c = *r.command;
+  EXPECT_EQ(c.kind, Command::Kind::kRun);
+  ASSERT_EQ(c.benches.size(), 1u);
+  EXPECT_EQ(c.benches[0], npb::Benchmark::kCG);
+  EXPECT_EQ(c.config_name, "HT on -4-1");
+  EXPECT_EQ(c.options.cls, npb::ProblemClass::kClassW);
+  EXPECT_EQ(c.options.trials, 5);
+  EXPECT_EQ(c.options.base_seed, 99u);
+  EXPECT_TRUE(c.csv);
+  EXPECT_TRUE(c.baseline);
+  EXPECT_FALSE(c.options.verify);
+}
+
+TEST(CliParseTest, RunRequiresBenchAndConfig) {
+  EXPECT_FALSE(P({"run", "--config=Serial"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=CG"}).ok());
+  EXPECT_TRUE(P({"run", "--bench=CG", "--config=Serial"}).ok());
+}
+
+TEST(CliParseTest, PairRequiresTwoBenches) {
+  EXPECT_FALSE(P({"pair", "--bench=CG", "--config=HT off -4-2"}).ok());
+  EXPECT_TRUE(P({"pair", "--bench=CG,FT", "--config=HT off -4-2"}).ok());
+}
+
+TEST(CliParseTest, RejectsUnknownValues) {
+  EXPECT_FALSE(P({"frobnicate"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=ZZ", "--config=Serial"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=CG", "--config=HT on -16-4"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=CG", "--config=Serial", "--class=Q"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=CG", "--config=Serial", "--bogus=1"}).ok());
+  EXPECT_FALSE(
+      P({"sched", "--bench=CG,FT", "--config=HT on -8-2", "--policy=chaotic"})
+          .ok());
+}
+
+TEST(CliParseTest, SchedAcceptsEveryShippedPolicy) {
+  for (const char* p : {"pinned-spread", "naive-pack", "random-migrating",
+                        "ht-aware", "symbiotic"}) {
+    const std::vector<std::string> args = {"sched", "--bench=CG,FT",
+                                           "--config=HT on -8-2",
+                                           std::string("--policy=") + p};
+    const auto r = parse(args);
+    EXPECT_TRUE(r.ok()) << p << ": " << r.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+int run_cli(std::initializer_list<const char*> args, std::string& out) {
+  const auto parsed = P(args);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  std::ostringstream os, es;
+  const int rc = execute(*parsed.command, os, es);
+  out = os.str() + es.str();
+  return rc;
+}
+
+TEST(CliExecTest, ListShowsEverything) {
+  std::string out;
+  EXPECT_EQ(run_cli({"list"}, out), 0);
+  EXPECT_NE(out.find("CG"), std::string::npos);
+  EXPECT_NE(out.find("HT on -8-2"), std::string::npos);
+  EXPECT_NE(out.find("symbiotic"), std::string::npos);
+}
+
+TEST(CliExecTest, RunProducesMetrics) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S", "--baseline"},
+                    out),
+            0);
+  EXPECT_NE(out.find("EP@HT off -2-1"), std::string::npos);
+  EXPECT_NE(out.find("speedup,"), std::string::npos);
+  EXPECT_NE(out.find("verified=yes"), std::string::npos);
+}
+
+TEST(CliExecTest, RunCsvIsMachineReadable) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=Serial", "--class=S",
+                     "--csv"},
+                    out),
+            0);
+  EXPECT_NE(out.find("EP@Serial,wall_cycles,"), std::string::npos);
+  EXPECT_NE(out.find("EP@Serial,cpi,"), std::string::npos);
+}
+
+TEST(CliExecTest, PairReportsBothPrograms) {
+  std::string out;
+  EXPECT_EQ(run_cli({"pair", "--bench=EP,EP", "--config=HT off -2-1",
+                     "--class=S"},
+                    out),
+            0);
+  EXPECT_NE(out.find("EP[0]@"), std::string::npos);
+  EXPECT_NE(out.find("EP[1]@"), std::string::npos);
+}
+
+TEST(CliExecTest, SchedReportsMigrations) {
+  std::string out;
+  EXPECT_EQ(run_cli({"sched", "--bench=EP,EP", "--config=HT on -4-1",
+                     "--class=S", "--policy=symbiotic"},
+                    out),
+            0);
+  EXPECT_NE(out.find("migrations,"), std::string::npos);
+}
+
+TEST(CliParseTest, TimelineRequiresOneBenchAndConfig) {
+  EXPECT_TRUE(P({"timeline", "--bench=EP", "--config=HT on -2-1"}).ok());
+  EXPECT_FALSE(P({"timeline", "--bench=EP,CG", "--config=HT on -2-1"}).ok());
+  EXPECT_FALSE(P({"timeline", "--bench=EP"}).ok());
+}
+
+TEST(CliExecTest, TimelineEmitsPerStepMetrics) {
+  std::string out;
+  EXPECT_EQ(run_cli({"timeline", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S"},
+                    out),
+            0);
+  EXPECT_NE(out.find("step 0:"), std::string::npos);
+  EXPECT_NE(out.find("cpi="), std::string::npos);
+}
+
+TEST(CliExecTest, TimelineCsv) {
+  std::string out;
+  EXPECT_EQ(run_cli({"timeline", "--bench=EP", "--config=Serial",
+                     "--class=S", "--csv"},
+                    out),
+            0);
+  EXPECT_NE(out.find("0,cpi,"), std::string::npos);
+}
+
+TEST(CliExecTest, HelpPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(run_cli({"help"}, out), 0);
+  EXPECT_NE(out.find("usage: paxsim"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paxsim::cli

@@ -1,0 +1,98 @@
+// Tests for the Table-1 configuration registry and Figure-1 labelling.
+#include "harness/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace paxsim::harness {
+namespace {
+
+TEST(ConfigTest, TableOneHasEightRows) {
+  const auto& all = all_configs();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_TRUE(all.front().is_serial());
+  EXPECT_EQ(parallel_configs().size(), 7u);
+}
+
+TEST(ConfigTest, RowContentsMatchThePaper) {
+  struct Expect {
+    const char* name;
+    Architecture arch;
+    bool ht;
+    int threads, chips;
+  };
+  const Expect rows[] = {
+      {"Serial", Architecture::kSerial, false, 1, 1},
+      {"HT on -2-1", Architecture::kSMT, true, 2, 1},
+      {"HT off -2-1", Architecture::kCMP, false, 2, 1},
+      {"HT on -4-1", Architecture::kCMT, true, 4, 1},
+      {"HT off -2-2", Architecture::kSMP, false, 2, 2},
+      {"HT on -4-2", Architecture::kSmtSmp, true, 4, 2},
+      {"HT off -4-2", Architecture::kCmpSmp, false, 4, 2},
+      {"HT on -8-2", Architecture::kCmtSmp, true, 8, 2},
+  };
+  const auto& all = all_configs();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, rows[i].name);
+    EXPECT_EQ(all[i].arch, rows[i].arch);
+    EXPECT_EQ(all[i].ht_on, rows[i].ht);
+    EXPECT_EQ(all[i].threads, rows[i].threads);
+    EXPECT_EQ(all[i].chips, rows[i].chips);
+    EXPECT_EQ(all[i].cpus.size(), static_cast<std::size_t>(rows[i].threads));
+  }
+}
+
+TEST(ConfigTest, HardwareContextsMatchTableOne) {
+  // Table 1 hardware-context columns, via Figure-1 labels.
+  auto labels = [](const char* name) {
+    const StudyConfig* c = find_config(name);
+    std::string out;
+    for (const auto cpu : c->cpus) {
+      if (!out.empty()) out += ",";
+      out += cpu_label(cpu, c->ht_on);
+    }
+    return out;
+  };
+  EXPECT_EQ(labels("Serial"), "B0");
+  EXPECT_EQ(labels("HT on -2-1"), "A0,A1");
+  EXPECT_EQ(labels("HT off -2-1"), "B0,B1");
+  EXPECT_EQ(labels("HT on -4-1"), "A0,A1,A2,A3");
+  EXPECT_EQ(labels("HT off -2-2"), "B0,B2");
+  EXPECT_EQ(labels("HT on -4-2"), "A0,A1,A4,A5");
+  EXPECT_EQ(labels("HT off -4-2"), "B0,B1,B2,B3");
+  EXPECT_EQ(labels("HT on -8-2"), "A0,A1,A2,A3,A4,A5,A6,A7");
+}
+
+TEST(ConfigTest, HtOffConfigsUseOnlyContextZero) {
+  for (const auto& c : all_configs()) {
+    if (c.ht_on) continue;
+    for (const auto cpu : c.cpus) {
+      EXPECT_EQ(cpu.context, 0) << c.name;
+    }
+  }
+}
+
+TEST(ConfigTest, NoDuplicateContextsWithinAConfig) {
+  for (const auto& c : all_configs()) {
+    std::set<int> seen;
+    for (const auto cpu : c.cpus) {
+      EXPECT_TRUE(seen.insert(cpu.flat()).second) << c.name;
+    }
+  }
+}
+
+TEST(ConfigTest, FindConfig) {
+  EXPECT_NE(find_config("HT on -4-1"), nullptr);
+  EXPECT_EQ(find_config("HT on -16-4"), nullptr);
+  EXPECT_EQ(find_config(""), nullptr);
+}
+
+TEST(ConfigTest, ArchitectureNames) {
+  EXPECT_EQ(architecture_name(Architecture::kCMT), "CMT");
+  EXPECT_EQ(architecture_name(Architecture::kCmpSmp), "CMP-based SMP");
+  EXPECT_EQ(architecture_name(Architecture::kCmtSmp), "CMT-based SMP");
+}
+
+}  // namespace
+}  // namespace paxsim::harness

@@ -1,0 +1,95 @@
+// Tests for the gnuplot emitters.
+#include "harness/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace paxsim::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+class PlotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("paxsim_plot_test_" + std::to_string(::getpid())))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(PlotTest, BarChartFiles) {
+  BarChart chart;
+  chart.title = "Figure 3";
+  chart.ylabel = "speedup";
+  chart.series = {"HT on -2-1", "HT off -4-2"};
+  chart.groups = {"CG", "FT"};
+  chart.values = {{1.4, 3.2}, {1.1, 3.9}};
+  const std::string gp = write_bar_chart(dir_, "fig3", chart);
+  EXPECT_TRUE(fs::exists(gp));
+  EXPECT_TRUE(fs::exists(dir_ + "/fig3.dat"));
+
+  const std::string dat = slurp(dir_ + "/fig3.dat");
+  EXPECT_NE(dat.find("CG\t1.4\t3.2"), std::string::npos);
+  EXPECT_NE(dat.find("FT\t1.1\t3.9"), std::string::npos);
+
+  const std::string script = slurp(gp);
+  EXPECT_NE(script.find("set style histogram clustered"), std::string::npos);
+  EXPECT_NE(script.find("\"HT on -2-1\""), std::string::npos);
+  EXPECT_NE(script.find("using 2:xtic(1)"), std::string::npos);
+  EXPECT_NE(script.find("using 3 "), std::string::npos);
+}
+
+TEST_F(PlotTest, BoxChartFiles) {
+  BoxChart chart;
+  chart.title = "Figure 5";
+  chart.ylabel = "speedup";
+  chart.labels = {"HT off -4-2", "HT on -8-2"};
+  chart.boxes = {BoxStats{0.4, 1.3, 1.7, 1.9, 2.0, 72},
+                 BoxStats{0.4, 1.7, 2.3, 2.7, 4.5, 72}};
+  const std::string gp = write_box_chart(dir_, "fig5", chart);
+  const std::string dat = slurp(dir_ + "/fig5.dat");
+  EXPECT_NE(dat.find("1\t0.4\t1.3\t1.7\t1.9\t2"), std::string::npos);
+  const std::string script = slurp(gp);
+  EXPECT_NE(script.find("candlesticks"), std::string::npos);
+  EXPECT_NE(script.find("whiskerbars"), std::string::npos);
+  EXPECT_NE(script.find("\"HT on -8-2\" 2"), std::string::npos);
+}
+
+TEST_F(PlotTest, QuotingEscapesSpecials) {
+  BarChart chart;
+  chart.title = "he said \"hi\"";
+  chart.ylabel = "y";
+  chart.series = {"s"};
+  chart.groups = {"g"};
+  chart.values = {{1.0}};
+  const std::string gp = write_bar_chart(dir_, "quoted", chart);
+  const std::string script = slurp(gp);
+  EXPECT_NE(script.find("he said \\\"hi\\\""), std::string::npos);
+}
+
+TEST_F(PlotTest, BadDirectoryThrows) {
+  BarChart chart;
+  chart.series = {"s"};
+  chart.groups = {"g"};
+  chart.values = {{1.0}};
+  EXPECT_THROW(write_bar_chart(dir_ + "/nope/nope", "x", chart),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paxsim::harness

@@ -1,0 +1,75 @@
+// Tests for the statistics helpers.
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::harness {
+namespace {
+
+TEST(StatsTest, SummarizeBasics) {
+  const TrialStats st = summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(st.mean, 4.0);
+  EXPECT_DOUBLE_EQ(st.min, 2.0);
+  EXPECT_DOUBLE_EQ(st.max, 6.0);
+  EXPECT_NEAR(st.stdev, 2.0, 1e-12);
+  EXPECT_EQ(st.n, 3);
+  EXPECT_NEAR(st.cv(), 0.5, 1e-12);
+}
+
+TEST(StatsTest, SummarizeSingleAndEmpty) {
+  const TrialStats one = summarize({3.5});
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stdev, 0.0);
+  const TrialStats none = summarize({});
+  EXPECT_EQ(none.n, 0);
+  EXPECT_DOUBLE_EQ(none.cv(), 0.0);
+}
+
+TEST(StatsTest, BoxSummaryQuartiles) {
+  // 1..9: median 5, q1 3, q3 7 under type-7 interpolation.
+  const BoxStats b = box_summary({9, 1, 8, 2, 7, 3, 6, 4, 5});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_EQ(b.n, 9);
+}
+
+TEST(StatsTest, BoxSummaryInterpolates) {
+  const BoxStats b = box_summary({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(b.median, 2.5);
+  EXPECT_DOUBLE_EQ(b.q1, 1.75);
+  EXPECT_DOUBLE_EQ(b.q3, 3.25);
+}
+
+TEST(StatsTest, BoxSummaryUnsortedInput) {
+  const BoxStats b = box_summary({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+}
+
+TEST(StatsTest, BoxSummaryDegenerate) {
+  const BoxStats one = box_summary({2.0});
+  EXPECT_DOUBLE_EQ(one.min, 2.0);
+  EXPECT_DOUBLE_EQ(one.median, 2.0);
+  EXPECT_DOUBLE_EQ(one.max, 2.0);
+  const BoxStats none = box_summary({});
+  EXPECT_EQ(none.n, 0);
+}
+
+TEST(StatsTest, QuartileOrderingProperty) {
+  for (int n = 1; n <= 40; ++n) {
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) v.push_back(static_cast<double>((i * 37) % 23));
+    const BoxStats b = box_summary(v);
+    EXPECT_LE(b.min, b.q1);
+    EXPECT_LE(b.q1, b.median);
+    EXPECT_LE(b.median, b.q3);
+    EXPECT_LE(b.q3, b.max);
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness

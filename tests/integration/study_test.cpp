@@ -1,0 +1,150 @@
+// Integration tests: small-class versions of the study's headline result
+// shapes.  These are the "does the reproduction reproduce" checks — run on
+// class S/W so the full CI pass stays fast; the bench binaries regenerate
+// the class-B artifacts.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "perf/metrics.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+RunOptions options(npb::ProblemClass cls) {
+  RunOptions opt;
+  opt.cls = cls;
+  opt.trials = 1;
+  return opt;
+}
+
+TEST(StudyIntegrationTest, AllConfigsRunAllStudyBenchmarksClassS) {
+  const RunOptions opt = options(npb::ProblemClass::kClassS);
+  const std::uint64_t seed = opt.trial_seed(0);
+  for (const npb::Benchmark b :
+       {npb::Benchmark::kCG, npb::Benchmark::kFT, npb::Benchmark::kLU}) {
+    for (const auto& cfg : all_configs()) {
+      const RunResult r = run_single(b, cfg, opt, seed);
+      EXPECT_TRUE(r.verified) << npb::benchmark_name(b) << " on " << cfg.name;
+      EXPECT_GT(r.wall_cycles, 0.0);
+    }
+  }
+}
+
+TEST(StudyIntegrationTest, MoreResourcesNeverCatastrophic) {
+  // Class W CG: every parallel config should land within a sane band of
+  // serial (no >3x slowdowns, no >threads speedups).
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const double serial =
+      run_serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
+  for (const auto& cfg : parallel_configs()) {
+    const double wall =
+        run_single(npb::Benchmark::kCG, cfg, opt, seed).wall_cycles;
+    const double speedup = serial / wall;
+    EXPECT_GT(speedup, 0.4) << cfg.name;
+    EXPECT_LT(speedup, cfg.threads * 1.5) << cfg.name;
+  }
+}
+
+TEST(StudyIntegrationTest, FullMachineBeatsSmallConfigsOnComputeBound) {
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const double serial = run_serial(npb::Benchmark::kFT, opt, seed).wall_cycles;
+  const double smt =
+      run_single(npb::Benchmark::kFT, *find_config("HT on -2-1"), opt, seed)
+          .wall_cycles;
+  const double cmp_smp =
+      run_single(npb::Benchmark::kFT, *find_config("HT off -4-2"), opt, seed)
+          .wall_cycles;
+  EXPECT_LT(cmp_smp, smt) << "four cores beat one HT core on FT";
+  EXPECT_LT(cmp_smp, serial);
+}
+
+TEST(StudyIntegrationTest, HyperThreadingHelpsLatencyBoundCg) {
+  // Group 1 of the paper: HT on -2-1 vs serial — CG's chained gathers leave
+  // the second context plenty of stall cycles to absorb.
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const double serial = run_serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
+  const double smt =
+      run_single(npb::Benchmark::kCG, *find_config("HT on -2-1"), opt, seed)
+          .wall_cycles;
+  EXPECT_LT(smt, serial) << "SMT must speed up memory-latency-bound CG";
+}
+
+TEST(StudyIntegrationTest, SmtStallFractionExceedsCmp) {
+  // Paper §4.1.3: HT-on configurations stall more than their HT-off
+  // siblings (thread contention for shared core resources).
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const auto smt =
+      run_single(npb::Benchmark::kSP, *find_config("HT on -2-1"), opt, seed);
+  const auto cmp =
+      run_single(npb::Benchmark::kSP, *find_config("HT off -2-1"), opt, seed);
+  EXPECT_GT(smt.metrics.stalled_fraction, cmp.metrics.stalled_fraction * 0.95);
+}
+
+TEST(StudyIntegrationTest, L1MissRateFlatAcrossConfigs) {
+  // Paper §4.1.1: L1 miss rates are flat across configurations.
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& cfg : all_configs()) {
+    const double r =
+        run_single(npb::Benchmark::kMG, cfg, opt, seed).metrics.l1d_miss_rate;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(hi - lo, 0.12) << "L1 miss rate must stay roughly flat";
+}
+
+TEST(StudyIntegrationTest, PrefetchShareVisibleWhenBandwidthSpare) {
+  // Paper §4.1.5: configurations with spare bus bandwidth prefetch.
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const auto r =
+      run_single(npb::Benchmark::kMG, *find_config("HT off -2-2"), opt, seed);
+  EXPECT_GT(r.metrics.prefetch_bus_fraction, 0.05)
+      << "streaming MG with two whole buses must show prefetch traffic";
+}
+
+TEST(StudyIntegrationTest, ComplementaryPairBeatsIdenticalPairs) {
+  // Paper §4.2.7: running the compute-bound with the memory-bound program
+  // beats running identical pairs, for the memory-bound program.
+  const RunOptions opt = options(npb::ProblemClass::kClassW);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const auto* cfg = find_config("HT off -4-2");
+  const PairResult mixed =
+      run_pair(npb::Benchmark::kCG, npb::Benchmark::kFT, *cfg, opt, seed);
+  const PairResult twin_cg =
+      run_pair(npb::Benchmark::kCG, npb::Benchmark::kCG, *cfg, opt, seed);
+  // CG paired with FT must do at least as well as CG paired with CG.
+  EXPECT_LE(mixed.program[0].wall_cycles, twin_cg.program[0].wall_cycles * 1.05);
+}
+
+TEST(StudyIntegrationTest, MetricsAreWithinPhysicalBounds) {
+  const RunOptions opt = options(npb::ProblemClass::kClassS);
+  const std::uint64_t seed = opt.trial_seed(0);
+  for (const npb::Benchmark b : npb::kAllBenchmarks) {
+    const RunResult r =
+        run_single(b, *find_config("HT on -8-2"), opt, seed);
+    const perf::Metrics& m = r.metrics;
+    EXPECT_GE(m.l1d_miss_rate, 0.0);
+    EXPECT_LE(m.l1d_miss_rate, 1.0);
+    EXPECT_GE(m.l2_miss_rate, 0.0);
+    EXPECT_LE(m.l2_miss_rate, 1.0);
+    EXPECT_GE(m.branch_prediction_rate, 0.0);
+    EXPECT_LE(m.branch_prediction_rate, 1.0);
+    EXPECT_GE(m.stalled_fraction, 0.0);
+    EXPECT_LE(m.stalled_fraction, 1.0);
+    EXPECT_GE(m.prefetch_bus_fraction, 0.0);
+    EXPECT_LE(m.prefetch_bus_fraction, 1.0);
+    EXPECT_GT(m.cpi, 0.0) << npb::benchmark_name(b);
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness

@@ -1,0 +1,68 @@
+// Calibration tests: the LMbench analog must report the paper's Section-3
+// numbers back from the simulated machine (within modelling tolerances).
+#include "lmb/lmbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::lmb {
+namespace {
+
+TEST(LmbenchTest, L1LatencyMatchesPaper) {
+  const sim::MachineParams p{};
+  const auto pts = latency_ladder(p, {8 * 1024}, 4000);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].ns_per_load, 1.43, 0.15) << "paper: 1.43 ns";
+}
+
+TEST(LmbenchTest, L2LatencyMatchesPaper) {
+  const sim::MachineParams p{};
+  const auto pts = latency_ladder(p, {256 * 1024}, 4000);
+  EXPECT_NEAR(pts[0].ns_per_load, 10.6, 1.2) << "paper: 10.6 ns";
+}
+
+TEST(LmbenchTest, MemoryLatencyMatchesPaper) {
+  const sim::MachineParams p{};
+  const auto pts = latency_ladder(p, {32 * 1024 * 1024}, 6000);
+  EXPECT_NEAR(pts[0].ns_per_load, 136.85, 25.0) << "paper: 136.85 ns";
+}
+
+TEST(LmbenchTest, LadderIsMonotoneAcrossPlateaus) {
+  const sim::MachineParams p{};
+  const auto pts =
+      latency_ladder(p, {8 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024}, 3000);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].ns_per_load, pts[i - 1].ns_per_load * 0.95)
+        << "latency must not fall as the working set grows";
+  }
+  EXPECT_GT(pts.back().ns_per_load, pts.front().ns_per_load * 10);
+}
+
+TEST(LmbenchTest, DefaultLadderSizes) {
+  const auto sizes = default_ladder_sizes(4096, 65536);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 4096u);
+  EXPECT_EQ(sizes.back(), 65536u);
+}
+
+TEST(LmbenchTest, OneChipBandwidthMatchesPaper) {
+  const sim::MachineParams p{};
+  const BandwidthResult bw = stream_bandwidth(p, /*both_chips=*/false);
+  EXPECT_NEAR(bw.read_gbps, 3.57, 0.55) << "paper: 3.57 GB/s";
+  EXPECT_NEAR(bw.write_gbps, 1.77, 0.30) << "paper: 1.77 GB/s";
+  EXPECT_GT(bw.read_gbps, bw.write_gbps)
+      << "writes carry RFO+writeback double traffic";
+}
+
+TEST(LmbenchTest, TwoChipBandwidthMatchesPaper) {
+  const sim::MachineParams p{};
+  const BandwidthResult one = stream_bandwidth(p, false);
+  const BandwidthResult two = stream_bandwidth(p, true);
+  EXPECT_NEAR(two.read_gbps, 4.43, 0.80) << "paper: 4.43 GB/s";
+  EXPECT_NEAR(two.write_gbps, 2.60, 0.45) << "paper: 2.60 GB/s";
+  EXPECT_GT(two.read_gbps, one.read_gbps)
+      << "spreading over both packages adds bandwidth";
+  EXPECT_GT(two.write_gbps, one.write_gbps);
+}
+
+}  // namespace
+}  // namespace paxsim::lmb

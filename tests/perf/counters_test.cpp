@@ -1,0 +1,127 @@
+// Unit tests for the counter set and derived metrics.
+#include "perf/counters.hpp"
+#include "perf/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paxsim::perf {
+namespace {
+
+TEST(CountersTest, StartsZeroed) {
+  CounterSet c;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    EXPECT_EQ(c.get(static_cast<Event>(i)), 0u);
+  }
+}
+
+TEST(CountersTest, AddAndGet) {
+  CounterSet c;
+  c.add(Event::kCycles, 100);
+  c.add(Event::kCycles);
+  EXPECT_EQ(c.get(Event::kCycles), 101u);
+  EXPECT_EQ(c.get(Event::kInstructions), 0u);
+}
+
+TEST(CountersTest, Accumulate) {
+  CounterSet a, b;
+  a.add(Event::kL1dMisses, 5);
+  b.add(Event::kL1dMisses, 7);
+  b.add(Event::kBranches, 2);
+  a += b;
+  EXPECT_EQ(a.get(Event::kL1dMisses), 12u);
+  EXPECT_EQ(a.get(Event::kBranches), 2u);
+}
+
+TEST(CountersTest, DeltaSince) {
+  CounterSet early, late;
+  early.add(Event::kCycles, 100);
+  late.add(Event::kCycles, 350);
+  const CounterSet d = late.delta_since(early);
+  EXPECT_EQ(d.get(Event::kCycles), 250u);
+}
+
+TEST(CountersTest, DeltaClampsAtZero) {
+  CounterSet early, late;
+  early.add(Event::kCycles, 500);
+  late.add(Event::kCycles, 100);
+  EXPECT_EQ(late.delta_since(early).get(Event::kCycles), 0u);
+}
+
+TEST(CountersTest, ClearResets) {
+  CounterSet c;
+  c.add(Event::kBusReads, 9);
+  c.clear();
+  EXPECT_EQ(c.get(Event::kBusReads), 0u);
+}
+
+TEST(CountersTest, EveryEventHasAUniqueName) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    const auto n = event_name(static_cast<Event>(i));
+    EXPECT_NE(n, "unknown");
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+}
+
+TEST(CountersTest, StreamOutputListsNonzero) {
+  CounterSet c;
+  c.add(Event::kBranches, 3);
+  std::ostringstream os;
+  os << c;
+  EXPECT_EQ(os.str(), "branches,3\n");
+}
+
+TEST(MetricsTest, RatiosComputed) {
+  CounterSet c;
+  c.add(Event::kL1dReferences, 100);
+  c.add(Event::kL1dMisses, 25);
+  c.add(Event::kL2References, 25);
+  c.add(Event::kL2Misses, 5);
+  c.add(Event::kCycles, 1000);
+  c.add(Event::kInstructions, 400);
+  c.add(Event::kStallCyclesMemory, 300);
+  c.add(Event::kStallCyclesBranch, 100);
+  c.add(Event::kBranches, 50);
+  c.add(Event::kBranchMispredicts, 5);
+  c.add(Event::kBusTransactions, 10);
+  c.add(Event::kBusPrefetches, 4);
+  c.add(Event::kDtlbLoadMisses, 3);
+  c.add(Event::kDtlbStoreMisses, 2);
+  const Metrics m = derive_metrics(c);
+  EXPECT_DOUBLE_EQ(m.l1d_miss_rate, 0.25);
+  EXPECT_DOUBLE_EQ(m.l2_miss_rate, 0.2);
+  EXPECT_DOUBLE_EQ(m.stalled_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(m.branch_prediction_rate, 0.9);
+  EXPECT_DOUBLE_EQ(m.prefetch_bus_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(m.cpi, 2.5);
+  EXPECT_DOUBLE_EQ(m.dtlb_misses, 5.0);
+}
+
+TEST(MetricsTest, ZeroDenominatorsAreZero) {
+  const Metrics m = derive_metrics(CounterSet{});
+  EXPECT_DOUBLE_EQ(m.l1d_miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.cpi, 0.0);
+  EXPECT_DOUBLE_EQ(m.branch_prediction_rate, 1.0)
+      << "no branches means nothing was mispredicted";
+}
+
+TEST(MetricsTest, NameValueRoundTrip) {
+  CounterSet c;
+  c.add(Event::kCycles, 500);
+  c.add(Event::kInstructions, 100);
+  const Metrics m = derive_metrics(c);
+  bool saw_cpi = false;
+  for (int i = 0; i < kMetricCount; ++i) {
+    EXPECT_NE(metric_name(i), "unknown");
+    if (metric_name(i) == "cpi") {
+      saw_cpi = true;
+      EXPECT_DOUBLE_EQ(metric_value(m, i), 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_cpi);
+}
+
+}  // namespace
+}  // namespace paxsim::perf

@@ -1,0 +1,55 @@
+// Tests for the interval sampler.
+#include "perf/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paxsim::perf {
+namespace {
+
+TEST(TimelineTest, DeltasArePerInterval) {
+  Timeline tl;
+  CounterSet c;
+  c.add(Event::kCycles, 100);
+  c.add(Event::kInstructions, 50);
+  tl.sample(c);
+  c.add(Event::kCycles, 300);
+  c.add(Event::kInstructions, 100);
+  tl.sample(c);
+  ASSERT_EQ(tl.intervals(), 2u);
+  EXPECT_EQ(tl.delta(0).get(Event::kCycles), 100u);
+  EXPECT_EQ(tl.delta(1).get(Event::kCycles), 300u);
+  EXPECT_DOUBLE_EQ(tl.metrics(0).cpi, 2.0);
+  EXPECT_DOUBLE_EQ(tl.metrics(1).cpi, 3.0);
+}
+
+TEST(TimelineTest, CsvEmitsEveryIntervalAndMetric) {
+  Timeline tl;
+  CounterSet c;
+  c.add(Event::kCycles, 10);
+  c.add(Event::kInstructions, 10);
+  tl.sample(c);
+  std::ostringstream os;
+  tl.print_csv(os);
+  EXPECT_NE(os.str().find("0,cpi,1"), std::string::npos);
+  // One line per metric.
+  int lines = 0;
+  for (const char ch : os.str()) lines += ch == '\n';
+  EXPECT_EQ(lines, kMetricCount);
+}
+
+TEST(TimelineTest, ClearResets) {
+  Timeline tl;
+  CounterSet c;
+  c.add(Event::kCycles, 10);
+  tl.sample(c);
+  tl.clear();
+  EXPECT_EQ(tl.intervals(), 0u);
+  // After clear, the next sample counts from zero again.
+  tl.sample(c);
+  EXPECT_EQ(tl.delta(0).get(Event::kCycles), 10u);
+}
+
+}  // namespace
+}  // namespace paxsim::perf

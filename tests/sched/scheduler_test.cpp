@@ -1,0 +1,257 @@
+// Tests for the OS-scheduler substrate: placement validity for every
+// policy, migration mechanics (thread continuity, penalties, SMT-activity
+// refresh), and the end-to-end scheduled runner.
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/sched_runner.hpp"
+
+namespace paxsim::sched {
+namespace {
+
+std::vector<sim::LogicalCpu> full_machine() {
+  std::vector<sim::LogicalCpu> v;
+  for (int chip = 0; chip < 2; ++chip) {
+    for (int core = 0; core < 2; ++core) {
+      for (int ctx = 0; ctx < 2; ++ctx) {
+        v.push_back({static_cast<std::uint8_t>(chip),
+                     static_cast<std::uint8_t>(core),
+                     static_cast<std::uint8_t>(ctx)});
+      }
+    }
+  }
+  return v;
+}
+
+void expect_valid_placement(
+    const std::vector<std::vector<sim::LogicalCpu>>& placement,
+    const std::vector<int>& tpp, const std::vector<sim::LogicalCpu>& allowed) {
+  ASSERT_EQ(placement.size(), tpp.size());
+  std::set<int> used;
+  std::set<int> allowed_flat;
+  for (const auto c : allowed) allowed_flat.insert(c.flat());
+  for (std::size_t p = 0; p < placement.size(); ++p) {
+    EXPECT_EQ(placement[p].size(), static_cast<std::size_t>(tpp[p]));
+    for (const auto c : placement[p]) {
+      EXPECT_TRUE(allowed_flat.count(c.flat())) << "context outside config";
+      EXPECT_TRUE(used.insert(c.flat()).second) << "context double-booked";
+    }
+  }
+}
+
+class PlacementTest
+    : public ::testing::TestWithParam<std::tuple<int, std::vector<int>>> {};
+
+TEST_P(PlacementTest, EveryPolicyPlacesValidly) {
+  const auto [policy, tpp] = GetParam();
+  std::unique_ptr<Scheduler> s;
+  switch (policy) {
+    case 0: s = make_pinned_spread(); break;
+    case 1: s = make_naive_pack(); break;
+    case 2: s = make_random_migrating(0.5, 1); break;
+    case 3: s = make_ht_aware(); break;
+    default: s = make_symbiotic(); break;
+  }
+  const auto allowed = full_machine();
+  const auto placement = s->place(tpp, allowed);
+  expect_valid_placement(placement, tpp, allowed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PlacementTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(std::vector<int>{8},
+                                         std::vector<int>{4, 4},
+                                         std::vector<int>{2, 2},
+                                         std::vector<int>{1, 1})));
+
+TEST(SchedulerTest, PinnedSpreadDealsEvenOdd) {
+  auto s = make_pinned_spread();
+  const auto allowed = full_machine();
+  const auto p = s->place({4, 4}, allowed);
+  // Program 0 gets positions 0,2,4,6; program 1 gets 1,3,5,7.
+  EXPECT_EQ(p[0][0].flat(), 0);
+  EXPECT_EQ(p[1][0].flat(), 1);
+  EXPECT_EQ(p[0][1].flat(), 2);
+  EXPECT_EQ(p[1][3].flat(), 7);
+}
+
+TEST(SchedulerTest, HtAwareUsesCoresBeforeSiblings) {
+  auto s = make_ht_aware();
+  const auto p = s->place({4}, full_machine());
+  // Four threads on the full machine: all four distinct cores, context 0.
+  std::set<int> cores;
+  for (const auto c : p[0]) {
+    EXPECT_EQ(c.context, 0);
+    cores.insert(c.chip * 2 + c.core);
+  }
+  EXPECT_EQ(cores.size(), 4u);
+}
+
+TEST(SchedulerTest, NaivePackSharesCoresFirst) {
+  auto s = make_naive_pack();
+  const auto p = s->place({2}, full_machine());
+  // Two threads land on the two contexts of core 0 — the bad placement.
+  EXPECT_EQ(p[0][0].flat(), 0);
+  EXPECT_EQ(p[0][1].flat(), 1);
+  EXPECT_EQ(p[0][0].core, p[0][1].core);
+}
+
+TEST(SchedulerTest, PinnedNeverMigrates) {
+  auto s = make_pinned_spread();
+  s->place({4, 4}, full_machine());
+  std::vector<ThreadView> views(8);
+  EXPECT_TRUE(s->rebalance(views).empty());
+}
+
+TEST(SchedulerTest, RandomMigratingEventuallyMigrates) {
+  auto s = make_random_migrating(1.0, 7);
+  const auto placement = s->place({4, 4}, full_machine());
+  std::vector<ThreadView> views;
+  for (int p = 0; p < 2; ++p) {
+    for (int r = 0; r < 4; ++r) {
+      views.push_back(
+          {p, r, placement[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)], 1.0});
+    }
+  }
+  int total = 0;
+  for (int step = 0; step < 20; ++step) total += static_cast<int>(s->rebalance(views).size());
+  EXPECT_GT(total, 0);
+}
+
+TEST(SchedulerTest, SymbioticSamplesThenLocks) {
+  auto s = make_symbiotic(/*sample_steps=*/1);
+  const auto placement = s->place({2, 2}, full_machine());
+  std::vector<ThreadView> views;
+  for (int p = 0; p < 2; ++p) {
+    for (int r = 0; r < 2; ++r) {
+      views.push_back(
+          {p, r, placement[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)], 1.0});
+    }
+  }
+  // Three candidates with 1 sample step each: at most 3 rebalances move
+  // threads; after locking, rebalance returns nothing.
+  int active_rounds = 0;
+  for (int step = 0; step < 10; ++step) {
+    const auto m = s->rebalance(views);
+    if (!m.empty()) ++active_rounds;
+    for (const auto& mig : m) {
+      for (auto& v : views) {
+        if (v.program == mig.program && v.rank == mig.rank) v.where = mig.to;
+      }
+    }
+  }
+  EXPECT_LE(active_rounds, 3);
+  EXPECT_TRUE(s->rebalance(views).empty()) << "locked scheduler stays put";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scheduled runs.
+// ---------------------------------------------------------------------------
+
+harness::RunOptions quick() {
+  harness::RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.trials = 1;
+  return opt;
+}
+
+TEST(SchedRunnerTest, SingleProgramMatchesPinnedBaseline) {
+  const auto opt = quick();
+  const auto* cfg = harness::find_config("HT off -4-2");
+  auto pol = make_pinned_spread();
+  const auto r = harness::run_scheduled({npb::Benchmark::kBT}, *cfg, *pol,
+                                        opt, opt.trial_seed(0));
+  ASSERT_EQ(r.program.size(), 1u);
+  EXPECT_TRUE(r.program[0].verified);
+  EXPECT_EQ(r.migrations, 0);
+  // Must equal the unscheduled runner bit-for-bit (same placement, no
+  // migrations, same seed).
+  const auto base = harness::run_single(npb::Benchmark::kBT, *cfg, opt,
+                                        opt.trial_seed(0));
+  EXPECT_DOUBLE_EQ(r.program[0].wall_cycles, base.wall_cycles);
+}
+
+TEST(SchedRunnerTest, PairUnderEveryPolicyVerifies) {
+  const auto opt = quick();
+  const auto* cfg = harness::find_config("HT on -4-1");
+  for (int policy = 0; policy < 5; ++policy) {
+    std::unique_ptr<Scheduler> s;
+    switch (policy) {
+      case 0: s = make_pinned_spread(); break;
+      case 1: s = make_naive_pack(); break;
+      case 2: s = make_random_migrating(0.8, 3); break;
+      case 3: s = make_ht_aware(); break;
+      default: s = make_symbiotic(1); break;
+    }
+    const auto r = harness::run_scheduled(
+        {npb::Benchmark::kCG, npb::Benchmark::kEP}, *cfg, *s, opt,
+        opt.trial_seed(0));
+    ASSERT_EQ(r.program.size(), 2u) << s->name();
+    EXPECT_TRUE(r.program[0].verified) << s->name();
+    EXPECT_TRUE(r.program[1].verified) << s->name();
+    EXPECT_GT(r.program[0].wall_cycles, 0.0);
+  }
+}
+
+TEST(SchedRunnerTest, MigrationChurnCostsTime) {
+  // The paper's hypothesis: scheduler-induced migrations explain the
+  // multi-program stall anomaly.  Churn must never be faster than pinning
+  // and must usually be slower.
+  const auto opt = quick();
+  const auto* cfg = harness::find_config("HT off -4-2");
+  auto pinned = make_pinned_spread();
+  auto churn = make_random_migrating(1.0, 5);
+  const auto rp = harness::run_scheduled(
+      {npb::Benchmark::kMG, npb::Benchmark::kMG}, *cfg, *pinned, opt,
+      opt.trial_seed(0));
+  const auto rc = harness::run_scheduled(
+      {npb::Benchmark::kMG, npb::Benchmark::kMG}, *cfg, *churn, opt,
+      opt.trial_seed(0));
+  EXPECT_GT(rc.migrations, 0);
+  const double wp =
+      std::max(rp.program[0].wall_cycles, rp.program[1].wall_cycles);
+  const double wc =
+      std::max(rc.program[0].wall_cycles, rc.program[1].wall_cycles);
+  EXPECT_GT(wc, wp * 0.999) << "migration churn cannot be free";
+}
+
+TEST(SchedRunnerTest, NaivePackLosesToSpreadWhenRoomExists) {
+  // Two threads on the full 8-context machine: packing them onto one
+  // core's siblings must lose to giving them whole cores.
+  const auto opt = quick();
+  const auto* cfg = harness::find_config("HT on -8-2");
+  auto pack = make_naive_pack();
+  auto aware = make_ht_aware();
+  const auto rp = harness::run_scheduled({npb::Benchmark::kFT,
+                                          npb::Benchmark::kFT},
+                                         *cfg, *pack, opt, opt.trial_seed(0));
+  const auto ra = harness::run_scheduled({npb::Benchmark::kFT,
+                                          npb::Benchmark::kFT},
+                                         *cfg, *aware, opt, opt.trial_seed(0));
+  (void)rp;
+  (void)ra;
+  // naive-pack puts each 4-thread program on ... all 8 contexts are used
+  // either way at 4+4; the interesting check is the 1+1 case below.
+  auto pack2 = make_naive_pack();
+  auto aware2 = make_ht_aware();
+  const harness::StudyConfig* cmt = harness::find_config("HT on -4-1");
+  const auto p2 = harness::run_scheduled({npb::Benchmark::kFT,
+                                          npb::Benchmark::kFT},
+                                         *cmt, *pack2, opt, opt.trial_seed(0));
+  const auto a2 = harness::run_scheduled({npb::Benchmark::kFT,
+                                          npb::Benchmark::kFT},
+                                         *cmt, *aware2, opt, opt.trial_seed(0));
+  const double wp2 =
+      std::max(p2.program[0].wall_cycles, p2.program[1].wall_cycles);
+  const double wa2 =
+      std::max(a2.program[0].wall_cycles, a2.program[1].wall_cycles);
+  EXPECT_LT(wa2, wp2 * 1.05)
+      << "core-spreading placement must not lose to sibling-packing";
+}
+
+}  // namespace
+}  // namespace paxsim::sched

@@ -1,0 +1,199 @@
+// Unit tests for the set-associative cache model: hits/misses, true-LRU
+// replacement, writeback dirtiness, MESI-lite state transitions, the
+// prefetched-line credit, in-flight fill timestamps, and geometry
+// properties swept over several configurations.
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace paxsim::sim {
+namespace {
+
+CacheGeometry small_geom() { return CacheGeometry{1024, 64, 2}; }  // 8 sets
+
+TEST(CacheTest, MissThenHit) {
+  SetAssocCache c(small_geom());
+  EXPECT_FALSE(c.probe(0x1000, false).hit);
+  c.fill(0x1000, LineState::kExclusive, false);
+  EXPECT_TRUE(c.probe(0x1000, false).hit);
+  EXPECT_TRUE(c.probe(0x103F, false).hit) << "same line, different offset";
+  EXPECT_FALSE(c.probe(0x1040, false).hit) << "next line";
+}
+
+TEST(CacheTest, LineAlignment) {
+  SetAssocCache c(small_geom());
+  EXPECT_EQ(c.line_of(0x1000), 0x1000u);
+  EXPECT_EQ(c.line_of(0x103F), 0x1000u);
+  EXPECT_EQ(c.line_of(0x1040), 0x1040u);
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  SetAssocCache c(small_geom());  // 2 ways per set
+  // Three lines mapping to the same set (stride = sets * line = 512).
+  const Addr a = 0x0000, b = 0x0200, d = 0x0400;
+  c.fill(a, LineState::kExclusive, false);
+  c.fill(b, LineState::kExclusive, false);
+  c.probe(a, false);  // refresh a; b is now LRU
+  const auto ev = c.fill(d, LineState::kExclusive, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, b);
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(CacheTest, DirtyEvictionReported) {
+  SetAssocCache c(small_geom());
+  c.fill(0x0000, LineState::kModified, false);
+  c.fill(0x0200, LineState::kExclusive, false);
+  const auto ev = c.fill(0x0400, LineState::kExclusive, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0000u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(CacheTest, CleanEvictionNotDirty) {
+  SetAssocCache c(small_geom());
+  c.fill(0x0000, LineState::kExclusive, false);
+  c.fill(0x0200, LineState::kExclusive, false);
+  const auto ev = c.fill(0x0400, LineState::kExclusive, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->dirty);
+}
+
+TEST(CacheTest, StoreHitUpgradesToModified) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kExclusive, false);
+  c.probe(0x1000, /*is_store=*/true);
+  EXPECT_EQ(c.state_of(0x1000), LineState::kModified);
+}
+
+TEST(CacheTest, StoreToSharedNeedsUpgrade) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kShared, false);
+  EXPECT_TRUE(c.needs_upgrade(0x1000));
+  // A store probe must NOT silently modify a shared line.
+  c.probe(0x1000, /*is_store=*/true);
+  EXPECT_EQ(c.state_of(0x1000), LineState::kShared);
+  c.upgrade_to_modified(0x1000);
+  EXPECT_EQ(c.state_of(0x1000), LineState::kModified);
+  EXPECT_FALSE(c.needs_upgrade(0x1000));
+}
+
+TEST(CacheTest, InvalidateReturnsDirtiness) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kModified, false);
+  EXPECT_TRUE(c.invalidate(0x1000));
+  EXPECT_FALSE(c.contains(0x1000));
+  c.fill(0x2000, LineState::kShared, false);
+  EXPECT_FALSE(c.invalidate(0x2000));
+  EXPECT_FALSE(c.invalidate(0x3000)) << "absent line";
+}
+
+TEST(CacheTest, DowngradeToShared) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kModified, false);
+  EXPECT_TRUE(c.downgrade_to_shared(0x1000)) << "dirty copy writes back";
+  EXPECT_EQ(c.state_of(0x1000), LineState::kShared);
+  EXPECT_FALSE(c.downgrade_to_shared(0x1000)) << "already clean";
+}
+
+TEST(CacheTest, PrefetchedCreditConsumedOnce) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kExclusive, /*prefetched=*/true);
+  const ProbeResult first = c.probe(0x1000, false);
+  EXPECT_TRUE(first.hit);
+  EXPECT_TRUE(first.prefetched);
+  const ProbeResult second = c.probe(0x1000, false);
+  EXPECT_TRUE(second.hit);
+  EXPECT_FALSE(second.prefetched) << "credit is one-shot";
+}
+
+TEST(CacheTest, ReadyAtVisibleOnHit) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kExclusive, true, /*ready_at=*/500.0);
+  EXPECT_DOUBLE_EQ(c.probe(0x1000, false).ready_at, 500.0);
+}
+
+TEST(CacheTest, RefillUpdatesStateInPlace) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kShared, false);
+  const auto ev = c.fill(0x1000, LineState::kModified, false);
+  EXPECT_FALSE(ev.has_value()) << "re-fill of resident line evicts nothing";
+  EXPECT_EQ(c.state_of(0x1000), LineState::kModified);
+  EXPECT_EQ(c.resident_lines(), 1u);
+}
+
+TEST(CacheTest, ResetDropsEverything) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kModified, false);
+  c.reset();
+  EXPECT_EQ(c.resident_lines(), 0u);
+  EXPECT_FALSE(c.contains(0x1000));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over geometries.
+// ---------------------------------------------------------------------------
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(CacheGeometryTest, CapacityIsRespected) {
+  const auto [size, line, ways] = GetParam();
+  SetAssocCache c(CacheGeometry{size, line, ways});
+  const std::size_t lines = size / line;
+  // Fill exactly `lines` distinct lines that spread over all sets.
+  for (std::size_t i = 0; i < lines; ++i) {
+    c.fill(static_cast<Addr>(i) * line, LineState::kExclusive, false);
+  }
+  EXPECT_EQ(c.resident_lines(), lines) << "a full sweep exactly fills the cache";
+  // One more line must evict.
+  const auto ev = c.fill(static_cast<Addr>(lines) * line, LineState::kExclusive, false);
+  EXPECT_TRUE(ev.has_value());
+  EXPECT_EQ(c.resident_lines(), lines);
+}
+
+TEST_P(CacheGeometryTest, SequentialSweepHitsSecondPass) {
+  const auto [size, line, ways] = GetParam();
+  SetAssocCache c(CacheGeometry{size, line, ways});
+  const std::size_t lines = size / line;
+  for (std::size_t i = 0; i < lines; ++i) {
+    EXPECT_FALSE(c.probe(static_cast<Addr>(i) * line, false).hit);
+    c.fill(static_cast<Addr>(i) * line, LineState::kExclusive, false);
+  }
+  for (std::size_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.probe(static_cast<Addr>(i) * line, false).hit)
+        << "resident working set must fully hit";
+  }
+}
+
+TEST_P(CacheGeometryTest, RandomChurnNeverOverflows) {
+  const auto [size, line, ways] = GetParam();
+  SetAssocCache c(CacheGeometry{size, line, ways});
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const Addr a = (rng() % (1 << 22)) & ~(line - 1);
+    if (!c.probe(a, (rng() & 1) != 0).hit) {
+      c.fill(a, LineState::kExclusive, false);
+    }
+    ASSERT_LE(c.resident_lines(), size / line);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_tuple(1024, 64, 1),     // direct mapped
+                      std::make_tuple(1024, 64, 2),
+                      std::make_tuple(4096, 64, 8),
+                      std::make_tuple(16384, 128, 4),
+                      std::make_tuple(65536, 64, 16),   // fully assoc-ish
+                      std::make_tuple(512, 64, 8)));    // single set
+
+}  // namespace
+}  // namespace paxsim::sim

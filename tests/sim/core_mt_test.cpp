@@ -1,0 +1,162 @@
+// MT-mode (Hyper-Threading) specifics of the core model: trace-cache
+// static partitioning as seen through exec_block, issue-stretch engagement
+// and disengagement, OS-overhead accounting, and the stall-overlap effect
+// that gives HT its benefit.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace paxsim::sim {
+namespace {
+
+using perf::Event;
+
+struct Rig {
+  MachineParams p;
+  Machine machine;
+  AddressSpace space{0};
+  perf::CounterSet counters;
+
+  explicit Rig(MachineParams params = MachineParams{}.scaled(16))
+      : p(params), machine(p) {}
+
+  HwContext& ctx(int hw) {
+    HwContext& c = machine.context({0, 0, static_cast<std::uint8_t>(hw)});
+    if (!c.bound()) c.bind(&counters, space.code_base());
+    return c;
+  }
+};
+
+TEST(CoreMtTest, TracePartitionEngagesWithSecondContext) {
+  // ST mode: block warms the full trace cache.
+  Rig r;
+  HwContext& c0 = r.ctx(0);
+  c0.exec_block(1, 30);
+  const auto cold = r.counters.get(Event::kTraceCacheMisses);
+  c0.exec_block(1, 30);
+  EXPECT_EQ(r.counters.get(Event::kTraceCacheMisses), cold) << "warm in ST";
+  // Switch to MT mode: the context now fetches from its half, which has
+  // never seen the block — a fresh rebuild.
+  r.machine.core(0, 0).set_active_contexts(2);
+  c0.exec_block(1, 30);
+  EXPECT_GT(r.counters.get(Event::kTraceCacheMisses), cold)
+      << "MT partition starts cold";
+  // And the sibling's half is independent again.
+  HwContext& c1 = r.ctx(1);
+  const auto before = r.counters.get(Event::kTraceCacheMisses);
+  c1.exec_block(1, 30);
+  EXPECT_GT(r.counters.get(Event::kTraceCacheMisses), before);
+}
+
+TEST(CoreMtTest, IssueStretchDisengagesWhenSiblingStops) {
+  Rig r;
+  HwContext& c0 = r.ctx(0);
+  r.machine.core(0, 0).set_active_contexts(2);
+  const double t0 = c0.now();
+  c0.alu(1000);
+  const double mt_cost = c0.now() - t0;
+  r.machine.core(0, 0).set_active_contexts(1);
+  const double t1 = c0.now();
+  c0.alu(1000);
+  const double st_cost = c0.now() - t1;
+  EXPECT_NEAR(mt_cost / st_cost, r.p.smt_issue_stretch, 1e-9);
+}
+
+TEST(CoreMtTest, StallOverlapIsTheHtBenefit) {
+  // Two memory-stall-heavy instruction streams: run them on two contexts of
+  // ONE core (HT) vs sequentially on the same context.  HT wall time must
+  // land well below 2x serial (stalls overlap) yet above 1x (issue is
+  // shared).  This is the paper's central mechanism in one test.
+  auto workload = [](HwContext& c, AddressSpace& space) {
+    const Addr heap = space.alloc(1 << 20, 4096);
+    for (int i = 0; i < 400; ++i) {
+      // Chained page-stride loads: mostly exposed DRAM latency.
+      c.load(heap + static_cast<Addr>((i * 53) % 256) * 4096, Dep::kChained);
+      c.alu(8);
+    }
+  };
+
+  // Serial: both workloads on one context, one after the other.
+  double serial_wall;
+  {
+    Rig r;
+    HwContext& c = r.ctx(0);
+    workload(c, r.space);
+    workload(c, r.space);
+    serial_wall = c.now();
+  }
+  // HT: one workload per sibling context.
+  double ht_wall;
+  {
+    Rig r;
+    r.machine.core(0, 0).set_active_contexts(2);
+    HwContext& c0 = r.ctx(0);
+    HwContext& c1 = r.ctx(1);
+    // Interleave in small slices to emulate concurrent execution.
+    AddressSpace s0(2), s1(3);
+    const Addr h0 = s0.alloc(1 << 20, 4096);
+    const Addr h1 = s1.alloc(1 << 20, 4096);
+    for (int i = 0; i < 400; ++i) {
+      c0.load(h0 + static_cast<Addr>((i * 53) % 256) * 4096, Dep::kChained);
+      c0.alu(8);
+      c1.load(h1 + static_cast<Addr>((i * 53) % 256) * 4096, Dep::kChained);
+      c1.alu(8);
+    }
+    ht_wall = r.machine.wall_time();
+  }
+  EXPECT_LT(ht_wall, serial_wall * 0.75)
+      << "HT must overlap the two streams' memory stalls";
+  EXPECT_GT(ht_wall, serial_wall * 0.45)
+      << "but HT is not a free second core";
+}
+
+TEST(CoreMtTest, OsOverheadCountsCyclesNotInstructions) {
+  Rig r;
+  HwContext& c = r.ctx(0);
+  c.os_overhead(5000.0);
+  c.flush_accumulators();
+  EXPECT_EQ(r.counters.get(Event::kInstructions), 0u);
+  EXPECT_NEAR(static_cast<double>(r.counters.get(Event::kCycles)), 5000.0, 1.0);
+  EXPECT_NEAR(c.execution_cycles(), 5000.0, 1e-9);
+}
+
+TEST(CoreMtTest, ExecutionCyclesExcludeIdle) {
+  Rig r;
+  HwContext& c = r.ctx(0);
+  c.alu(100);
+  c.flush_accumulators();
+  const double exec = c.execution_cycles();
+  c.set_now(c.now() + 1e6);  // barrier idle
+  c.flush_accumulators();
+  EXPECT_DOUBLE_EQ(c.execution_cycles(), exec);
+  EXPECT_LT(exec, 1000.0);
+}
+
+TEST(CoreMtTest, MtDtlbSharingThrashes) {
+  // Two contexts walking disjoint page sets through the shared DTLB must
+  // miss more than one context walking half the pages.
+  auto misses = [](int contexts) {
+    Rig r;
+    r.machine.core(0, 0).set_active_contexts(contexts);
+    const std::size_t pages = r.p.dtlb_entries;  // exactly fills the DTLB
+    for (int rep = 0; rep < 10; ++rep) {
+      for (std::size_t pg = 0; pg < pages; ++pg) {
+        r.ctx(0).load(r.space.data_base() +
+                      static_cast<Addr>(pg) * r.p.page_bytes);
+        if (contexts == 2) {
+          r.ctx(1).load(r.space.data_base() + (1u << 30) +
+                        static_cast<Addr>(pg) * r.p.page_bytes);
+        }
+      }
+    }
+    return r.counters.get(Event::kDtlbLoadMisses);
+  };
+  // One context covering the whole DTLB: warm after the first lap.
+  const auto st = misses(1);
+  // Two contexts, double the distinct pages through the same DTLB: thrash.
+  const auto mt = misses(2);
+  EXPECT_GT(mt, st * 3) << "shared DTLB must thrash under two page sets";
+}
+
+}  // namespace
+}  // namespace paxsim::sim

@@ -1,0 +1,229 @@
+// Unit tests for the core/context timing model: issue costs, load-to-use
+// exposure (chained vs independent), SMT issue stretch and MT-mode MLP
+// partitioning, TLB walks, branch penalties, front-end stalls, counter
+// attribution and accumulator flushing.
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace paxsim::sim {
+namespace {
+
+using perf::Event;
+
+struct Rig {
+  MachineParams p;
+  Machine machine;
+  AddressSpace space;
+  perf::CounterSet counters;
+
+  explicit Rig(MachineParams params = MachineParams{})
+      : p(params), machine(p), space(0) {}
+
+  HwContext& ctx(int chip = 0, int core = 0, int hw = 0) {
+    HwContext& c = machine.context({static_cast<std::uint8_t>(chip),
+                                    static_cast<std::uint8_t>(core),
+                                    static_cast<std::uint8_t>(hw)});
+    if (!c.bound()) c.bind(&counters, space.code_base());
+    return c;
+  }
+};
+
+TEST(CoreTest, AluCostsIssueCycles) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.alu(100);
+  EXPECT_DOUBLE_EQ(c.now(), 100 * r.p.cycles_per_uop);
+  EXPECT_EQ(r.counters.get(Event::kInstructions), 100u);
+}
+
+TEST(CoreTest, SmtStretchAppliesWhenCoActive) {
+  Rig r;
+  r.machine.core(0, 0).set_active_contexts(2);
+  HwContext& c = r.ctx();
+  c.alu(100);
+  EXPECT_DOUBLE_EQ(c.now(), 100 * r.p.cycles_per_uop * r.p.smt_issue_stretch);
+}
+
+TEST(CoreTest, ChainedLoadExposesFullLatency) {
+  Rig r;
+  HwContext& c = r.ctx();
+  const Addr a = r.space.alloc(64);
+  c.load(a, Dep::kChained);  // cold: TLB walk + DRAM
+  const double cold = c.now();
+  EXPECT_GT(cold, static_cast<double>(r.p.mem_latency));
+  // Warm chained load: L1 hit at the L1 load-to-use latency.
+  const double before = c.now();
+  c.load(a, Dep::kChained);
+  EXPECT_NEAR(c.now() - before, static_cast<double>(r.p.l1_latency), 0.01);
+}
+
+TEST(CoreTest, IndependentL1HitIsPipelined) {
+  Rig r;
+  HwContext& c = r.ctx();
+  const Addr a = r.space.alloc(64);
+  c.load(a, Dep::kChained);  // warm the line
+  const double before = c.now();
+  c.load(a, Dep::kIndependent);
+  EXPECT_NEAR(c.now() - before, r.p.cycles_per_uop, 0.01)
+      << "an independent L1 hit costs only its issue slot";
+}
+
+TEST(CoreTest, IndependentMissExposesOverlapFraction) {
+  Rig r;
+  HwContext& c = r.ctx();
+  // Touch one line per page to hold TLB noise constant, far apart to avoid
+  // the prefetcher.
+  const Addr a = r.space.alloc(1 << 20, 4096);
+  c.load(a, Dep::kIndependent);  // cold miss
+  const double cold = c.now();
+  EXPECT_GT(cold, r.p.mem_latency * r.p.mem_overlap);
+  EXPECT_LT(cold, r.p.mem_latency * 1.2)
+      << "independent miss must cost well below the full latency plus walk";
+}
+
+TEST(CoreTest, MtModeExposesMoreOfIndependentMisses) {
+  auto run = [](int active) {
+    Rig r;
+    r.machine.core(0, 0).set_active_contexts(active);
+    HwContext& c = r.ctx();
+    const Addr base = r.space.alloc(16 << 20, 4096);
+    // Random-ish page-stride loads (no stream, cold every time).
+    double t0 = c.now();
+    for (int i = 0; i < 200; ++i) {
+      c.load(base + static_cast<Addr>((i * 37) % 4096) * 4096,
+             Dep::kIndependent);
+    }
+    return c.now() - t0;
+  };
+  const double st = run(1);
+  const double mt = run(2);
+  EXPECT_GT(mt, st * 1.2)
+      << "halved load-buffer share must expose more miss latency";
+}
+
+TEST(CoreTest, DtlbWalkChargedOncePerPage) {
+  Rig r;
+  HwContext& c = r.ctx();
+  const Addr a = r.space.alloc(4096, 4096);
+  c.load(a);
+  EXPECT_EQ(r.counters.get(Event::kDtlbLoadMisses), 1u);
+  c.load(a + 64);
+  EXPECT_EQ(r.counters.get(Event::kDtlbLoadMisses), 1u) << "same page";
+  c.store(a + 128);
+  EXPECT_EQ(r.counters.get(Event::kDtlbStoreMisses), 0u) << "still same page";
+}
+
+TEST(CoreTest, BranchMispredictPenalty) {
+  Rig r;
+  HwContext& c = r.ctx();
+  // Train taken, then surprise with not-taken.
+  for (int i = 0; i < 64; ++i) c.branch(9, true);
+  const double before = c.now();
+  c.branch(9, false);
+  EXPECT_NEAR(c.now() - before,
+              r.p.cycles_per_uop + static_cast<double>(r.p.mispredict_penalty),
+              0.01);
+  EXPECT_GE(r.counters.get(Event::kBranchMispredicts), 1u);
+}
+
+TEST(CoreTest, ExecBlockCountsTraceAndItlb) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.exec_block(5, 30);
+  EXPECT_EQ(r.counters.get(Event::kItlbReferences), 1u);
+  EXPECT_EQ(r.counters.get(Event::kItlbMisses), 1u);
+  EXPECT_EQ(r.counters.get(Event::kTraceCacheReferences), 5u);
+  EXPECT_EQ(r.counters.get(Event::kTraceCacheMisses), 5u);
+  c.exec_block(5, 30);
+  EXPECT_EQ(r.counters.get(Event::kTraceCacheMisses), 5u) << "warm block hits";
+  EXPECT_EQ(r.counters.get(Event::kItlbMisses), 1u);
+}
+
+TEST(CoreTest, FlushMovesAccumulatorsToCounters) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.alu(1000);
+  c.load(r.space.alloc(64), Dep::kChained);
+  EXPECT_EQ(r.counters.get(Event::kCycles), 0u) << "not yet flushed";
+  c.flush_accumulators();
+  const auto cycles = r.counters.get(Event::kCycles);
+  EXPECT_GT(cycles, 700u);
+  EXPECT_NEAR(static_cast<double>(cycles), c.now(), 2.0);
+  const auto stalls = r.counters.get(Event::kStallCyclesMemory) +
+                      r.counters.get(Event::kStallCyclesTlb);
+  EXPECT_GT(stalls, 0u);
+  // Second flush adds nothing.
+  c.flush_accumulators();
+  EXPECT_EQ(r.counters.get(Event::kCycles), cycles);
+}
+
+TEST(CoreTest, SetNowOnlyMovesForward) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.alu(100);
+  const double t = c.now();
+  c.set_now(t - 10);
+  EXPECT_DOUBLE_EQ(c.now(), t);
+  c.set_now(t + 10);
+  EXPECT_DOUBLE_EQ(c.now(), t + 10);
+}
+
+TEST(CoreTest, IdleTimeNotCountedAsExecution) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.alu(100);
+  c.set_now(c.now() + 100000);  // barrier idle
+  c.flush_accumulators();
+  EXPECT_LT(r.counters.get(Event::kCycles), 200u)
+      << "idle (barrier wait) must not appear in kCycles";
+}
+
+TEST(CoreTest, StoreMissGeneratesRfoBusRead) {
+  Rig r;
+  HwContext& c = r.ctx();
+  c.store(r.space.alloc(64));
+  EXPECT_EQ(r.counters.get(Event::kBusReads), 1u)
+      << "write-allocate: a store miss reads the line for ownership";
+}
+
+TEST(CoreTest, SequentialStreamTriggersPrefetch) {
+  Rig r;
+  HwContext& c = r.ctx();
+  const Addr base = r.space.alloc(1 << 16);
+  for (Addr off = 0; off < (1 << 16); off += 64) c.load(base + off);
+  EXPECT_GT(r.counters.get(Event::kPrefetchesIssued), 10u);
+  EXPECT_GT(r.counters.get(Event::kPrefetchesUseful), 10u);
+  EXPECT_EQ(r.counters.get(Event::kBusPrefetches) +
+                r.counters.get(Event::kBusReads) +
+                r.counters.get(Event::kBusWrites),
+            r.counters.get(Event::kBusTransactions))
+      << "bus transaction classes must add up";
+}
+
+TEST(CoreTest, L2EvictionWritesBack) {
+  Rig r;
+  HwContext& c = r.ctx();
+  // Dirty a large region, then stream far past it to force L2 evictions.
+  const std::size_t l2_bytes = r.p.l2.size_bytes;
+  const Addr w = r.space.alloc(l2_bytes * 2);
+  for (Addr off = 0; off < l2_bytes * 2; off += 64) c.store(w + off);
+  EXPECT_GT(r.counters.get(Event::kBusWrites), 0u);
+}
+
+TEST(CoreTest, CountersAttributedToBoundProgram) {
+  Rig r;
+  perf::CounterSet other;
+  HwContext& c0 = r.ctx(0, 0, 0);
+  HwContext& c1 = r.machine.context({0, 0, 1});
+  c1.bind(&other, r.space.code_base());
+  c0.alu(10);
+  c1.alu(20);
+  EXPECT_EQ(r.counters.get(Event::kInstructions), 10u);
+  EXPECT_EQ(other.get(Event::kInstructions), 20u);
+}
+
+}  // namespace
+}  // namespace paxsim::sim

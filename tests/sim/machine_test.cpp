@@ -1,0 +1,144 @@
+// Unit tests for the machine topology, the coherence directory and the
+// cross-core invalidation/downgrade flows.
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::sim {
+namespace {
+
+using perf::Event;
+
+TEST(MachineTest, TopologyShape) {
+  Machine m{MachineParams{}};
+  EXPECT_EQ(m.params().total_contexts(), 8);
+  EXPECT_EQ(m.params().total_cores(), 4);
+  // Distinct contexts are distinct objects.
+  EXPECT_NE(&m.context({0, 0, 0}), &m.context({0, 0, 1}));
+  EXPECT_NE(&m.context({0, 0, 0}), &m.context({1, 0, 0}));
+  // Flat ids follow the paper's Figure-1 labelling order.
+  EXPECT_EQ((LogicalCpu{0, 0, 0}).flat(), 0);
+  EXPECT_EQ((LogicalCpu{0, 1, 1}).flat(), 3);
+  EXPECT_EQ((LogicalCpu{1, 0, 0}).flat(), 4);
+  EXPECT_EQ((LogicalCpu{1, 1, 1}).flat(), 7);
+}
+
+struct CoherenceRig {
+  MachineParams p;
+  Machine m{p};
+  AddressSpace space{0};
+  perf::CounterSet counters;
+
+  HwContext& ctx(int chip, int core) {
+    HwContext& c = m.context({static_cast<std::uint8_t>(chip),
+                              static_cast<std::uint8_t>(core), 0});
+    if (!c.bound()) c.bind(&counters, space.code_base());
+    return c;
+  }
+};
+
+TEST(MachineTest, DirectoryTracksReaders) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).load(a);
+  EXPECT_EQ(r.m.holders_of(a), 0b0001u);
+  r.ctx(0, 1).load(a);
+  EXPECT_EQ(r.m.holders_of(a), 0b0011u);
+  r.ctx(1, 0).load(a);
+  EXPECT_EQ(r.m.holders_of(a), 0b0111u);
+}
+
+TEST(MachineTest, StoreInvalidatesRemoteCopies) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).load(a);
+  r.ctx(1, 0).load(a);
+  ASSERT_EQ(r.m.holders_of(a), 0b0101u);
+  r.ctx(0, 1).store(a);
+  EXPECT_EQ(r.m.holders_of(a), 0b0010u) << "writer becomes sole owner";
+  EXPECT_GE(r.counters.get(Event::kL2Invalidations), 2u);
+  EXPECT_FALSE(r.m.core(0, 0).l2().contains(a));
+  EXPECT_FALSE(r.m.core(1, 0).l2().contains(a));
+  EXPECT_EQ(r.m.core(0, 1).l2().state_of(a), LineState::kModified);
+}
+
+TEST(MachineTest, RemoteDirtyCopyDowngradedOnRead) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).store(a);  // core 0 holds a Modified
+  const auto writes_before = r.counters.get(Event::kBusWrites);
+  r.ctx(1, 1).load(a);   // remote read snoops it out
+  EXPECT_EQ(r.m.core(0, 0).l2().state_of(a), LineState::kShared);
+  EXPECT_EQ(r.m.core(1, 1).l2().state_of(a), LineState::kShared);
+  EXPECT_GT(r.counters.get(Event::kBusWrites), writes_before)
+      << "the dirty data had to be written back";
+}
+
+TEST(MachineTest, ExclusiveWhenSoleReader) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).load(a);
+  EXPECT_EQ(r.m.core(0, 0).l2().state_of(a), LineState::kExclusive);
+}
+
+TEST(MachineTest, PingPongStores) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  for (int i = 0; i < 10; ++i) {
+    r.ctx(0, 0).store(a);
+    r.ctx(1, 0).store(a);
+  }
+  EXPECT_GE(r.counters.get(Event::kL2Invalidations), 19u)
+      << "alternating writers invalidate each other every time";
+  EXPECT_EQ(r.m.holders_of(a), 0b0100u);
+}
+
+TEST(MachineTest, EvictionClearsDirectory) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).load(a);
+  ASSERT_EQ(r.m.holders_of(a), 0b0001u);
+  // Stream far past the L2 to evict `a`.
+  const std::size_t l2 = r.p.l2.size_bytes;
+  const Addr big = r.space.alloc(l2 * 2);
+  for (Addr off = 0; off < l2 * 2; off += 64) r.ctx(0, 0).load(big + off);
+  EXPECT_EQ(r.m.holders_of(a), 0u) << "evicted line leaves the directory";
+}
+
+TEST(MachineTest, WallTimeIsMaxContextClock) {
+  CoherenceRig r;
+  r.ctx(0, 0).alu(100);
+  r.ctx(1, 0).alu(500);
+  EXPECT_DOUBLE_EQ(r.m.wall_time(), r.ctx(1, 0).now());
+}
+
+TEST(MachineTest, ResetRestoresColdMachine) {
+  CoherenceRig r;
+  const Addr a = r.space.alloc(64);
+  r.ctx(0, 0).store(a);
+  r.m.reset();
+  EXPECT_EQ(r.m.holders_of(a), 0u);
+  EXPECT_DOUBLE_EQ(r.m.wall_time(), 0.0);
+  EXPECT_FALSE(r.m.core(0, 0).l2().contains(a));
+}
+
+TEST(MachineTest, AddressSpacesDisjoint) {
+  AddressSpace p0(0), p1(1);
+  const Addr a0 = p0.alloc(1 << 20);
+  const Addr a1 = p1.alloc(1 << 20);
+  EXPECT_NE(a0 >> 40, a1 >> 40) << "programs live in disjoint 1-TiB windows";
+  EXPECT_NE(p0.code_base() >> 39, a0 >> 39)
+      << "code and data are disjoint within a program";
+}
+
+TEST(MachineTest, AddressSpaceAlignment) {
+  AddressSpace s(0);
+  EXPECT_EQ(s.alloc(10, 64) % 64, 0u);
+  EXPECT_EQ(s.alloc(1, 4096) % 4096, 0u);
+  const Addr a = s.alloc(100, 64);
+  const Addr b = s.alloc(1, 64);
+  EXPECT_GE(b, a + 100);
+}
+
+}  // namespace
+}  // namespace paxsim::sim

@@ -1,0 +1,68 @@
+// Unit tests for machine parameter scaling.
+#include "sim/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::sim {
+namespace {
+
+TEST(ParamsTest, DefaultsAreTheCalibratedMachine) {
+  const MachineParams p;
+  EXPECT_EQ(p.chips, 2);
+  EXPECT_EQ(p.cores_per_chip, 2);
+  EXPECT_EQ(p.contexts_per_core, 2);
+  EXPECT_DOUBLE_EQ(p.clock_ghz, 2.8);
+  EXPECT_EQ(p.l1d.size_bytes, 16u * 1024);
+  EXPECT_EQ(p.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(p.trace_cache_uops, 12u * 1024);
+  // Latency anchors from the paper's LMbench run.
+  EXPECT_EQ(p.l1_latency, 4u);    // 1.43 ns
+  EXPECT_EQ(p.l2_latency, 30u);   // 10.6 ns
+  EXPECT_EQ(p.mem_latency, 383u); // 136.85 ns
+}
+
+TEST(ParamsTest, ScaledDividesCapacities) {
+  const MachineParams p = MachineParams{}.scaled(16);
+  EXPECT_EQ(p.l1d.size_bytes, 1024u);
+  EXPECT_EQ(p.l2.size_bytes, 128u * 1024);
+  // 64 entries / 16 would be 4, but entry counts floor at the
+  // associativity so the structure stays well-formed.
+  EXPECT_EQ(p.dtlb_entries, p.dtlb_ways);
+}
+
+TEST(ParamsTest, ScaledPreservesTimingAndTopology) {
+  const MachineParams p = MachineParams{}.scaled(16);
+  const MachineParams base;
+  EXPECT_EQ(p.l1_latency, base.l1_latency);
+  EXPECT_EQ(p.mem_latency, base.mem_latency);
+  EXPECT_DOUBLE_EQ(p.bus_read_occupancy, base.bus_read_occupancy);
+  EXPECT_DOUBLE_EQ(p.cycles_per_uop, base.cycles_per_uop);
+  EXPECT_EQ(p.chips, base.chips);
+  EXPECT_EQ(p.l1d.line_bytes, base.l1d.line_bytes);
+}
+
+TEST(ParamsTest, ScaleOneIsIdentity) {
+  const MachineParams p = MachineParams{}.scaled(1.0);
+  EXPECT_EQ(p.l1d.size_bytes, MachineParams{}.l1d.size_bytes);
+  EXPECT_EQ(p.l2.size_bytes, MachineParams{}.l2.size_bytes);
+}
+
+TEST(ParamsTest, ScaledStructuresStayWellFormed) {
+  for (const double f : {2.0, 4.0, 16.0, 64.0, 1024.0}) {
+    const MachineParams p = MachineParams{}.scaled(f);
+    EXPECT_GE(p.l1d.size_bytes, p.l1d.line_bytes * p.l1d.ways) << "scale " << f;
+    EXPECT_GE(p.l2.size_bytes, p.l2.line_bytes * p.l2.ways) << "scale " << f;
+    EXPECT_TRUE(is_pow2(p.l1d.sets())) << "scale " << f;
+    EXPECT_TRUE(is_pow2(p.l2.sets())) << "scale " << f;
+    EXPECT_GE(p.dtlb_entries, 1u);
+  }
+}
+
+TEST(ParamsTest, GeometryHelpers) {
+  const CacheGeometry g{16 * 1024, 64, 8};
+  EXPECT_EQ(g.lines(), 256u);
+  EXPECT_EQ(g.sets(), 32u);
+}
+
+}  // namespace
+}  // namespace paxsim::sim

@@ -1,0 +1,55 @@
+// Unit tests for the TLB model.
+#include "sim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::sim {
+namespace {
+
+TEST(TlbTest, MissThenHitWithinPage) {
+  Tlb tlb(16, 4, 4096);
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1FFF)) << "same page";
+  EXPECT_FALSE(tlb.access(0x2000)) << "next page";
+}
+
+TEST(TlbTest, CapacityEviction) {
+  Tlb tlb(4, 4, 4096);  // 4 translations, fully associative
+  for (Addr p = 0; p < 4; ++p) EXPECT_FALSE(tlb.access(p * 4096));
+  for (Addr p = 0; p < 4; ++p) EXPECT_TRUE(tlb.access(p * 4096));
+  EXPECT_FALSE(tlb.access(4 * 4096));  // evicts LRU = page 0
+  EXPECT_FALSE(tlb.access(0));
+}
+
+TEST(TlbTest, EntriesReported) {
+  Tlb tlb(64, 16, 4096);
+  EXPECT_EQ(tlb.entries(), 64u);
+  EXPECT_EQ(tlb.page_bytes(), 4096u);
+}
+
+TEST(TlbTest, WaysClampedToEntries) {
+  Tlb tlb(8, 16, 4096);  // ways > entries must clamp, not crash
+  EXPECT_EQ(tlb.entries(), 8u);
+  EXPECT_FALSE(tlb.access(0));
+  EXPECT_TRUE(tlb.access(0));
+}
+
+TEST(TlbTest, ResetForgets) {
+  Tlb tlb(16, 4, 4096);
+  tlb.access(0x1000);
+  tlb.reset();
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(TlbTest, LargeStrideAllMiss) {
+  Tlb tlb(16, 4, 4096);
+  int misses = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (!tlb.access(static_cast<Addr>(i) * 4096 * 8)) ++misses;
+  }
+  EXPECT_EQ(misses, 64) << "page-stride sweep larger than the TLB never hits";
+}
+
+}  // namespace
+}  // namespace paxsim::sim

@@ -1,0 +1,107 @@
+// Unit tests for the trace cache model: block residency, capacity
+// thrashing, and cross-program interference (the multi-program channel).
+#include "sim/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::sim {
+namespace {
+
+TEST(TraceCacheTest, SmallBlockResidentAfterFirstFetch) {
+  TraceCache tc(768, 6, 8);
+  const TraceFetch cold = tc.fetch(0, 1, 30);
+  EXPECT_EQ(cold.lines_referenced, 5u);  // ceil(30/6)
+  EXPECT_EQ(cold.lines_missed, 5u);
+  const TraceFetch warm = tc.fetch(0, 1, 30);
+  EXPECT_EQ(warm.lines_referenced, 5u);
+  EXPECT_EQ(warm.lines_missed, 0u);
+}
+
+TEST(TraceCacheTest, LineRounding) {
+  TraceCache tc(768, 6, 8);
+  EXPECT_EQ(tc.fetch(0, 1, 1).lines_referenced, 1u);
+  EXPECT_EQ(tc.fetch(0, 2, 6).lines_referenced, 1u);
+  EXPECT_EQ(tc.fetch(0, 3, 7).lines_referenced, 2u);
+}
+
+TEST(TraceCacheTest, DistinctBlocksDistinctTraces) {
+  TraceCache tc(768, 6, 8);
+  tc.fetch(0, 1, 12);
+  const TraceFetch other = tc.fetch(0, 2, 12);
+  EXPECT_EQ(other.lines_missed, 2u) << "block 2 must not alias block 1";
+}
+
+TEST(TraceCacheTest, DistinctProgramsDistinctTraces) {
+  TraceCache tc(768, 6, 8);
+  tc.fetch(/*code_base=*/0x1000000, 1, 12);
+  const TraceFetch other = tc.fetch(/*code_base=*/0x2000000, 1, 12);
+  EXPECT_EQ(other.lines_missed, 2u)
+      << "same block id in another program is different code";
+}
+
+TEST(TraceCacheTest, CapacityThrash) {
+  // Capacity 96 uops = 16 lines; two 60-uop blocks (10 lines each) cannot
+  // both stay resident alongside each other forever if they alias; a block
+  // bigger than the whole cache must always rebuild.
+  TraceCache tc(96, 6, 8);
+  const TraceFetch big_cold = tc.fetch(0, 1, 120);  // 20 lines > 16 capacity
+  EXPECT_EQ(big_cold.lines_missed, big_cold.lines_referenced);
+  const TraceFetch big_again = tc.fetch(0, 1, 120);
+  EXPECT_GT(big_again.lines_missed, 0u)
+      << "a block larger than the trace cache can never fully hit";
+}
+
+TEST(TraceCacheTest, AlternatingPrograms) {
+  // Two programs whose combined footprint exceeds capacity evict each other
+  // — the FT/FT vs CG/FT multi-program effect.
+  TraceCache tc(96, 6, 8);  // 16 lines
+  int total_missed = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    total_missed += static_cast<int>(tc.fetch(0x1000000, 1, 60).lines_missed);
+    total_missed += static_cast<int>(tc.fetch(0x2000000, 1, 60).lines_missed);
+  }
+  EXPECT_GT(total_missed, 40) << "alternating oversized programs must thrash";
+}
+
+TEST(TraceCacheTest, ResetForgets) {
+  TraceCache tc(768, 6, 8);
+  tc.fetch(0, 1, 30);
+  tc.reset();
+  EXPECT_EQ(tc.fetch(0, 1, 30).lines_missed, 5u);
+}
+
+TEST(TraceCacheTest, MtPartitionsAreIndependent) {
+  TraceCache tc(768, 6, 8);
+  // Warm context 0's half.
+  EXPECT_EQ(tc.fetch(0, 1, 30, /*partition=*/0).lines_missed, 5u);
+  EXPECT_EQ(tc.fetch(0, 1, 30, 0).lines_missed, 0u);
+  // Context 1's half is still cold for the same block.
+  EXPECT_EQ(tc.fetch(0, 1, 30, 1).lines_missed, 5u);
+  // And the full (single-threaded-mode) array is its own state too.
+  EXPECT_EQ(tc.fetch(0, 1, 30, -1).lines_missed, 5u);
+}
+
+TEST(TraceCacheTest, HalfPartitionHasHalfCapacity) {
+  // A code footprint that fits the full cache but not a half must thrash
+  // in MT mode and hit in ST mode — the NetBurst MT-mode capacity tax.
+  TraceCache tc(768, 6, 8);  // full: 128 lines; halves: 64 lines
+  auto rebuild_rate = [&](int partition) {
+    // 16 blocks x 42 uops = 112 lines: fits 128, exceeds 64.
+    int missed = 0, referenced = 0;
+    for (int rep = 0; rep < 6; ++rep) {
+      for (BlockId b = 0; b < 16; ++b) {
+        const TraceFetch f = tc.fetch(0, b, 42, partition);
+        missed += static_cast<int>(f.lines_missed);
+        referenced += static_cast<int>(f.lines_referenced);
+      }
+    }
+    return static_cast<double>(missed) / referenced;
+  };
+  const double st = rebuild_rate(-1);
+  const double mt = rebuild_rate(0);
+  EXPECT_LT(st, 0.25) << "fits the full trace cache after warmup";
+  EXPECT_GT(mt, 0.5) << "must thrash a half-size partition";
+}
+
+}  // namespace
+}  // namespace paxsim::sim

@@ -1,0 +1,107 @@
+// Tests for the auxiliary OpenMP-style constructs: sections, single,
+// atomic, critical — coverage semantics and their simulated costs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "xomp/team.hpp"
+
+namespace paxsim::xomp {
+namespace {
+
+struct Rig {
+  sim::MachineParams p = sim::MachineParams{}.scaled(16);
+  sim::Machine machine{p};
+  sim::AddressSpace space{0};
+  perf::CounterSet counters;
+
+  Team team(int n) {
+    std::vector<sim::LogicalCpu> cpus;
+    const sim::LogicalCpu all[] = {{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 0}};
+    for (int i = 0; i < n; ++i) cpus.push_back(all[i]);
+    return Team(machine, cpus, &counters, space);
+  }
+};
+
+constexpr CodeBlock kBlk{9, 12};
+
+TEST(ConstructsTest, SectionsEachRunExactlyOnce) {
+  Rig rig;
+  Team team = rig.team(4);
+  std::vector<int> ran(6, 0);
+  std::vector<std::function<void(sim::HwContext&, int)>> sections;
+  for (int s = 0; s < 6; ++s) {
+    sections.emplace_back([&ran, s](sim::HwContext& ctx, int) {
+      ctx.alu(100 * (s + 1));
+      ++ran[static_cast<std::size_t>(s)];
+    });
+  }
+  team.parallel_sections(std::move(sections), kBlk);
+  for (const int r : ran) EXPECT_EQ(r, 1);
+}
+
+TEST(ConstructsTest, SectionsDistributeAcrossThreads) {
+  Rig rig;
+  Team team = rig.team(4);
+  std::set<int> owners;
+  std::vector<std::function<void(sim::HwContext&, int)>> sections;
+  for (int s = 0; s < 8; ++s) {
+    sections.emplace_back([&owners](sim::HwContext& ctx, int rank) {
+      ctx.alu(5000);
+      owners.insert(rank);
+    });
+  }
+  team.parallel_sections(std::move(sections), kBlk);
+  EXPECT_GT(owners.size(), 1u) << "equal-cost sections must spread";
+}
+
+TEST(ConstructsTest, SectionsBarrierAligns) {
+  Rig rig;
+  Team team = rig.team(3);
+  std::vector<std::function<void(sim::HwContext&, int)>> sections;
+  sections.emplace_back([](sim::HwContext& ctx, int) { ctx.alu(90000); });
+  team.parallel_sections(std::move(sections), kBlk);
+  const double t0 = team.context_of(0).now();
+  for (int r = 1; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(team.context_of(r).now(), t0);
+  }
+}
+
+TEST(ConstructsTest, SingleRunsOnce) {
+  Rig rig;
+  Team team = rig.team(4);
+  int runs = 0;
+  team.single([&](sim::HwContext& ctx) {
+    ctx.alu(10);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ConstructsTest, AtomicPingPongsBetweenCores) {
+  Rig rig;
+  Team team = rig.team(2);
+  const sim::Addr counter = rig.space.alloc(64, 64);
+  team.flush();
+  const auto inv_before = rig.counters.get(perf::Event::kL2Invalidations);
+  for (int i = 0; i < 20; ++i) {
+    team.atomic_rmw(0, counter);
+    team.atomic_rmw(1, counter);
+  }
+  team.flush();
+  EXPECT_GT(rig.counters.get(perf::Event::kL2Invalidations), inv_before + 10)
+      << "alternating atomics on one line must ping-pong";
+}
+
+TEST(ConstructsTest, AtomicAdvancesOnlyCaller) {
+  Rig rig;
+  Team team = rig.team(2);
+  const sim::Addr counter = rig.space.alloc(64, 64);
+  team.atomic_rmw(0, counter);
+  EXPECT_GT(team.context_of(0).now(), 0.0);
+  EXPECT_DOUBLE_EQ(team.context_of(1).now(), 0.0);
+}
+
+}  // namespace
+}  // namespace paxsim::xomp

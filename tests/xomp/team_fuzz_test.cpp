@@ -1,0 +1,127 @@
+// Runtime fuzz: random sequences of parallel regions, serial sections,
+// reductions, barriers and criticals under every schedule kind, checking
+// the structural invariants the kernels depend on:
+//   * every loop iteration executes exactly once;
+//   * virtual clocks never move backwards and always align at joins;
+//   * counters only grow;
+//   * the same seed replays bit-identically.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "xomp/team.hpp"
+
+namespace paxsim::xomp {
+namespace {
+
+struct Rig {
+  sim::MachineParams p = sim::MachineParams{}.scaled(16);
+  sim::Machine machine{p};
+  sim::AddressSpace space{0};
+  perf::CounterSet counters;
+};
+
+constexpr CodeBlock kBlk{3, 10};
+
+/// Runs a random program against a team; returns the final wall time.
+double random_program(Rig& rig, Team& team, std::uint64_t seed,
+                      bool check_coverage) {
+  std::mt19937_64 rng(seed);
+  sim::Addr heap = rig.space.alloc(1 << 16, 64);
+  for (int region = 0; region < 25; ++region) {
+    const int kind = static_cast<int>(rng() % 5);
+    switch (kind) {
+      case 0: {  // parallel_for under a random schedule
+        const std::size_t n = rng() % 200;
+        Schedule sched;
+        sched.kind = static_cast<ScheduleKind>(rng() % 3);
+        sched.chunk = rng() % 8;
+        std::vector<int> hits(n, 0);
+        team.parallel_for(0, n, sched, kBlk,
+                          [&](std::size_t i, sim::HwContext& ctx, int) {
+                            ctx.alu(1 + static_cast<std::uint32_t>(i % 13));
+                            ctx.load(heap + (i * 64) % (1 << 16));
+                            ++hits[i];
+                          });
+        if (check_coverage) {
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(hits[i], 1) << "region " << region << " iter " << i;
+          }
+        }
+        break;
+      }
+      case 1: {  // reduction
+        const std::size_t n = 1 + rng() % 100;
+        const double sum = team.parallel_reduce(
+            0, n, Schedule::static_default(), kBlk,
+            [](std::size_t, sim::HwContext& ctx, int) {
+              ctx.alu(2);
+              return 1.0;
+            });
+        EXPECT_DOUBLE_EQ(sum, static_cast<double>(n));
+        break;
+      }
+      case 2:  // serial section
+        team.serial([&](sim::HwContext& ctx) { ctx.alu(rng() % 500); });
+        break;
+      case 3:  // explicit barrier
+        team.barrier();
+        break;
+      default:  // critical on a random rank
+        team.critical(static_cast<int>(rng() % team.size()),
+                      [](sim::HwContext& ctx) { ctx.alu(3); });
+        break;
+    }
+    // Clock sanity after every region-ish construct.
+    for (int r = 0; r < team.size(); ++r) {
+      EXPECT_GE(team.context_of(r).now(), 0.0);
+    }
+  }
+  team.barrier();
+  return team.wall_time();
+}
+
+class TeamFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(TeamFuzzTest, InvariantsHold) {
+  const auto [threads, seed] = GetParam();
+  Rig rig;
+  std::vector<sim::LogicalCpu> cpus;
+  const sim::LogicalCpu all[] = {{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 0},
+                                 {0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}};
+  for (int i = 0; i < threads; ++i) cpus.push_back(all[i]);
+  Team team(rig.machine, cpus, &rig.counters, rig.space);
+
+  const double wall = random_program(rig, team, seed, /*check_coverage=*/true);
+  EXPECT_GT(wall, 0.0);
+  // Joined: all clocks equal.
+  for (int r = 0; r < team.size(); ++r) {
+    EXPECT_DOUBLE_EQ(team.context_of(r).now(), wall);
+  }
+  team.flush();
+  EXPECT_GT(rig.counters.get(perf::Event::kInstructions), 0u);
+  EXPECT_GE(rig.counters.get(perf::Event::kCycles),
+            rig.counters.get(perf::Event::kStallCyclesMemory));
+}
+
+TEST_P(TeamFuzzTest, ReplaysBitIdentically) {
+  const auto [threads, seed] = GetParam();
+  auto run_once = [&](int nthreads, std::uint64_t s) {
+    Rig rig;
+    std::vector<sim::LogicalCpu> cpus;
+    const sim::LogicalCpu all[] = {{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 0},
+                                   {0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}};
+    for (int i = 0; i < nthreads; ++i) cpus.push_back(all[i]);
+    Team team(rig.machine, cpus, &rig.counters, rig.space);
+    return random_program(rig, team, s, /*check_coverage=*/false);
+  };
+  EXPECT_DOUBLE_EQ(run_once(threads, seed), run_once(threads, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TeamFuzzTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(11u, 77u, 303u)));
+
+}  // namespace
+}  // namespace paxsim::xomp
