@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/config.hpp"
+#include "harness/engine.hpp"
 #include "harness/runner.hpp"
 #include "npb/kernel.hpp"
 
@@ -19,12 +20,13 @@ namespace paxsim::bench {
 /// Options common to every artifact bench.
 struct BenchOptions {
   harness::RunOptions run;
+  int jobs = 1;           ///< host worker threads for independent cells
   bool csv = false;       ///< additionally emit CSV rows after each table
   std::string plot_dir;   ///< when set, also write gnuplot .dat/.gp files
 };
 
-/// Parses --class=S|W|A|B, --trials=N, --seed=N, --csv, --no-verify.
-/// Returns false (after printing usage) on an unknown flag.
+/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --csv,
+/// --no-verify.  Returns false (after printing usage) on an unknown flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -39,6 +41,9 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
       opt.run.trials = std::atoi(a.c_str() + 9);
     } else if (a.rfind("--seed=", 0) == 0) {
       opt.run.base_seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::atoi(a.c_str() + 7);
+      if (opt.jobs < 1) opt.jobs = 1;
     } else if (a == "--csv") {
       opt.csv = true;
     } else if (a.rfind("--plot=", 0) == 0) {
@@ -47,8 +52,8 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
       opt.run.verify = false;
     } else if (a == "--help" || a == "-h") {
       std::printf(
-          "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--csv] "
-          "[--plot=DIR] [--no-verify]\n",
+          "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
+          "[--csv] [--plot=DIR] [--no-verify]\n",
           argv[0]);
       return false;
     } else {
@@ -57,6 +62,18 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     }
   }
   return true;
+}
+
+/// One-line engine accounting footer (cache effectiveness + pool reuse).
+inline void print_engine_stats(const harness::ExperimentEngine& engine) {
+  const harness::EngineStats s = engine.stats();
+  std::printf(
+      "engine: %llu simulated, %llu cached (hit rate %.1f%%), "
+      "%llu machines built for %llu acquisitions\n",
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_hits), 100.0 * s.hit_rate(),
+      static_cast<unsigned long long>(s.machines_created),
+      static_cast<unsigned long long>(s.machines_acquired));
 }
 
 /// The six benchmarks of the paper's single-program sections (the two

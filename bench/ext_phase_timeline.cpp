@@ -8,7 +8,6 @@
 #include "bench/bench_common.hpp"
 #include "harness/report.hpp"
 #include "perf/timeline.hpp"
-#include "xomp/team.hpp"
 
 using namespace paxsim;
 
@@ -19,52 +18,40 @@ int main(int argc, char** argv) {
   bench::print_study_header("Extension: per-step metric timeline");
 
   const harness::StudyConfig* cfg = harness::find_config("HT on -8-2");
-  for (const npb::Benchmark b : bench::study_benchmarks()) {
-    sim::Machine machine(opt.run.machine_params());
-    sim::AddressSpace space(0);
-    perf::CounterSet counters;
-    perf::Timeline timeline;
+  const auto& benches = bench::study_benchmarks();
 
-    auto kernel = npb::make_kernel(b);
-    kernel->setup(space, npb::ProblemConfig{opt.run.cls, opt.run.trial_seed(0)});
-    xomp::Team team(machine, cfg->cpus, &counters, space);
-    for (int chip = 0; chip < 2; ++chip) {
-      for (int core = 0; core < 2; ++core) {
-        machine.core(chip, core).set_active_contexts(2);
-      }
-    }
+  // Sampled runs fan out over the engine workers (one pooled machine each);
+  // printing happens afterwards, in benchmark order.
+  harness::ExperimentEngine engine(opt.jobs);
+  std::vector<harness::TimelineResult> timelines(benches.size());
+  engine.for_each(benches.size(), [&](std::size_t i) {
+    timelines[i] =
+        engine.timeline(benches[i], *cfg, opt.run, opt.run.trial_seed(0));
+  });
 
-    std::vector<double> step_wall;
-    double prev_wall = 0;
-    for (int s = 0; s < kernel->total_steps(); ++s) {
-      kernel->step(team, s);
-      team.flush();
-      timeline.sample(counters);
-      const double w = team.wall_time();
-      step_wall.push_back(w - prev_wall);
-      prev_wall = w;
-    }
-
-    harness::Table table(std::string(kernel->name()) +
+  for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+    const harness::TimelineResult& tl = timelines[bi];
+    harness::Table table(std::string(npb::benchmark_name(benches[bi])) +
                              " per-step metrics on HT on -8-2",
                          {"Mcycles", "CPI", "L1miss", "L2miss", "stall%",
                           "prefetch%"});
-    for (std::size_t i = 0; i < timeline.intervals(); ++i) {
-      const perf::Metrics m = timeline.metrics(i);
+    for (std::size_t i = 0; i < tl.timeline.intervals(); ++i) {
+      const perf::Metrics m = tl.timeline.metrics(i);
       table.add_row("step " + std::to_string(i),
-                    {step_wall[i] / 1e6, m.cpi, m.l1d_miss_rate,
+                    {tl.step_wall[i] / 1e6, m.cpi, m.l1d_miss_rate,
                      m.l2_miss_rate, 100 * m.stalled_fraction,
                      100 * m.prefetch_bus_fraction});
     }
     table.print(std::cout, 3);
-    if (opt.csv) timeline.print_csv(std::cout);
-    if (!kernel->verify()) {
+    if (opt.csv) tl.timeline.print_csv(std::cout);
+    if (!tl.run.verified) {
       std::fprintf(stderr, "verification failed for %s\n",
-                   std::string(kernel->name()).c_str());
+                   std::string(npb::benchmark_name(benches[bi])).c_str());
       return 1;
     }
   }
   std::printf("Note the cold-start effect: step 0 carries the compulsory\n"
               "misses; the paper's whole-program counters blend this in.\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

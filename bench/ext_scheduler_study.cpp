@@ -38,37 +38,61 @@ int main(int argc, char** argv) {
       {"FT+FT", {npb::Benchmark::kFT, npb::Benchmark::kFT}},
   };
   const char* configs[] = {"HT on -4-1", "HT on -8-2"};
+  constexpr int kPolicies = 5;
+  constexpr std::size_t kWorkloads = 3;
 
   const std::uint64_t seed = opt.run.trial_seed(0);
 
-  for (const char* cname : configs) {
-    const harness::StudyConfig* cfg = harness::find_config(cname);
+  // Scheduler runs are stateful (the policy object carries history), so the
+  // engine cannot memoize them — instead the flat config x workload x policy
+  // cell list fans out over for_each, each cell on its own pooled machine
+  // with its own freshly built policy.
+  const auto make_policy = [seed](int policy) {
+    std::unique_ptr<sched::Scheduler> s;
+    switch (policy) {
+      case 0: s = sched::make_pinned_spread(); break;
+      case 1: s = sched::make_naive_pack(); break;
+      case 2: s = sched::make_random_migrating(0.5, seed); break;
+      case 3: s = sched::make_ht_aware(); break;
+      default: s = sched::make_symbiotic(1); break;
+    }
+    return s;
+  };
+
+  harness::ExperimentEngine engine(opt.jobs);
+  const std::size_t n_cells = std::size(configs) * kWorkloads * kPolicies;
+  std::vector<harness::ScheduledResult> results(n_cells);
+  engine.for_each(n_cells, [&](std::size_t i) {
+    const std::size_t cfg_i = i / (kWorkloads * kPolicies);
+    const std::size_t w_i = (i / kPolicies) % kWorkloads;
+    const int policy = static_cast<int>(i % kPolicies);
+    const harness::StudyConfig* cfg = harness::find_config(configs[cfg_i]);
+    const auto s = make_policy(policy);
+    results[i] = engine.scheduled(workloads[w_i].benches, *cfg, *s, opt.run,
+                                  seed);
+  });
+
+  for (std::size_t cfg_i = 0; cfg_i < std::size(configs); ++cfg_i) {
+    const char* cname = configs[cfg_i];
     harness::Table table(std::string("completion time (Mcycles) on ") + cname,
                          {"pinned-spread", "naive-pack", "random-migrating",
                           "ht-aware", "symbiotic"});
     harness::Table migr(std::string("migrations performed on ") + cname,
                         {"pinned-spread", "naive-pack", "random-migrating",
                          "ht-aware", "symbiotic"});
-    for (const Workload& w : workloads) {
+    for (std::size_t w_i = 0; w_i < kWorkloads; ++w_i) {
       std::vector<double> walls, migs;
-      for (int policy = 0; policy < 5; ++policy) {
-        std::unique_ptr<sched::Scheduler> s;
-        switch (policy) {
-          case 0: s = sched::make_pinned_spread(); break;
-          case 1: s = sched::make_naive_pack(); break;
-          case 2: s = sched::make_random_migrating(0.5, seed); break;
-          case 3: s = sched::make_ht_aware(); break;
-          default: s = sched::make_symbiotic(1); break;
-        }
-        const harness::ScheduledResult r =
-            harness::run_scheduled(w.benches, *cfg, *s, opt.run, seed);
+      for (int policy = 0; policy < kPolicies; ++policy) {
+        const harness::ScheduledResult& r =
+            results[(cfg_i * kWorkloads + w_i) * kPolicies +
+                    static_cast<std::size_t>(policy)];
         double worst = 0;
         for (const auto& pr : r.program) worst = std::max(worst, pr.wall_cycles);
         walls.push_back(worst / 1e6);
         migs.push_back(static_cast<double>(r.migrations));
       }
-      table.add_row(w.label, walls);
-      migr.add_row(w.label, migs);
+      table.add_row(workloads[w_i].label, walls);
+      migr.add_row(workloads[w_i].label, migs);
     }
     table.print(std::cout, 1);
     migr.print(std::cout, 0);
@@ -80,5 +104,6 @@ int main(int argc, char** argv) {
       "multi-program stalls; ht-aware placement matters most when the\n"
       "configuration has more contexts than threads in flight; the\n"
       "symbiotic sampler converges to the best placement it tried.\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

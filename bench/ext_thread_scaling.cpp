@@ -31,14 +31,17 @@ int main(int argc, char** argv) {
   for (int n = 1; n <= 8; ++n) cols.push_back(std::to_string(n) + "T");
   harness::Table table("speedup over serial vs maxcpus", cols);
 
-  const std::uint64_t seed = opt.run.trial_seed(0);
+  // The ladder configs all carry the name "HT on -8-2"; the engine keys its
+  // cache on the full context list, so each rung is a distinct cell.
+  harness::ExperimentEngine engine(opt.jobs);
+  const auto study = engine.run(harness::ExperimentPlan(opt.run, ladder)
+                                    .add_benchmarks(bench::study_benchmarks())
+                                    .with_serial_baselines()
+                                    .trials(1));
   for (const npb::Benchmark b : bench::study_benchmarks()) {
-    const double serial =
-        harness::run_serial(b, opt.run, seed).wall_cycles;
     std::vector<double> row;
-    for (const auto& cfg : ladder) {
-      const auto r = harness::run_single(b, cfg, opt.run, seed);
-      row.push_back(serial / r.wall_cycles);
+    for (std::size_t ci = 0; ci < ladder.size(); ++ci) {
+      row.push_back(study.speedup(b, ci));
     }
     table.add_row(std::string(npb::benchmark_name(b)), row);
   }
@@ -47,5 +50,6 @@ int main(int argc, char** argv) {
   std::printf("Topology boundaries: 1->2 adds the SMT sibling, 2->3 the\n"
               "second core, 4->5 the second package — each benchmark's curve\n"
               "bends where its bottleneck resource is replicated.\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

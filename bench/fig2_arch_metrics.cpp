@@ -21,14 +21,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols;
   for (const auto& c : all) cols.emplace_back(c.name);
 
-  // Collect one run per (benchmark, config).
-  const std::uint64_t seed = opt.run.trial_seed(0);
+  // One run per (benchmark, config), dispatched across the engine's workers.
+  harness::ExperimentEngine engine(opt.jobs);
+  const auto study = engine.run(harness::ExperimentPlan(opt.run, all)
+                                    .add_benchmarks(bench::study_benchmarks())
+                                    .trials(1));
   std::map<npb::Benchmark, std::vector<harness::RunResult>> results;
   for (const npb::Benchmark b : bench::study_benchmarks()) {
     auto& row = results[b];
     row.reserve(all.size());
-    for (const auto& cfg : all) {
-      row.push_back(harness::run_single(b, cfg, opt.run, seed));
+    for (std::size_t ci = 0; ci < all.size(); ++ci) {
+      row.push_back(study.single(b, ci));
     }
   }
 
@@ -53,5 +56,6 @@ int main(int argc, char** argv) {
     panel.print(std::cout, 4);
     if (opt.csv) panel.print_csv(std::cout);
   }
+  bench::print_engine_stats(engine);
   return 0;
 }

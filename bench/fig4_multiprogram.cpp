@@ -5,6 +5,7 @@
 // full width.  Emits the nine metric panels per program plus the three
 // speedup panels (per-program speedup over that program's serial run).
 #include <iostream>
+#include <iterator>
 
 #include "bench/bench_common.hpp"
 #include "harness/report.hpp"
@@ -36,20 +37,25 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols;
   for (const auto& c : configs) cols.emplace_back(c.name);
 
-  const std::uint64_t seed = opt.run.trial_seed(0);
+  // All three workloads across every configuration, plus the serial
+  // baselines for the speedup panels, in one engine pass.
+  harness::ExperimentEngine engine(opt.jobs);
+  auto plan = harness::ExperimentPlan(opt.run, configs)
+                  .with_serial_baselines()
+                  .trials(1);
+  for (const Workload& w : workloads) plan.add_pair(w.a, w.b);
+  const auto study = engine.run(plan);
 
-  // Serial baselines for the speedup panels.
-  const double serial_cg =
-      harness::run_serial(npb::Benchmark::kCG, opt.run, seed).wall_cycles;
-  const double serial_ft =
-      harness::run_serial(npb::Benchmark::kFT, opt.run, seed).wall_cycles;
+  const double serial_cg = study.serial(npb::Benchmark::kCG).wall_cycles;
+  const double serial_ft = study.serial(npb::Benchmark::kFT).wall_cycles;
 
-  for (const Workload& w : workloads) {
+  for (std::size_t wi = 0; wi < std::size(workloads); ++wi) {
+    const Workload& w = workloads[wi];
     std::printf("---- workload %s ----\n", w.label);
     std::vector<harness::PairResult> runs;
     runs.reserve(configs.size());
-    for (const auto& cfg : configs) {
-      runs.push_back(harness::run_pair(w.a, w.b, cfg, opt.run, seed));
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      runs.push_back(study.pair(wi, ci));
     }
     // Metric panels: one row per program.
     for (int m = 0; m < perf::kMetricCount; ++m) {
@@ -84,5 +90,6 @@ int main(int argc, char** argv) {
     sp.print(std::cout);
     if (opt.csv) sp.print_csv(std::cout);
   }
+  bench::print_engine_stats(engine);
   return 0;
 }

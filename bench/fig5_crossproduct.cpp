@@ -25,29 +25,37 @@ int main(int argc, char** argv) {
   const char* config_names[] = {"HT on -2-1", "HT off -2-1", "HT on -4-1",
                                 "HT off -2-2", "HT on -4-2", "HT off -4-2",
                                 "HT on -8-2"};
+  std::vector<harness::StudyConfig> configs;
+  for (const char* name : config_names) {
+    configs.push_back(*harness::find_config(name));
+  }
 
-  const std::uint64_t seed = opt.run.trial_seed(0);
+  // The full cross-product (36 unordered pairs x 7 configurations) plus the
+  // eight serial baselines — one declarative plan, fanned out over --jobs
+  // workers with every repeated cell served from the engine cache.
+  const std::vector<npb::Benchmark> suite(std::begin(npb::kAllBenchmarks),
+                                          std::end(npb::kAllBenchmarks));
+  harness::ExperimentEngine engine(opt.jobs);
+  const auto study = engine.run(harness::ExperimentPlan(opt.run, configs)
+                                    .add_all_pairs(suite)
+                                    .with_serial_baselines()
+                                    .trials(1));
 
-  // Serial baselines per benchmark.
   std::map<npb::Benchmark, double> serial;
   for (const npb::Benchmark b : npb::kAllBenchmarks) {
-    serial[b] = harness::run_serial(b, opt.run, seed).wall_cycles;
+    serial[b] = study.serial(b).wall_cycles;
   }
 
   std::vector<std::pair<std::string, harness::BoxStats>> boxes;
   double lo = 1e300, hi = -1e300;
-  for (const char* name : config_names) {
-    const harness::StudyConfig* cfg = harness::find_config(name);
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    const char* name = config_names[ci];
     std::vector<double> speedups;
-    for (std::size_t i = 0; i < std::size(npb::kAllBenchmarks); ++i) {
-      for (std::size_t j = i; j < std::size(npb::kAllBenchmarks); ++j) {
-        const npb::Benchmark a = npb::kAllBenchmarks[i];
-        const npb::Benchmark b = npb::kAllBenchmarks[j];
-        const harness::PairResult r =
-            harness::run_pair(a, b, *cfg, opt.run, seed);
-        speedups.push_back(serial[a] / r.program[0].wall_cycles);
-        speedups.push_back(serial[b] / r.program[1].wall_cycles);
-      }
+    for (std::size_t pi = 0; pi < study.plan().pairs().size(); ++pi) {
+      const auto& [a, b] = study.plan().pairs()[pi];
+      const harness::PairResult& r = study.pair(pi, ci);
+      speedups.push_back(serial[a] / r.program[0].wall_cycles);
+      speedups.push_back(serial[b] / r.program[1].wall_cycles);
     }
     const harness::BoxStats box = harness::box_summary(speedups);
     lo = std::min(lo, box.min);
@@ -80,5 +88,6 @@ int main(int argc, char** argv) {
         harness::write_box_chart(opt.plot_dir, "fig5_crossproduct", chart);
     std::printf("\nwrote %s (render with gnuplot)\n", gp.c_str());
   }
+  bench::print_engine_stats(engine);
   return 0;
 }

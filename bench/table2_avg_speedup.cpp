@@ -19,10 +19,15 @@ int main(int argc, char** argv) {
     cols.emplace_back(harness::architecture_name(c.arch));
   }
 
+  harness::ExperimentEngine engine(opt.jobs);
+  const auto study = engine.run(harness::ExperimentPlan(opt.run, configs)
+                                    .add_benchmarks(bench::study_benchmarks())
+                                    .with_serial_baselines());
+
   std::vector<double> avg(configs.size(), 0.0);
   for (const npb::Benchmark b : bench::study_benchmarks()) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
-      avg[i] += harness::speedup_over_trials(b, configs[i], opt.run).mean;
+      avg[i] += study.speedup_stats(b, i).mean;
     }
   }
   const auto nb = static_cast<double>(bench::study_benchmarks().size());
@@ -47,5 +52,6 @@ int main(int argc, char** argv) {
               100.0 * (cmt / cmp_smp - 1.0));
   std::printf("CMT-based SMP (HT on -8-2) vs CMP-based SMP    : %+.1f%%  (paper: ~-6.7%%)\n",
               100.0 * (cmt_smp / cmp_smp - 1.0));
+  bench::print_engine_stats(engine);
   return 0;
 }

@@ -5,12 +5,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "harness/engine.hpp"
 #include "harness/report.hpp"
-#include "harness/sched_runner.hpp"
-#include "perf/timeline.hpp"
-#include "xomp/team.hpp"
 #include "lmb/lmbench.hpp"
 #include "perf/metrics.hpp"
+#include "perf/timeline.hpp"
 #include "sched/scheduler.hpp"
 
 namespace paxsim::cli {
@@ -128,6 +127,7 @@ std::string usage() {
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
       "              --baseline (also run and report the serial baseline)\n"
+      "              --jobs=N (host worker threads for independent trials)\n"
       "              --no-verify\n";
 }
 
@@ -184,6 +184,12 @@ ParseResult parse(const std::vector<std::string>& args) {
       }
     } else if (key == "seed") {
       cmd.options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "jobs") {
+      cmd.jobs = std::atoi(value.c_str());
+      if (cmd.jobs < 1) {
+        res.error = "bad --jobs";
+        return res;
+      }
     } else if (key == "policy") {
       cmd.policy = value;
     } else if (key == "csv") {
@@ -244,28 +250,33 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return do_lmbench(out);
       case Command::Kind::kRun: {
         const auto* cfg = harness::find_config(cmd.config_name);
-        const auto seed = cmd.options.trial_seed(0);
-        const auto r =
-            harness::run_single(cmd.benches[0], *cfg, cmd.options, seed);
+        harness::ExperimentEngine engine(cmd.jobs);
+        auto plan = harness::ExperimentPlan(cmd.options, {*cfg})
+                        .add_benchmark(cmd.benches[0])
+                        .with_serial_baselines(cmd.baseline)
+                        .trials(1);
+        const auto study = engine.run(plan);
+        const auto& r = study.single(cmd.benches[0], 0);
         print_result(out,
                      std::string(npb::benchmark_name(cmd.benches[0])) + "@" +
                          cmd.config_name,
                      r, cmd.csv);
         if (cmd.baseline) {
-          const auto s = harness::run_serial(cmd.benches[0], cmd.options, seed);
+          const auto& s = study.serial(cmd.benches[0]);
           print_result(out,
                        std::string(npb::benchmark_name(cmd.benches[0])) +
                            "@Serial",
                        s, cmd.csv);
-          out << "speedup," << s.wall_cycles / r.wall_cycles << '\n';
+          out << "speedup," << study.speedup(cmd.benches[0], 0) << '\n';
         }
         return 0;
       }
       case Command::Kind::kPair: {
         const auto* cfg = harness::find_config(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
-        const auto r = harness::run_pair(cmd.benches[0], cmd.benches[1], *cfg,
-                                         cmd.options, seed);
+        harness::ExperimentEngine engine(cmd.jobs);
+        const auto r = engine.pair(cmd.benches[0], cmd.benches[1], *cfg,
+                                   cmd.options, seed);
         for (int p = 0; p < 2; ++p) {
           print_result(out,
                        std::string(npb::benchmark_name(cmd.benches[p])) +
@@ -277,36 +288,18 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
       case Command::Kind::kTimeline: {
         const auto* cfg = harness::find_config(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
-        sim::Machine machine(cmd.options.machine_params());
-        sim::AddressSpace space(0);
-        perf::CounterSet counters;
-        perf::Timeline timeline;
-        auto kernel = npb::make_kernel(cmd.benches[0]);
-        kernel->setup(space, npb::ProblemConfig{cmd.options.cls, seed});
-        xomp::Team team(machine, cfg->cpus, &counters, space);
-        for (int chip = 0; chip < machine.params().chips; ++chip) {
-          for (int core = 0; core < machine.params().cores_per_chip; ++core) {
-            int n = 0;
-            for (const auto c : cfg->cpus) {
-              if (c.chip == chip && c.core == core) ++n;
-            }
-            machine.core(chip, core).set_active_contexts(n > 0 ? n : 1);
-          }
-        }
-        for (int s = 0; s < kernel->total_steps(); ++s) {
-          kernel->step(team, s);
-          team.flush();
-          timeline.sample(counters);
-        }
-        if (cmd.options.verify && !kernel->verify()) {
+        harness::ExperimentEngine engine(cmd.jobs);
+        const auto tl = engine.timeline(cmd.benches[0], *cfg, cmd.options,
+                                        seed);
+        if (cmd.options.verify && !tl.run.verified) {
           err << "error: verification failed\n";
           return 1;
         }
         if (cmd.csv) {
-          timeline.print_csv(out);
+          tl.timeline.print_csv(out);
         } else {
-          for (std::size_t i = 0; i < timeline.intervals(); ++i) {
-            const perf::Metrics m = timeline.metrics(i);
+          for (std::size_t i = 0; i < tl.timeline.intervals(); ++i) {
+            const perf::Metrics m = tl.timeline.metrics(i);
             out << "step " << i << ": cpi=" << m.cpi
                 << " stalled=" << m.stalled_fraction
                 << " l2_miss=" << m.l2_miss_rate
@@ -318,9 +311,10 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
       case Command::Kind::kSched: {
         const auto* cfg = harness::find_config(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
+        harness::ExperimentEngine engine(cmd.jobs);
         auto policy = make_policy(cmd.policy, seed);
-        const auto r = harness::run_scheduled(cmd.benches, *cfg, *policy,
-                                              cmd.options, seed);
+        const auto r =
+            engine.scheduled(cmd.benches, *cfg, *policy, cmd.options, seed);
         for (std::size_t p = 0; p < r.program.size(); ++p) {
           print_result(out,
                        std::string(npb::benchmark_name(cmd.benches[p])) +

@@ -32,6 +32,7 @@ struct Command {
   std::string config_name;              ///< Table-1 configuration
   std::string policy = "pinned-spread"; ///< sched subcommand policy
   harness::RunOptions options;
+  int jobs = 1;                         ///< host worker threads (--jobs=N)
   bool csv = false;
   bool baseline = false;                ///< also run + report serial
 };

@@ -1,5 +1,7 @@
 #include "harness/config.hpp"
 
+#include <cstdlib>
+
 namespace paxsim::harness {
 namespace {
 
@@ -56,6 +58,15 @@ std::string_view architecture_name(Architecture a) noexcept {
 const std::vector<StudyConfig>& all_configs() {
   static const std::vector<StudyConfig> configs = build_configs();
   return configs;
+}
+
+const StudyConfig& serial_config() {
+  for (const StudyConfig& c : all_configs()) {
+    if (c.is_serial()) return c;
+  }
+  // Table 1 always contains the Serial row; reaching here means the config
+  // table was edited into an invalid state.
+  std::abort();
 }
 
 std::vector<StudyConfig> parallel_configs() {

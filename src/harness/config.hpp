@@ -46,6 +46,12 @@ struct StudyConfig {
 /// All Table-1 configurations, serial first, in the paper's group order.
 [[nodiscard]] const std::vector<StudyConfig>& all_configs();
 
+/// The Serial baseline row of Table 1 — the reference point every speedup
+/// in the study is computed against.  Looked up by its architecture rather
+/// than by list position, so reordering all_configs() cannot silently
+/// change what "serial" means.
+[[nodiscard]] const StudyConfig& serial_config();
+
 /// The seven multithreaded configurations (Table 1 minus serial).
 [[nodiscard]] std::vector<StudyConfig> parallel_configs();
 

@@ -1,0 +1,471 @@
+#include "harness/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "xomp/team.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+/// Pool key: the capacity-like fields RunOptions::machine_scale actually
+/// varies.  Machines with equal keys are interchangeable for pooling.
+std::string params_pool_key(const sim::MachineParams& p) {
+  std::string s;
+  s.reserve(64);
+  const auto app = [&s](std::uint64_t v) {
+    s += std::to_string(v);
+    s += ':';
+  };
+  app(static_cast<std::uint64_t>(p.chips));
+  app(static_cast<std::uint64_t>(p.cores_per_chip));
+  app(p.l1d.size_bytes);
+  app(p.l2.size_bytes);
+  app(p.trace_cache_uops);
+  app(p.itlb_entries);
+  app(p.dtlb_entries);
+  app(static_cast<std::uint64_t>(p.prefetch_streams));
+  return s;
+}
+
+CellKey single_key(npb::Benchmark b, const StudyConfig& cfg,
+                   const RunOptions& opt, std::uint64_t seed) {
+  return CellKey{CellKey::Kind::kSingle, b,     b,
+                 config_fingerprint(cfg), opt.cls, opt.machine_scale,
+                 seed,                    opt.verify};
+}
+
+CellKey pair_key(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
+                 const RunOptions& opt, std::uint64_t seed) {
+  return CellKey{CellKey::Kind::kPair,   a,       b,
+                 config_fingerprint(cfg), opt.cls, opt.machine_scale,
+                 seed,                    opt.verify};
+}
+
+}  // namespace
+
+std::string config_fingerprint(const StudyConfig& cfg) {
+  std::string s(cfg.name);
+  s += '|';
+  s += std::to_string(static_cast<int>(cfg.arch));
+  s += cfg.ht_on ? "|ht|" : "|--|";
+  s += std::to_string(cfg.threads);
+  s += '/';
+  s += std::to_string(cfg.chips);
+  for (const sim::LogicalCpu c : cfg.cpus) {
+    s += ':';
+    s += std::to_string(c.flat());
+  }
+  return s;
+}
+
+std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
+  std::size_t h = std::hash<std::string>{}(k.config);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(k.kind));
+  mix(static_cast<std::uint64_t>(k.a));
+  mix(static_cast<std::uint64_t>(k.b));
+  mix(static_cast<std::uint64_t>(k.cls));
+  std::uint64_t scale_bits = 0;
+  static_assert(sizeof(scale_bits) == sizeof(k.machine_scale));
+  std::memcpy(&scale_bits, &k.machine_scale, sizeof(scale_bits));
+  mix(scale_bits);
+  mix(k.seed);
+  mix(k.verify ? 1u : 0u);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// MachinePool
+// ---------------------------------------------------------------------------
+
+MachinePool::Lease::~Lease() {
+  if (pool_ != nullptr && machine_ != nullptr) {
+    pool_->release(std::move(machine_));
+  }
+}
+
+MachinePool::Lease MachinePool::acquire() {
+  std::unique_ptr<sim::Machine> m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquired_;
+    if (!free_.empty()) {
+      m = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (m == nullptr) m = std::make_unique<sim::Machine>(params_);
+  return Lease(this, std::move(m));
+}
+
+void MachinePool::release(std::unique_ptr<sim::Machine> m) {
+  // Return the machine cold so the next lease starts from the same state a
+  // fresh construction would (the runners also reset on entry, but a cold
+  // pool keeps leaked state impossible by construction).
+  m->reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(m));
+}
+
+std::uint64_t MachinePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::uint64_t MachinePool::acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquired_;
+}
+
+// ---------------------------------------------------------------------------
+// StudyResult
+// ---------------------------------------------------------------------------
+
+const StudyResult::CellValue& StudyResult::at(const CellKey& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    throw std::out_of_range(
+        "StudyResult: cell not in plan (benchmark/config/trial outside the "
+        "plan cross-product, or serial baseline not requested)");
+  }
+  return it->second;
+}
+
+const RunResult& StudyResult::single(npb::Benchmark b, std::size_t config_index,
+                                     int trial) const {
+  const RunOptions& opt = plan_.options();
+  return at(single_key(b, plan_.configs().at(config_index), opt,
+                       opt.trial_seed(trial)))
+      .single;
+}
+
+const RunResult& StudyResult::serial(npb::Benchmark b, int trial) const {
+  const RunOptions& opt = plan_.options();
+  return at(single_key(b, serial_config(), opt, opt.trial_seed(trial))).single;
+}
+
+const PairResult& StudyResult::pair(std::size_t pair_index,
+                                    std::size_t config_index, int trial) const {
+  const RunOptions& opt = plan_.options();
+  const auto& pr = plan_.pairs().at(pair_index);
+  return at(pair_key(pr.first, pr.second, plan_.configs().at(config_index), opt,
+                     opt.trial_seed(trial)))
+      .pair;
+}
+
+double StudyResult::speedup(npb::Benchmark b, std::size_t config_index,
+                            int trial) const {
+  return serial(b, trial).wall_cycles /
+         single(b, config_index, trial).wall_cycles;
+}
+
+TrialStats StudyResult::speedup_stats(npb::Benchmark b,
+                                      std::size_t config_index) const {
+  std::vector<double> speedups;
+  const int n = plan_.options().trials;
+  speedups.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) speedups.push_back(speedup(b, config_index, t));
+  return summarize(speedups);
+}
+
+double StudyResult::pair_speedup(std::size_t pair_index, int program,
+                                 std::size_t config_index, int trial) const {
+  const auto& pr = plan_.pairs().at(pair_index);
+  const npb::Benchmark b = program == 0 ? pr.first : pr.second;
+  return serial(b, trial).wall_cycles /
+         pair(pair_index, config_index, trial).program[program].wall_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentEngine
+// ---------------------------------------------------------------------------
+
+ExperimentEngine::ExperimentEngine(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+MachinePool& ExperimentEngine::pool_for(const sim::MachineParams& params) {
+  const std::string key = params_pool_key(params);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = pools_[key];
+  if (slot == nullptr) slot = std::make_unique<MachinePool>(params);
+  return *slot;
+}
+
+const ExperimentEngine::CellValue* ExperimentEngine::lookup(
+    const CellKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  ++cache_hits_;
+  return &it->second;
+}
+
+const ExperimentEngine::CellValue& ExperimentEngine::memoize(const CellKey& key,
+                                                             CellValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(value));
+  if (inserted) ++cache_misses_;
+  return it->second;
+}
+
+ExperimentEngine::CellValue ExperimentEngine::compute_cell(
+    sim::Machine& machine, const CellKey& key, const StudyConfig& cfg,
+    const RunOptions& opt) {
+  CellValue v;
+  if (key.kind == CellKey::Kind::kSingle) {
+    v.single = run_single(machine, key.a, cfg, opt, key.seed);
+  } else {
+    v.pair = run_pair(machine, key.a, key.b, cfg, opt, key.seed);
+  }
+  return v;
+}
+
+void ExperimentEngine::enumerate_cells(
+    const ExperimentPlan& plan,
+    const std::function<void(const CellKey&, const StudyConfig&)>& fn) {
+  const RunOptions& opt = plan.options();
+  for (int t = 0; t < opt.trials; ++t) {
+    const std::uint64_t seed = opt.trial_seed(t);
+    for (const npb::Benchmark b : plan.benchmarks()) {
+      for (const StudyConfig& cfg : plan.configs()) {
+        fn(single_key(b, cfg, opt, seed), cfg);
+      }
+    }
+    for (const auto& [a, b] : plan.pairs()) {
+      for (const StudyConfig& cfg : plan.configs()) {
+        fn(pair_key(a, b, cfg, opt, seed), cfg);
+      }
+    }
+    if (plan.serial_baselines()) {
+      // Every benchmark the plan mentions, deduplicated in first-mention
+      // order so enumeration (and therefore dispatch) is deterministic.
+      std::vector<npb::Benchmark> mentioned;
+      const auto mention = [&mentioned](npb::Benchmark b) {
+        for (const npb::Benchmark m : mentioned) {
+          if (m == b) return;
+        }
+        mentioned.push_back(b);
+      };
+      for (const npb::Benchmark b : plan.benchmarks()) mention(b);
+      for (const auto& [a, b] : plan.pairs()) {
+        mention(a);
+        mention(b);
+      }
+      for (const npb::Benchmark b : mentioned) {
+        fn(single_key(b, serial_config(), opt, seed), serial_config());
+      }
+    }
+  }
+}
+
+StudyResult ExperimentEngine::run(const ExperimentPlan& plan) {
+  const RunOptions& opt = plan.options();
+
+  // 1. Enumerate the plan's cells, deduplicating against both the cache and
+  //    earlier occurrences within this plan.
+  std::vector<Work> todo;
+  std::unordered_set<CellKey, CellKeyHash> queued;
+  enumerate_cells(plan, [&](const CellKey& key, const StudyConfig& cfg) {
+    if (queued.contains(key)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++cache_hits_;
+      return;
+    }
+    if (lookup(key) != nullptr) return;  // lookup() counted the hit
+    queued.insert(key);
+    todo.push_back(Work{key, &cfg});
+  });
+
+  // 2. Simulate the missing cells across the worker pool; each worker owns
+  //    one pooled machine for its whole batch.
+  if (!todo.empty()) {
+    MachinePool& pool = pool_for(opt.machine_params());
+    std::vector<CellValue> computed(todo.size());
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(jobs_), todo.size()));
+    auto work_loop = [&](std::atomic<std::size_t>& next) {
+      MachinePool::Lease lease = pool.acquire();
+      for (std::size_t i = next.fetch_add(1); i < todo.size();
+           i = next.fetch_add(1)) {
+        computed[i] = compute_cell(*lease, todo[i].key, *todo[i].cfg, opt);
+      }
+    };
+    if (workers <= 1) {
+      std::atomic<std::size_t> next{0};
+      work_loop(next);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> threads;
+      std::mutex err_mu;
+      std::exception_ptr first_error;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&] {
+          try {
+            work_loop(next);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error == nullptr) first_error = std::current_exception();
+            // Drain the queue so the other workers stop promptly.
+            next.store(todo.size());
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+    }
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      memoize(todo[i].key, std::move(computed[i]));
+    }
+  }
+
+  // 3. Assemble the result table from the cache.
+  StudyResult result;
+  result.plan_ = plan;
+  enumerate_cells(plan, [&](const CellKey& key, const StudyConfig&) {
+    if (result.cells_.contains(key)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    result.cells_.emplace(key, cache_.at(key));
+  });
+  return result;
+}
+
+RunResult ExperimentEngine::single(npb::Benchmark b, const StudyConfig& cfg,
+                                   const RunOptions& opt, std::uint64_t seed) {
+  const CellKey key = single_key(b, cfg, opt, seed);
+  if (const CellValue* hit = lookup(key)) return hit->single;
+  MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
+  return memoize(key, compute_cell(*lease, key, cfg, opt)).single;
+}
+
+RunResult ExperimentEngine::serial(npb::Benchmark b, const RunOptions& opt,
+                                   std::uint64_t seed) {
+  return single(b, serial_config(), opt, seed);
+}
+
+PairResult ExperimentEngine::pair(npb::Benchmark a, npb::Benchmark b,
+                                  const StudyConfig& cfg, const RunOptions& opt,
+                                  std::uint64_t seed) {
+  const CellKey key = pair_key(a, b, cfg, opt, seed);
+  if (const CellValue* hit = lookup(key)) return hit->pair;
+  MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
+  return memoize(key, compute_cell(*lease, key, cfg, opt)).pair;
+}
+
+ScheduledResult ExperimentEngine::scheduled(
+    const std::vector<npb::Benchmark>& benches, const StudyConfig& cfg,
+    sched::Scheduler& policy, const RunOptions& opt, std::uint64_t seed) {
+  MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
+  return run_scheduled(*lease, benches, cfg, policy, opt, seed);
+}
+
+TimelineResult ExperimentEngine::timeline(npb::Benchmark b,
+                                          const StudyConfig& cfg,
+                                          const RunOptions& opt,
+                                          std::uint64_t seed) {
+  MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
+  sim::Machine& machine = *lease;
+  machine.reset();
+
+  sim::AddressSpace space(0);
+  perf::CounterSet counters;
+  TimelineResult out;
+
+  auto kernel = npb::make_kernel(b);
+  kernel->setup(space, npb::ProblemConfig{opt.cls, seed});
+  xomp::Team team(machine, cfg.cpus, &counters, space);
+  for (int chip = 0; chip < machine.params().chips; ++chip) {
+    for (int core = 0; core < machine.params().cores_per_chip; ++core) {
+      int n = 0;
+      for (const sim::LogicalCpu c : cfg.cpus) {
+        if (c.chip == chip && c.core == core) ++n;
+      }
+      machine.core(chip, core).set_active_contexts(n > 0 ? n : 1);
+    }
+  }
+
+  double prev_wall = 0;
+  for (int s = 0; s < kernel->total_steps(); ++s) {
+    kernel->step(team, s);
+    team.flush();
+    out.timeline.sample(counters);
+    const double w = team.wall_time();
+    out.step_wall.push_back(w - prev_wall);
+    prev_wall = w;
+  }
+
+  out.run.wall_cycles = team.wall_time();
+  out.run.counters = counters;
+  out.run.metrics = perf::derive_metrics(out.run.counters);
+  out.run.verified = !opt.verify || kernel->verify();
+  return out;
+}
+
+void ExperimentEngine::for_each(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  std::atomic<std::size_t> next{0};
+  auto loop = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  if (workers <= 1) {
+    loop();
+    return;
+  }
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      try {
+        loop();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+        next.store(n);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+EngineStats ExperimentEngine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
+    for (const auto& [key, pool] : pools_) {
+      (void)key;
+      s.machines_created += pool->created();
+      s.machines_acquired += pool->acquired();
+    }
+  }
+  return s;
+}
+
+void ExperimentEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace paxsim::harness

@@ -1,0 +1,327 @@
+// paxsim/harness/engine.hpp
+//
+// The experiment engine — the execution layer every study driver (the CLI
+// and each bench/ artifact) routes through instead of hand-rolling
+// benchmark x configuration x trial loops.
+//
+//   * MachinePool      recycles sim::Machine instances across trials via
+//                      reset() instead of reconstructing them.  A recycled
+//                      machine is bit-identical to a fresh one (enforced by
+//                      the engine determinism tests).
+//   * result cache     memoizes every simulated cell, keyed by
+//                      (kind, benchmarks, config fingerprint, problem class,
+//                      machine scale, seed, verify).  Serial baselines and
+//                      repeated cells are simulated exactly once per engine
+//                      lifetime, however many studies request them.
+//   * worker dispatch  independent cells fan out over host threads (--jobs).
+//                      Each worker simulates on its own pooled machine, so
+//                      simulated virtual time stays fully deterministic: the
+//                      result table is identical for any job count.
+//   * ExperimentPlan   a declarative cross-product (benchmarks and/or pairs,
+//                      over configurations, over trial seeds, with optional
+//                      serial baselines) that ExperimentEngine::run()
+//                      evaluates into a StudyResult table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "harness/sched_runner.hpp"
+#include "harness/stats.hpp"
+#include "perf/timeline.hpp"
+
+namespace paxsim::harness {
+
+/// Semantic fingerprint of a configuration: name, architecture, HT state,
+/// thread count and the exact hardware-context list.  Cache keys use this
+/// rather than the bare name so ad-hoc configurations (e.g. the thread-
+/// scaling ladder) memoize correctly even when their names collide.
+[[nodiscard]] std::string config_fingerprint(const StudyConfig& cfg);
+
+/// Counters describing what the engine actually did.
+struct EngineStats {
+  std::uint64_t cache_hits = 0;      ///< cells answered from the cache
+  std::uint64_t cache_misses = 0;    ///< cells that had to be simulated
+  std::uint64_t machines_created = 0;   ///< sim::Machine constructions
+  std::uint64_t machines_acquired = 0;  ///< pool acquisitions (incl. reuse)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const double total =
+        static_cast<double>(cache_hits) + static_cast<double>(cache_misses);
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+  [[nodiscard]] std::uint64_t machines_reused() const noexcept {
+    return machines_acquired - machines_created;
+  }
+};
+
+/// A thread-safe pool of reset-recycled machines of one geometry.
+class MachinePool {
+ public:
+  explicit MachinePool(const sim::MachineParams& params) : params_(params) {}
+
+  /// RAII handle to a pooled machine; returns (and resets) it on
+  /// destruction.  Move-only, confined to one host thread while held.
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), machine_(std::move(o.machine_)) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    [[nodiscard]] sim::Machine& operator*() noexcept { return *machine_; }
+    [[nodiscard]] sim::Machine* operator->() noexcept { return machine_.get(); }
+
+   private:
+    friend class MachinePool;
+    Lease(MachinePool* pool, std::unique_ptr<sim::Machine> m)
+        : pool_(pool), machine_(std::move(m)) {}
+
+    MachinePool* pool_;
+    std::unique_ptr<sim::Machine> machine_;
+  };
+
+  /// Hands out a cold machine: a recycled one when available, else new.
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] const sim::MachineParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::uint64_t created() const;
+  [[nodiscard]] std::uint64_t acquired() const;
+
+ private:
+  void release(std::unique_ptr<sim::Machine> m);
+
+  sim::MachineParams params_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<sim::Machine>> free_;
+  std::uint64_t created_ = 0;
+  std::uint64_t acquired_ = 0;
+};
+
+/// Identity of one memoizable simulation cell.
+struct CellKey {
+  enum class Kind : std::uint8_t { kSingle, kPair };
+
+  Kind kind = Kind::kSingle;
+  npb::Benchmark a{};
+  npb::Benchmark b{};      ///< == a for singles
+  std::string config;      ///< config_fingerprint of the configuration
+  npb::ProblemClass cls{};
+  double machine_scale = 0;
+  std::uint64_t seed = 0;
+  bool verify = true;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct CellKeyHash {
+  [[nodiscard]] std::size_t operator()(const CellKey& k) const noexcept;
+};
+
+/// A declarative experiment: benchmarks and/or co-scheduled pairs, crossed
+/// with configurations and trial seeds.  Build one, hand it to
+/// ExperimentEngine::run(), read the StudyResult.
+class ExperimentPlan {
+ public:
+  /// @p options supplies the problem class, machine scale, trial count,
+  /// seeding and verification policy for every cell of the plan.
+  ExperimentPlan(RunOptions options, std::vector<StudyConfig> configs)
+      : options_(options), configs_(std::move(configs)) {}
+
+  ExperimentPlan& add_benchmark(npb::Benchmark b) {
+    benchmarks_.push_back(b);
+    return *this;
+  }
+  ExperimentPlan& add_benchmarks(const std::vector<npb::Benchmark>& bs) {
+    benchmarks_.insert(benchmarks_.end(), bs.begin(), bs.end());
+    return *this;
+  }
+  /// Adds one co-scheduled pair (threads split evenly, as run_pair does).
+  ExperimentPlan& add_pair(npb::Benchmark a, npb::Benchmark b) {
+    pairs_.emplace_back(a, b);
+    return *this;
+  }
+  /// All unordered pairs of @p bs, identical pairs included — the Figure-5
+  /// cross-product.
+  ExperimentPlan& add_all_pairs(const std::vector<npb::Benchmark>& bs) {
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      for (std::size_t j = i; j < bs.size(); ++j) pairs_.emplace_back(bs[i], bs[j]);
+    }
+    return *this;
+  }
+  /// Also computes the Serial-config baseline for every benchmark the plan
+  /// mentions (single or pair member), per trial seed — the denominators of
+  /// every speedup the drivers report.
+  ExperimentPlan& with_serial_baselines(bool on = true) {
+    serial_baselines_ = on;
+    return *this;
+  }
+  ExperimentPlan& trials(int n) {
+    options_.trials = n;
+    return *this;
+  }
+
+  [[nodiscard]] const RunOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const std::vector<StudyConfig>& configs() const noexcept {
+    return configs_;
+  }
+  [[nodiscard]] const std::vector<npb::Benchmark>& benchmarks() const noexcept {
+    return benchmarks_;
+  }
+  [[nodiscard]] const std::vector<std::pair<npb::Benchmark, npb::Benchmark>>&
+  pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] bool serial_baselines() const noexcept {
+    return serial_baselines_;
+  }
+
+ private:
+  RunOptions options_;
+  std::vector<StudyConfig> configs_;
+  std::vector<npb::Benchmark> benchmarks_;
+  std::vector<std::pair<npb::Benchmark, npb::Benchmark>> pairs_;
+  bool serial_baselines_ = false;
+};
+
+/// The evaluated result table of one plan.  Indexing mirrors the plan:
+/// configurations by position in plan.configs(), pairs by position in
+/// plan.pairs(), trials by trial number (seed = options.trial_seed(t)).
+class StudyResult {
+ public:
+  [[nodiscard]] const ExperimentPlan& plan() const noexcept { return plan_; }
+
+  /// Single-program result of @p b on configuration @p config_index.
+  [[nodiscard]] const RunResult& single(npb::Benchmark b,
+                                        std::size_t config_index,
+                                        int trial = 0) const;
+  /// Serial-baseline result of @p b (requires with_serial_baselines()).
+  [[nodiscard]] const RunResult& serial(npb::Benchmark b, int trial = 0) const;
+  /// Pair result of plan.pairs()[pair_index] on @p config_index.
+  [[nodiscard]] const PairResult& pair(std::size_t pair_index,
+                                       std::size_t config_index,
+                                       int trial = 0) const;
+
+  /// serial wall / single wall for one trial.
+  [[nodiscard]] double speedup(npb::Benchmark b, std::size_t config_index,
+                               int trial = 0) const;
+  /// Speedup summarised over all plan trials (the Figure-3 cell).
+  [[nodiscard]] TrialStats speedup_stats(npb::Benchmark b,
+                                         std::size_t config_index) const;
+  /// Per-program pair speedup over that program's own serial baseline.
+  [[nodiscard]] double pair_speedup(std::size_t pair_index, int program,
+                                    std::size_t config_index,
+                                    int trial = 0) const;
+
+ private:
+  friend class ExperimentEngine;
+
+  struct CellValue {
+    RunResult single;
+    PairResult pair;
+  };
+
+  [[nodiscard]] const CellValue& at(const CellKey& key) const;
+
+  ExperimentPlan plan_{RunOptions{}, {}};
+  std::unordered_map<CellKey, CellValue, CellKeyHash> cells_;
+};
+
+/// Per-step timeline of one run (the VTune sampling view): produced by
+/// ExperimentEngine::timeline() for the timeline drivers.
+struct TimelineResult {
+  RunResult run;                  ///< whole-run counters and metrics
+  perf::Timeline timeline;        ///< per-step counter deltas
+  std::vector<double> step_wall;  ///< per-step wall-cycle deltas
+};
+
+/// The engine: machine pool + memoized cell cache + worker dispatch.
+class ExperimentEngine {
+ public:
+  /// @p jobs is the host-thread worker count for run()/for_each(); 1 runs
+  /// everything inline on the caller's thread.
+  explicit ExperimentEngine(int jobs = 1);
+
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Evaluates @p plan: dedupes its cells against the cache, simulates the
+  /// missing ones across the worker pool, and assembles the result table.
+  /// Throws if any cell fails numeric verification (when options.verify).
+  StudyResult run(const ExperimentPlan& plan);
+
+  /// Memoized single-cell entry points (pooled machine on miss).
+  RunResult single(npb::Benchmark b, const StudyConfig& cfg,
+                   const RunOptions& opt, std::uint64_t seed);
+  RunResult serial(npb::Benchmark b, const RunOptions& opt,
+                   std::uint64_t seed);
+  PairResult pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
+                  const RunOptions& opt, std::uint64_t seed);
+
+  /// Scheduler-policy run on a pooled machine.  Not memoized: policies are
+  /// stateful objects the cache cannot key.
+  ScheduledResult scheduled(const std::vector<npb::Benchmark>& benches,
+                            const StudyConfig& cfg, sched::Scheduler& policy,
+                            const RunOptions& opt, std::uint64_t seed);
+
+  /// Per-step sampled run on a pooled machine.  Not memoized (the timeline
+  /// is not part of the cell table).  Does not throw on verification
+  /// failure; the caller inspects result.run.verified.
+  TimelineResult timeline(npb::Benchmark b, const StudyConfig& cfg,
+                          const RunOptions& opt, std::uint64_t seed);
+
+  /// Host-parallel index map over [0, n) on the engine's worker pool — for
+  /// cell shapes the cache cannot key (e.g. scheduler-policy studies).
+  /// @p fn must synchronise any shared mutable state itself; writing to
+  /// distinct pre-sized slots per index is the intended pattern.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] EngineStats stats() const;
+  void clear_cache();
+
+ private:
+  using CellValue = StudyResult::CellValue;
+
+  /// One enumerated cell of a plan plus what is needed to simulate it.
+  struct Work {
+    CellKey key;
+    const StudyConfig* cfg = nullptr;
+  };
+
+  /// Invokes @p fn for every cell the plan requests (duplicates included).
+  static void enumerate_cells(const ExperimentPlan& plan,
+                              const std::function<void(const CellKey&,
+                                                       const StudyConfig&)>& fn);
+
+  MachinePool& pool_for(const sim::MachineParams& params);
+  CellValue compute_cell(sim::Machine& machine, const CellKey& key,
+                         const StudyConfig& cfg, const RunOptions& opt);
+  /// Cache lookup + stats accounting; returns nullptr on miss.
+  const CellValue* lookup(const CellKey& key);
+  const CellValue& memoize(const CellKey& key, CellValue value);
+
+  int jobs_;
+  mutable std::mutex mu_;  ///< guards cache_, pools_, hit/miss counters
+  std::unordered_map<CellKey, CellValue, CellKeyHash> cache_;
+  std::unordered_map<std::string, std::unique_ptr<MachinePool>> pools_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace paxsim::harness

@@ -69,6 +69,13 @@ RunResult finish_result(Program& prog, bool verify) {
 RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
                      const RunOptions& opt, std::uint64_t seed) {
   sim::Machine machine(opt.machine_params());
+  return run_single(machine, bench, cfg, opt, seed);
+}
+
+RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
+                     const StudyConfig& cfg, const RunOptions& opt,
+                     std::uint64_t seed) {
+  machine.reset();
   auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
   apply_smt_activity(machine, cfg.cpus);
   while (!prog->done()) {
@@ -87,19 +94,26 @@ RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
 
 RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
                      std::uint64_t seed) {
-  return run_single(bench, all_configs().front(), opt, seed);
+  return run_single(bench, serial_config(), opt, seed);
 }
 
 PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                     const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_pair(machine, a, b, cfg, opt, seed);
+}
+
+PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
+                    const StudyConfig& cfg, const RunOptions& opt,
+                    std::uint64_t seed) {
   assert(cfg.cpus.size() >= 2 && "pair runs need at least two contexts");
+  machine.reset();
   // Even list positions to program 0, odd to program 1.
   std::vector<sim::LogicalCpu> cpus_a, cpus_b;
   for (std::size_t i = 0; i < cfg.cpus.size(); ++i) {
     (i % 2 == 0 ? cpus_a : cpus_b).push_back(cfg.cpus[i]);
   }
 
-  sim::Machine machine(opt.machine_params());
   std::array<std::unique_ptr<Program>, 2> progs;
   progs[0] = make_program(a, 0, cpus_a, machine, opt, seed);
   progs[1] = make_program(b, 1, cpus_b, machine, opt, seed + 17);

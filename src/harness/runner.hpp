@@ -54,6 +54,14 @@ struct RunResult {
 RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
                      const RunOptions& opt, std::uint64_t seed);
 
+/// Machine-reusing variant: runs on @p machine, which is reset() to a cold
+/// state on entry — the MachinePool recycling path.  @p machine must have
+/// been built from opt.machine_params() (same geometry); results are
+/// bit-identical to running on a freshly constructed machine.
+RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
+                     const StudyConfig& cfg, const RunOptions& opt,
+                     std::uint64_t seed);
+
 /// Outcome of a co-scheduled pair.
 struct PairResult {
   std::array<RunResult, 2> program;  ///< per-program results
@@ -64,6 +72,11 @@ struct PairResult {
 /// the spread the 2.6-era Linux balancer converges to).
 PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                     const RunOptions& opt, std::uint64_t seed);
+
+/// Machine-reusing variant of run_pair (see the run_single overload).
+PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
+                    const StudyConfig& cfg, const RunOptions& opt,
+                    std::uint64_t seed);
 
 /// Serial-baseline wall times per benchmark, per trial seed (memoised by
 /// the callers; computed with run_single on the Serial config).

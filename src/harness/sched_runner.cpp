@@ -77,7 +77,16 @@ std::vector<sched::ThreadView> collect_views(
 ScheduledResult run_scheduled(const std::vector<npb::Benchmark>& benches,
                               const StudyConfig& cfg, sched::Scheduler& policy,
                               const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_scheduled(machine, benches, cfg, policy, opt, seed);
+}
+
+ScheduledResult run_scheduled(sim::Machine& machine,
+                              const std::vector<npb::Benchmark>& benches,
+                              const StudyConfig& cfg, sched::Scheduler& policy,
+                              const RunOptions& opt, std::uint64_t seed) {
   assert(!benches.empty() && benches.size() <= 2);
+  machine.reset();
   const int np = static_cast<int>(benches.size());
   const int per = cfg.threads / np;
   assert(per >= 1 && "configuration too small for the program count");
@@ -88,7 +97,6 @@ ScheduledResult run_scheduled(const std::vector<npb::Benchmark>& benches,
     throw std::runtime_error("scheduler returned wrong program count");
   }
 
-  sim::Machine machine(opt.machine_params());
   std::vector<std::unique_ptr<Program>> progs;
   for (int p = 0; p < np; ++p) {
     auto prog = std::make_unique<Program>();

@@ -31,4 +31,11 @@ ScheduledResult run_scheduled(const std::vector<npb::Benchmark>& benches,
                               const StudyConfig& cfg, sched::Scheduler& policy,
                               const RunOptions& opt, std::uint64_t seed);
 
+/// Machine-reusing variant: runs on @p machine, reset() to a cold state on
+/// entry (the MachinePool recycling path; see runner.hpp).
+ScheduledResult run_scheduled(sim::Machine& machine,
+                              const std::vector<npb::Benchmark>& benches,
+                              const StudyConfig& cfg, sched::Scheduler& policy,
+                              const RunOptions& opt, std::uint64_t seed);
+
 }  // namespace paxsim::harness

@@ -141,6 +141,9 @@ class Core {
 
   /// The hardware context @p i (0 or 1).
   [[nodiscard]] HwContext& context(int i) noexcept { return contexts_[i]; }
+  [[nodiscard]] const HwContext& context(int i) const noexcept {
+    return contexts_[i];
+  }
 
   /// Declares how many contexts of this core are actively running threads
   /// in the current region (1 or 2).  Set by the runtime; drives the SMT

@@ -20,8 +20,9 @@ Machine::Machine(const MachineParams& p) : params_(p), mc_(p) {
 double Machine::wall_time() const noexcept {
   double t = 0;
   for (const auto& c : cores_) {
+    const Core& core_ref = *c;
     for (int i = 0; i < 2; ++i) {
-      t = std::max(t, const_cast<Core&>(*c).context(i).now());
+      t = std::max(t, core_ref.context(i).now());
     }
   }
   return t;

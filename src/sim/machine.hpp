@@ -5,10 +5,16 @@
 // coherence directory that keeps the four private L2s consistent.
 //
 // The Machine is constructed from MachineParams and is reusable across
-// trials via reset().  Hardware-context enablement (HT on/off, the kernel's
-// `maxcpus=` masking of Table 1) is a property of the *study configuration*,
-// not the machine: the harness simply binds threads only to allowed
-// contexts.
+// trials via reset(): a reset machine is bit-identical, in every observable
+// counter and timing, to a freshly constructed one (the harness MachinePool
+// and the engine determinism tests rely on this).  Hardware-context
+// enablement (HT on/off, the kernel's `maxcpus=` masking of Table 1) is a
+// property of the *study configuration*, not the machine: the harness simply
+// binds threads only to allowed contexts.
+//
+// Threading: a Machine is confined to one host thread at a time.  The
+// harness dispatches concurrent trials by giving each worker thread its own
+// pooled Machine, never by sharing one.
 #pragma once
 
 #include <memory>

@@ -34,8 +34,8 @@ TEST(CliParseTest, ListAndLmbench) {
 
 TEST(CliParseTest, RunParsesEverything) {
   const auto r = P({"run", "--bench=cg", "--config=HT on -4-1", "--class=W",
-                    "--trials=5", "--seed=99", "--csv", "--baseline",
-                    "--no-verify"});
+                    "--trials=5", "--seed=99", "--jobs=4", "--csv",
+                    "--baseline", "--no-verify"});
   ASSERT_TRUE(r.ok()) << r.error;
   const Command& c = *r.command;
   EXPECT_EQ(c.kind, Command::Kind::kRun);
@@ -45,9 +45,16 @@ TEST(CliParseTest, RunParsesEverything) {
   EXPECT_EQ(c.options.cls, npb::ProblemClass::kClassW);
   EXPECT_EQ(c.options.trials, 5);
   EXPECT_EQ(c.options.base_seed, 99u);
+  EXPECT_EQ(c.jobs, 4);
   EXPECT_TRUE(c.csv);
   EXPECT_TRUE(c.baseline);
   EXPECT_FALSE(c.options.verify);
+}
+
+TEST(CliParseTest, JobsDefaultsToOneAndRejectsBadValues) {
+  EXPECT_EQ(P({"run", "--bench=CG", "--config=Serial"}).command->jobs, 1);
+  EXPECT_FALSE(P({"run", "--bench=CG", "--config=Serial", "--jobs=0"}).ok());
+  EXPECT_FALSE(P({"run", "--bench=CG", "--config=Serial", "--jobs=-2"}).ok());
 }
 
 TEST(CliParseTest, RunRequiresBenchAndConfig) {

@@ -82,6 +82,15 @@ TEST(ConfigTest, NoDuplicateContextsWithinAConfig) {
   }
 }
 
+TEST(ConfigTest, SerialConfigIsTheSerialRow) {
+  const StudyConfig& s = serial_config();
+  EXPECT_TRUE(s.is_serial());
+  EXPECT_EQ(s.name, "Serial");
+  EXPECT_EQ(s.threads, 1);
+  // Same object as the registry row, not a copy.
+  EXPECT_EQ(&s, &all_configs().front());
+}
+
 TEST(ConfigTest, FindConfig) {
   EXPECT_NE(find_config("HT on -4-1"), nullptr);
   EXPECT_EQ(find_config("HT on -16-4"), nullptr);

@@ -122,6 +122,33 @@ TEST(MachineTest, ResetRestoresColdMachine) {
   EXPECT_FALSE(r.m.core(0, 0).l2().contains(a));
 }
 
+TEST(MachineTest, ResetClearsWholeCoherenceDirectory) {
+  // Regression guard for the machine-pool recycling path: a stale directory
+  // entry surviving reset() would bill phantom invalidations to the next
+  // program.  Populate entries across many lines, cores and MESI states,
+  // then verify every one is gone and a fresh access starts Exclusive.
+  CoherenceRig r;
+  std::vector<Addr> lines;
+  for (int i = 0; i < 32; ++i) lines.push_back(r.space.alloc(64, 64));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    r.ctx(0, 0).load(lines[i]);                     // Exclusive/Shared...
+    if (i % 2 == 0) r.ctx(1, 0).load(lines[i]);     // ...Shared across chips
+    if (i % 3 == 0) r.ctx(0, 1).store(lines[i]);    // ...and Modified
+  }
+  for (const Addr a : lines) ASSERT_NE(r.m.holders_of(a), 0u);
+
+  r.m.reset();
+
+  for (const Addr a : lines) {
+    EXPECT_EQ(r.m.holders_of(a), 0u) << "directory entry survived reset()";
+  }
+  // A recycled machine must grant Exclusive to a sole reader, exactly as a
+  // fresh machine would — stale sharers would force Shared instead.
+  r.ctx(0, 0).load(lines[0]);
+  EXPECT_EQ(r.m.core(0, 0).l2().state_of(lines[0]), LineState::kExclusive);
+  EXPECT_EQ(r.m.holders_of(lines[0]), 0b0001u);
+}
+
 TEST(MachineTest, AddressSpacesDisjoint) {
   AddressSpace p0(0), p1(1);
   const Addr a0 = p0.alloc(1 << 20);
