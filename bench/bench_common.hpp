@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,8 +26,9 @@ struct BenchOptions {
   std::string plot_dir;   ///< when set, also write gnuplot .dat/.gp files
 };
 
-/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --csv,
-/// --no-verify.  Returns false (after printing usage) on an unknown flag.
+/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --grain=N,
+/// --scale=F, --csv, --no-verify.  Returns false (after printing usage) on
+/// an unknown flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -44,6 +46,12 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = std::atoi(a.c_str() + 7);
       if (opt.jobs < 1) opt.jobs = 1;
+    } else if (a.rfind("--grain=", 0) == 0) {
+      const long g = std::atol(a.c_str() + 8);
+      opt.run.grain = g < 1 ? 1 : static_cast<std::size_t>(g);
+    } else if (a.rfind("--scale=", 0) == 0) {
+      const double s = std::atof(a.c_str() + 8);
+      if (s >= 1.0) opt.run.machine_scale = s;
     } else if (a == "--csv") {
       opt.csv = true;
     } else if (a.rfind("--plot=", 0) == 0) {
@@ -53,7 +61,7 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
-          "[--csv] [--plot=DIR] [--no-verify]\n",
+          "[--grain=N] [--scale=F] [--csv] [--plot=DIR] [--no-verify]\n",
           argv[0]);
       return false;
     } else {
@@ -86,10 +94,13 @@ inline const std::vector<npb::Benchmark>& study_benchmarks() {
 }
 
 /// Prints the Table-1 header so each artifact is self-describing.
-inline void print_study_header(const char* artifact) {
+inline void print_study_header(const char* artifact,
+                               double machine_scale = 16.0) {
   std::printf("paxsim reproduction of Grant & Afsahi, IPPS 2007 — %s\n",
               artifact);
-  std::printf("machine: 2 chips x 2 cores x 2 HT contexts (capacity scale 1/16)\n\n");
+  std::printf(
+      "machine: 2 chips x 2 cores x 2 HT contexts (capacity scale 1/%g)\n\n",
+      machine_scale);
 }
 
 }  // namespace paxsim::bench

@@ -128,6 +128,8 @@ std::string usage() {
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
       "              --baseline (also run and report the serial baseline)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
+      "              --grain=N (iterations per scheduling turn; default 1;\n"
+      "                         N>1 is faster but changes the interleaving)\n"
       "              --no-verify\n";
 }
 
@@ -190,6 +192,13 @@ ParseResult parse(const std::vector<std::string>& args) {
         res.error = "bad --jobs";
         return res;
       }
+    } else if (key == "grain") {
+      const long g = std::atol(value.c_str());
+      if (g < 1) {
+        res.error = "bad --grain (need an integer >= 1)";
+        return res;
+      }
+      cmd.options.grain = static_cast<std::size_t>(g);
     } else if (key == "policy") {
       cmd.policy = value;
     } else if (key == "csv") {

@@ -30,6 +30,7 @@ std::string params_pool_key(const sim::MachineParams& p) {
   app(p.itlb_entries);
   app(p.dtlb_entries);
   app(static_cast<std::uint64_t>(p.prefetch_streams));
+  app(p.fast_path ? 1u : 0u);
   return s;
 }
 
@@ -37,14 +38,14 @@ CellKey single_key(npb::Benchmark b, const StudyConfig& cfg,
                    const RunOptions& opt, std::uint64_t seed) {
   return CellKey{CellKey::Kind::kSingle, b,     b,
                  config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify};
+                 seed,                    opt.verify, opt.grain};
 }
 
 CellKey pair_key(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                  const RunOptions& opt, std::uint64_t seed) {
   return CellKey{CellKey::Kind::kPair,   a,       b,
                  config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify};
+                 seed,                    opt.verify, opt.grain};
 }
 
 }  // namespace
@@ -80,6 +81,7 @@ std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   mix(scale_bits);
   mix(k.seed);
   mix(k.verify ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(k.grain));
   return h;
 }
 

@@ -124,6 +124,7 @@ struct CellKey {
   double machine_scale = 0;
   std::uint64_t seed = 0;
   bool verify = true;
+  std::size_t grain = 1;   ///< RunOptions::grain (changes interleaving)
 
   friend bool operator==(const CellKey&, const CellKey&) = default;
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <stdexcept>
 
+#include "xomp/min_heap.hpp"
 #include "xomp/team.hpp"
 
 namespace paxsim::harness {
@@ -51,6 +53,7 @@ std::unique_ptr<Program> make_program(npb::Benchmark bench, int slot,
   prog->kernel->setup(*prog->space, npb::ProblemConfig{opt.cls, seed});
   prog->team = std::make_unique<xomp::Team>(machine, std::move(cpus),
                                             &prog->counters, *prog->space);
+  prog->team->set_grain(opt.grain);
   return prog;
 }
 
@@ -78,12 +81,15 @@ RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
   machine.reset();
   auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
   apply_smt_activity(machine, cfg.cpus);
+  const auto host_t0 = std::chrono::steady_clock::now();
   while (!prog->done()) {
     prog->kernel->step(*prog->team, prog->steps_done);
     ++prog->steps_done;
   }
   prog->finish_time = prog->team->wall_time();
+  const auto host_t1 = std::chrono::steady_clock::now();
   RunResult r = finish_result(*prog, opt.verify);
+  r.host_sim_sec = std::chrono::duration<double>(host_t1 - host_t0).count();
   if (opt.verify && !r.verified) {
     throw std::runtime_error(std::string("verification failed: ") +
                              std::string(prog->kernel->name()) + " on " +
@@ -120,20 +126,19 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
   apply_smt_activity(machine, cfg.cpus);
 
   // Co-schedule: always advance the program that is behind in virtual time.
-  auto runnable = [&](int i) { return !progs[i]->done(); };
-  while (runnable(0) || runnable(1)) {
-    int pick;
-    if (!runnable(0)) {
-      pick = 1;
-    } else if (!runnable(1)) {
-      pick = 0;
-    } else {
-      pick = progs[0]->team->wall_time() <= progs[1]->team->wall_time() ? 0 : 1;
-    }
+  // The (wall, index) heap order reproduces the old "<=" pick exactly:
+  // equal wall times resolve to program 0.
+  xomp::IndexedMinHeap behind(2);
+  for (int i = 0; i < 2; ++i) {
+    if (!progs[i]->done()) behind.push(i, progs[i]->team->wall_time());
+  }
+  while (!behind.empty()) {
+    const int pick = behind.top();
     Program& p = *progs[pick];
     p.kernel->step(*p.team, p.steps_done);
     ++p.steps_done;
     if (p.done()) {
+      behind.remove(pick);
       p.finish_time = p.team->wall_time();
       // The finished program's contexts go idle: recompute SMT activity so
       // the survivor regains full issue width on shared cores.
@@ -141,6 +146,8 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
       if (!still->done()) {
         apply_smt_activity(machine, pick == 0 ? cpus_b : cpus_a);
       }
+    } else {
+      behind.update(pick, p.team->wall_time());
     }
   }
 

@@ -33,6 +33,10 @@ struct RunOptions {
   int trials = 3;                    ///< paper used 10; 3 is the quick default
   std::uint64_t base_seed = 314159265;
   bool verify = true;                ///< run numeric verification per trial
+  /// Iteration grain handed to every Team (xomp::kDefaultGrain = 1 is the
+  /// full-fidelity setting; larger grains change the interleaving, so
+  /// grained runs are never comparable against grain-1 golden signatures).
+  std::size_t grain = 1;
 
   [[nodiscard]] sim::MachineParams machine_params() const {
     return sim::MachineParams{}.scaled(machine_scale);
@@ -48,6 +52,11 @@ struct RunResult {
   perf::CounterSet counters;         ///< raw PMU-event deltas
   perf::Metrics metrics;             ///< the Figure-2 bundle
   bool verified = false;             ///< numeric validation outcome
+  /// Host seconds spent inside the simulation loop proper (kernel steps
+  /// driving the machine), excluding program construction/setup and numeric
+  /// verification.  Filled by run_single; the throughput artifacts use it so
+  /// they measure the simulator inner loop, not workload setup.
+  double host_sim_sec = 0;
 };
 
 /// Runs @p bench once on @p cfg (single-program).

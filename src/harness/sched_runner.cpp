@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "xomp/min_heap.hpp"
 #include "xomp/team.hpp"
 
 namespace paxsim::harness {
@@ -107,6 +108,7 @@ ScheduledResult run_scheduled(sim::Machine& machine,
     prog->team = std::make_unique<xomp::Team>(
         machine, placement[static_cast<std::size_t>(p)], &prog->counters,
         *prog->space);
+    prog->team->set_grain(opt.grain);
     progs.push_back(std::move(prog));
   }
   refresh_smt_activity(machine, progs);
@@ -114,31 +116,33 @@ ScheduledResult run_scheduled(sim::Machine& machine,
   ScheduledResult out;
   out.scheduler = std::string(policy.name());
 
-  auto any_running = [&] {
-    for (const auto& p : progs) {
-      if (!p->done()) return true;
+  // Programs in a min-heap keyed by wall time; the (key, index) tie-break
+  // matches the old scan's strict-< pick (equal walls go to the lower
+  // index).  Keys are refreshed after migrations too: repin() can advance a
+  // team's wall even when the program did not step.
+  xomp::IndexedMinHeap behind(np);
+  for (int p = 0; p < np; ++p) {
+    if (!progs[static_cast<std::size_t>(p)]->done()) {
+      behind.push(p, progs[static_cast<std::size_t>(p)]->team->wall_time());
     }
-    return false;
-  };
+  }
 
-  while (any_running()) {
+  while (!behind.empty()) {
     // Advance the program furthest behind in virtual time.
-    Program* pick = nullptr;
-    for (const auto& p : progs) {
-      if (p->done()) continue;
-      if (pick == nullptr || p->team->wall_time() < pick->team->wall_time()) {
-        pick = p.get();
-      }
-    }
+    const int pick_idx = behind.top();
+    Program* pick = progs[static_cast<std::size_t>(pick_idx)].get();
     pick->kernel->step(*pick->team, pick->steps_done);
     ++pick->steps_done;
     if (pick->done()) {
+      behind.remove(pick_idx);
       pick->finish_time = pick->team->wall_time();
       refresh_smt_activity(machine, progs);
+    } else {
+      behind.update(pick_idx, pick->team->wall_time());
     }
 
     // Consult the policy.
-    if (any_running()) {
+    if (!behind.empty()) {
       const auto views = collect_views(progs);
       const auto migrations = policy.rebalance(views);
       for (const sched::Migration& m : migrations) {
@@ -147,7 +151,14 @@ ScheduledResult run_scheduled(sim::Machine& machine,
         prog.team->repin(m.rank, m.to, sched::kMigrationPenaltyCycles);
         ++out.migrations;
       }
-      if (!migrations.empty()) refresh_smt_activity(machine, progs);
+      if (!migrations.empty()) {
+        refresh_smt_activity(machine, progs);
+        for (int p = 0; p < np; ++p) {
+          if (behind.contains(p)) {
+            behind.update(p, progs[static_cast<std::size_t>(p)]->team->wall_time());
+          }
+        }
+      }
     }
   }
 

@@ -11,19 +11,6 @@ BranchPredictor::BranchPredictor(std::size_t pht_entries, unsigned history_bits)
   assert(is_pow2(pht_entries));
 }
 
-bool BranchPredictor::predict_and_update(std::uint32_t site, bool taken,
-                                         BranchHistory& h) noexcept {
-  // Knuth multiplicative hash spreads dense site ids across the table.
-  const std::uint32_t pc_hash = site * 2654435761u;
-  const std::uint32_t idx = (pc_hash ^ h.ghr) & mask_;
-  std::uint8_t& ctr = pht_[idx];
-  const bool predicted_taken = ctr >= 2;
-  if (taken && ctr < 3) ++ctr;
-  if (!taken && ctr > 0) --ctr;
-  h.ghr = ((h.ghr << 1) | (taken ? 1u : 0u)) & history_mask_;
-  return predicted_taken == taken;
-}
-
 void BranchPredictor::reset() noexcept {
   for (auto& c : pht_) c = 1;
 }

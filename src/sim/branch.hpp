@@ -30,8 +30,20 @@ class BranchPredictor {
 
   /// Predicts the branch at static site @p site with outcome @p taken under
   /// the context history @p h, updates the table and history, and returns
-  /// whether the prediction was correct.
-  bool predict_and_update(std::uint32_t site, bool taken, BranchHistory& h) noexcept;
+  /// whether the prediction was correct.  Inline: this runs once per
+  /// simulated loop iteration on every path through the simulator.
+  bool predict_and_update(std::uint32_t site, bool taken,
+                          BranchHistory& h) noexcept {
+    // Knuth multiplicative hash spreads dense site ids across the table.
+    const std::uint32_t pc_hash = site * 2654435761u;
+    const std::uint32_t idx = (pc_hash ^ h.ghr) & mask_;
+    std::uint8_t& ctr = pht_[idx];
+    const bool predicted_taken = ctr >= 2;
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+    h.ghr = ((h.ghr << 1) | (taken ? 1u : 0u)) & history_mask_;
+    return predicted_taken == taken;
+  }
 
   /// Resets the table to weakly-not-taken and clears nothing else.
   void reset() noexcept;

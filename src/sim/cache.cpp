@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace paxsim::sim {
@@ -11,84 +12,17 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geom)
       line_shift_(log2_exact(geom.line_bytes)) {
   assert(is_pow2(sets_) && "cache set count must be a power of two");
   assert(is_pow2(line_bytes_) && "cache line size must be a power of two");
+  assert(ways_ <= 255 && "MRU way hint is stored in a byte");
   lines_.resize(sets_ * ways_);
-}
-
-SetAssocCache::Line* SetAssocCache::find(Addr addr) noexcept {
-  const Addr la = line_of(addr);
-  const std::size_t base = set_index(la) * ways_;
-  const Addr tag = tag_of(la);
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Line& l = lines_[base + w];
-    if (l.state != LineState::kInvalid && l.tag == tag) return &l;
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find(Addr addr) const noexcept {
-  return const_cast<SetAssocCache*>(this)->find(addr);
-}
-
-ProbeResult SetAssocCache::probe(Addr addr, bool is_store) noexcept {
-  ++clock_;
-  Line* l = find(addr);
-  if (l == nullptr) return {};
-  l->stamp = clock_;
-  ProbeResult r{true, l->prefetched, l->ready_at};
-  l->prefetched = false;  // first demand touch consumes the prefetch credit
-  if (is_store && l->state != LineState::kShared) l->state = LineState::kModified;
-  return r;
-}
-
-bool SetAssocCache::needs_upgrade(Addr addr) const noexcept {
-  const Line* l = find(addr);
-  return l != nullptr && l->state == LineState::kShared;
-}
-
-std::optional<Eviction> SetAssocCache::fill(Addr addr, LineState st,
-                                            bool prefetched,
-                                            double ready_at) noexcept {
-  ++clock_;
-  const Addr la = line_of(addr);
-  const std::size_t base = set_index(la) * ways_;
-  // Re-fill of a resident line just updates state (e.g. upgrade fill).
-  if (Line* l = find(addr)) {
-    l->state = st;
-    l->stamp = clock_;
-    l->prefetched = prefetched;
-    l->ready_at = ready_at;
-    return std::nullopt;
-  }
-  std::size_t victim = 0;
-  std::uint64_t best = UINT64_MAX;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Line& l = lines_[base + w];
-    if (l.state == LineState::kInvalid) {
-      victim = w;
-      best = 0;
-      break;
-    }
-    if (l.stamp < best) {
-      best = l.stamp;
-      victim = w;
-    }
-  }
-  Line& v = lines_[base + victim];
-  std::optional<Eviction> ev;
-  if (v.state != LineState::kInvalid) {
-    ev = Eviction{v.tag << line_shift_, v.state == LineState::kModified};
-  }
-  v.tag = tag_of(la);
-  v.stamp = clock_;
-  v.state = st;
-  v.prefetched = prefetched;
-  v.ready_at = ready_at;
-  return ev;
+  mru_.assign(sets_, 0);
+  set_gens_.assign(sets_, 0);
 }
 
 bool SetAssocCache::invalidate(Addr addr) noexcept {
   Line* l = find(addr);
   if (l == nullptr) return false;
+  ++set_gens_[set_index(line_of(addr))];
+  ++mut_gen_;
   const bool dirty = l->state == LineState::kModified;
   l->state = LineState::kInvalid;
   l->prefetched = false;
@@ -98,32 +32,33 @@ bool SetAssocCache::invalidate(Addr addr) noexcept {
 bool SetAssocCache::downgrade_to_shared(Addr addr) noexcept {
   Line* l = find(addr);
   if (l == nullptr) return false;
+  ++set_gens_[set_index(line_of(addr))];
+  ++mut_gen_;
   const bool dirty = l->state == LineState::kModified;
   l->state = LineState::kShared;
   return dirty;
 }
 
-bool SetAssocCache::contains(Addr addr) const noexcept {
-  return find(addr) != nullptr;
-}
-
-LineState SetAssocCache::state_of(Addr addr) const noexcept {
-  const Line* l = find(addr);
-  return l == nullptr ? LineState::kInvalid : l->state;
-}
-
-void SetAssocCache::upgrade_to_modified(Addr addr) noexcept {
-  if (Line* l = find(addr)) l->state = LineState::kModified;
-}
-
 void SetAssocCache::reset() noexcept {
-  for (Line& l : lines_) l = Line{};
+  // Lazy invalidation: bumping the epoch strands every resident line in the
+  // old epoch, where live() treats it exactly like a kInvalid slot.  A full
+  // line-array walk only happens on the (unreachable in practice) 2^32-nd
+  // reset, when the epoch counter wraps.
+  if (++epoch_ == 0) {
+    for (Line& l : lines_) l = Line{};
+    epoch_ = 1;
+  }
+  last_hit_ = nullptr;
   clock_ = 0;
+  // One increment advances every set's mutation generation (set_gens_ stay
+  // as they are; the per-set accessor adds the base), keeping reset O(1).
+  ++gen_base_;
+  ++mut_gen_;
 }
 
 std::size_t SetAssocCache::resident_lines() const noexcept {
   std::size_t n = 0;
-  for (const Line& l : lines_) n += l.state != LineState::kInvalid;
+  for (const Line& l : lines_) n += live(l);
   return n;
 }
 

@@ -13,43 +13,9 @@ using perf::Event;
 // HwContext
 // ---------------------------------------------------------------------------
 
-void HwContext::alu(std::uint32_t uops) noexcept {
-  advance_busy(static_cast<double>(uops) * core_->issue_cycles_per_uop());
-  counters_->add(Event::kInstructions, uops);
-}
-
-void HwContext::load(Addr addr, Dep dep) noexcept {
-  advance_busy(core_->issue_cycles_per_uop());
-  counters_->add(Event::kInstructions, 1);
-  const double stall = core_->access_memory(*this, addr, /*is_store=*/false, dep);
-  now_ += stall;
-  stall_mem_ += stall;
-}
-
-void HwContext::store(Addr addr, Dep dep) noexcept {
-  advance_busy(core_->issue_cycles_per_uop());
-  counters_->add(Event::kInstructions, 1);
-  const double stall = core_->access_memory(*this, addr, /*is_store=*/true, dep);
-  now_ += stall;
-  stall_mem_ += stall;
-}
-
-void HwContext::branch(std::uint32_t site, bool taken) noexcept {
-  advance_busy(core_->issue_cycles_per_uop());
-  counters_->add(Event::kInstructions, 1);
-  counters_->add(Event::kBranches, 1);
-  const bool correct = core_->predictor_.predict_and_update(site, taken, history_);
-  if (!correct) {
-    counters_->add(Event::kBranchMispredicts, 1);
-    const double penalty = static_cast<double>(core_->params_->mispredict_penalty);
-    now_ += penalty;
-    stall_branch_ += penalty;
-  }
-}
-
-void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
+void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
   const MachineParams& p = *core_->params_;
-  counters_->add(Event::kItlbReferences, 1);
+  ++acc_itlb_refs_;
   const Addr code_addr = code_base_ + static_cast<Addr>(block) * p.code_block_bytes;
   if (!core_->itlb_.access(code_addr)) {
     counters_->add(Event::kItlbMisses, 1);
@@ -64,7 +30,7 @@ void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
           : -1;
   const TraceFetch tf =
       core_->trace_cache_.fetch(code_base_, block, uops, partition);
-  counters_->add(Event::kTraceCacheReferences, tf.lines_referenced);
+  acc_tc_refs_ += tf.lines_referenced;
   if (tf.lines_missed != 0) {
     counters_->add(Event::kTraceCacheMisses, tf.lines_missed);
     const double decode =
@@ -72,9 +38,30 @@ void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
     now_ += decode;
     stall_fe_ += decode;
   }
+  // The block's translation and trace lines are resident now (hit or
+  // filled); capture handles so a repeat can replay the all-hit fetch.
+  if (core_->fast_path_) {
+    FastBlock& fb = fast_block_;
+    fb.block = block;
+    fb.uops = uops;
+    fb.code_base = code_base_;
+    fb.code_addr = code_addr;
+    fb.partition = partition;
+    fb.itlb = core_->itlb_.last_ref();
+    core_->trace_cache_.register_fast(fb.trace, code_base_, block, uops,
+                                      partition);
+    fb.valid = fb.trace.part != nullptr;
+    if (fb.valid) {
+      // register_fast() verified every handle, so snapshotting the LRU
+      // clocks here arms the unchecked replay tier of exec_block().
+      fb.part_clock = fb.trace.part->lru_clock();
+      fb.itlb_clock = core_->itlb_.lru_clock();
+    }
+  }
 }
 
 void HwContext::flush_accumulators() noexcept {
+  flush_event_counts();
   if (counters_ == nullptr) return;
   const double total = busy_ + stall_mem_ + stall_branch_ + stall_tlb_ + stall_fe_;
   executed_total_ += total;
@@ -94,6 +81,9 @@ void HwContext::reset() noexcept {
   now_ = 0;
   busy_ = stall_mem_ = stall_branch_ = stall_tlb_ = stall_fe_ = 0;
   executed_total_ = 0;
+  acc_instructions_ = acc_mem_accesses_ = 0;
+  acc_itlb_refs_ = acc_tc_refs_ = acc_branch_ops_ = 0;
+  clear_fast_entries();
   history_ = BranchHistory{};
   counters_ = nullptr;
   code_base_ = 0;
@@ -114,12 +104,16 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       itlb_(p.itlb_entries, p.itlb_ways, p.page_bytes),
       dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
       predictor_(),
-      prefetcher_(p) {
+      prefetcher_(p),
+      fast_path_(p.fast_path) {
+  refresh_issue_cost();
   for (int i = 0; i < 2; ++i) {
     contexts_[i].core_ = this;
     contexts_[i].id_ = LogicalCpu{static_cast<std::uint8_t>(chip_idx),
                                   static_cast<std::uint8_t>(core_idx),
                                   static_cast<std::uint8_t>(i)};
+    contexts_[i].fast_line_mask_ = ~static_cast<Addr>(p.l1d.line_bytes - 1);
+    contexts_[i].fast_line_shift_ = log2_exact(p.l1d.line_bytes);
   }
 }
 
@@ -129,7 +123,7 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
   perf::CounterSet& c = *ctx.counters_;
 
   // --- DTLB ------------------------------------------------------------------
-  c.add(Event::kDtlbReferences, 1);
+  // (The reference count was already batched by the inlined load()/store().)
   double stall = 0;
   if (!dtlb_.access(addr)) {
     c.add(is_store ? Event::kDtlbStoreMisses : Event::kDtlbLoadMisses, 1);
@@ -138,9 +132,12 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     ctx.now_ += walk;
     ctx.stall_tlb_ += walk;
   }
+  // Whether hit or walked-in fill, the DTLB's last-touched entry is now the
+  // page of @p addr — capture the handle for the fast-path registration
+  // below (nothing after this point touches the DTLB).
+  const SetAssocCache::LineRef dtlb_ref = dtlb_.last_ref();
 
   // --- L1D --------------------------------------------------------------------
-  c.add(Event::kL1dReferences, 1);
   const Addr line = l1d_.line_of(addr);
   const ProbeResult l1 = l1d_.probe(addr, is_store);
   double latency = 0;    // load-to-use latency of the level that served us
@@ -199,6 +196,27 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     }
   }
 
+  // --- fast-path registration -------------------------------------------------
+  // The line is resident in L1 and its page is in the DTLB: register the
+  // handles so the next same-line access can take the inlined path.  The
+  // handles are revalidated at use time, so a later eviction reusing either
+  // slot merely misses the fast path — it can never serve stale state.
+  if (fast_path_) {
+    HwContext::FastEntry& fe = ctx.fast_entry(line);
+    fe.line = line;
+    fe.l1 = l1d_.last_ref();
+    fe.tlb = dtlb_ref;
+    fe.l1_gen_slot = l1d_.mutation_gen_slot(addr);
+    // Arm the zero-revalidation tier only when the line could also replay a
+    // store through this entry (fast_check with is_store doubles as the
+    // kShared test; everything else it checks holds by construction here).
+    // A shared line stays unarmed — gen 0 never equals a live generation
+    // sum — and keeps revalidating through the handles.
+    fe.gen = l1d_.fast_check(fe.l1, addr, /*is_store=*/true)
+                 ? *fe.l1_gen_slot + dtlb_.mutation_gen()
+                 : 0;
+  }
+
   // --- exposure of the latency ------------------------------------------------
   const double issue = issue_cycles_per_uop();
   if (dep == Dep::kChained) {
@@ -253,7 +271,17 @@ void Core::issue_prefetches(HwContext& ctx, Addr line_addr) noexcept {
   const MachineParams& p = *params_;
   prefetch_buffer_.clear();
   prefetcher_.on_demand_miss(line_addr, prefetch_buffer_);
-  if (prefetch_buffer_.empty()) return;
+  // Residency filter first: a window whose every line is already L2-resident
+  // issues nothing, so it should not even consult the bus.  The per-request
+  // check below stays, because an earlier prefetch's fill can evict a later
+  // request's line mid-loop; only the all-resident early-out is hoisted
+  // (utilization() is const, so skipping it cannot change any state).
+  const bool any_missing =
+      std::any_of(prefetch_buffer_.begin(), prefetch_buffer_.end(),
+                  [this](const PrefetchRequest& req) {
+                    return !l2_.contains(req.line_addr);
+                  });
+  if (!any_missing) return;
   FrontSideBus& bus = machine_->bus(chip_idx_);
   if (bus.utilization(ctx.now_) > p.prefetch_bus_threshold) return;
   perf::CounterSet& c = *ctx.counters_;
@@ -269,11 +297,16 @@ void Core::issue_prefetches(HwContext& ctx, Addr line_addr) noexcept {
 }
 
 bool Core::invalidate_line(Addr line_addr) noexcept {
+  // Conservatively drop the fast-path registers: the handles would fail
+  // revalidation anyway for this line, but a remote action is rare enough
+  // that clearing everything keeps the invariant trivially auditable.
+  clear_fast_entries();
   l1d_.invalidate(line_addr);
   return l2_.invalidate(line_addr);
 }
 
 bool Core::downgrade_line(Addr line_addr) noexcept {
+  clear_fast_entries();
   l1d_.downgrade_to_shared(line_addr);
   return l2_.downgrade_to_shared(line_addr);
 }
@@ -288,6 +321,7 @@ void Core::reset() noexcept {
   prefetcher_.reset();
   for (auto& ctx : contexts_) ctx.reset();
   active_contexts_ = 1;
+  refresh_issue_cost();
 }
 
 }  // namespace paxsim::sim

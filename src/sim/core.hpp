@@ -19,8 +19,23 @@
 //   * Branch mispredicts, TLB walks and trace-cache rebuild each charge
 //     their own stall category, so "% stalled" decomposes exactly as the
 //     paper's PMU data does.
+//
+// Hot path (see docs/ARCHITECTURE.md, "The hot path")
+// ---------------------------------------------------
+// load()/store() are inlined here and keep a small per-context table of
+// "last line / last page" registers: an access whose line and page were both
+// served before revalidates the cached L1/DTLB handles and replays exactly
+// the state effects the out-of-line Core::access_memory path would have —
+// never entering it.  High-frequency events (instructions, L1D/DTLB/ITLB/
+// trace-cache references) accumulate in plain context-local integers and
+// are folded into the bound CounterSet wherever flush_accumulators()
+// already runs (and on rebind).  Both mechanisms are bit-identity
+// preserving; `MachineParams::fast_path = false` (or building with
+// -DPAXSIM_REFERENCE_PATH=ON) forces every access through the reference
+// path, which the differential tests compare against.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -46,10 +61,14 @@ class HwContext {
   HwContext() = default;
 
   /// Binds this context to a program: all events are charged to
-  /// @p counters and code addresses are based at @p code_base.
+  /// @p counters and code addresses are based at @p code_base.  Pending
+  /// batched events are flushed to the previously bound counter set first,
+  /// so attribution across rebinds is exact.
   void bind(perf::CounterSet* counters, Addr code_base) noexcept {
+    if (counters_ != nullptr && counters_ != counters) flush_event_counts();
     counters_ = counters;
     code_base_ = code_base;
+    clear_fast_entries();
   }
 
   /// True if a program is currently bound.
@@ -80,11 +99,15 @@ class HwContext {
   /// Front-end fetch of static code block @p block (@p uops decoded uops)
   /// through the trace cache and ITLB.  Call once per dynamic execution of
   /// the block; the uops themselves are charged by alu()/load()/store().
+  /// Inlined: a repeat of the last block whose ITLB entry and trace lines
+  /// are all still resident replays the all-hit fetch without the
+  /// out-of-line walk (see the hot-path note above).
   void exec_block(BlockId block, std::uint32_t uops) noexcept;
 
   /// Folds the fractional busy/stall accumulators into the bound counter
-  /// set (kCycles and the four stall categories).  The runtime calls this at
-  /// the end of every parallel region and at program completion.
+  /// set (kCycles and the four stall categories) and flushes the batched
+  /// event counts.  The runtime calls this at the end of every parallel
+  /// region and at program completion.
   void flush_accumulators() noexcept;
 
   /// This context's position in the machine.
@@ -104,12 +127,109 @@ class HwContext {
   /// instructions — OS overhead inflates CPI, as on real hardware.
   void os_overhead(double cycles) noexcept { advance_busy(cycles); }
 
-  /// Clears clock, accumulators and branch history (new trial).
+  /// Clears clock, accumulators, fast-path registers and branch history
+  /// (new trial).
   void reset() noexcept;
 
  private:
   friend class Core;
   friend class Machine;
+
+  /// One "last line / last page" register of the inlined fast path: the
+  /// L1-line address it covers plus revalidatable handles to the L1 line
+  /// and the DTLB entry that served it.  `line` uses an all-ones sentinel
+  /// (no real line address has all low bits set after alignment), so an
+  /// empty register can never match.
+  struct FastEntry {
+    Addr line = ~Addr{0};
+    SetAssocCache::LineRef l1;
+    SetAssocCache::LineRef tlb;
+    /// Generation slot of the L1 set holding `line` (stable pointer into
+    /// the L1D); null until first registration.
+    const std::uint64_t* l1_gen_slot = nullptr;
+    /// Sum of the L1-set generation (*l1_gen_slot) and the whole-DTLB
+    /// mutation generation when the entry was armed, or 0 for "revalidate
+    /// through the handles".  Both terms are monotone, so an equal sum
+    /// means neither moved: no fill, invalidation, downgrade or reset has
+    /// touched the L1 set or the DTLB and the handles are valid without
+    /// dereferencing them.  Arming requires the line to be store-safe (not
+    /// kShared), so one generation covers loads and stores alike; 0 is
+    /// unreachable as a live sum because a registered line's set and the
+    /// DTLB have each seen >= 1 fill.
+    std::uint64_t gen = 0;
+  };
+  /// Sized past a full-fidelity L1D (16 KB / 64 B = 256 lines) so the
+  /// filter, not the table, decides fast-path coverage.
+  static constexpr std::size_t kFastEntries = 512;
+
+  /// Front-end counterpart of FastEntry: the last code block this context
+  /// fetched, with revalidatable handles to its ITLB entry and trace lines.
+  /// The key fields (block id, uops, code base, partition) must all match
+  /// the current fetch before the handles are even consulted, so a rebind
+  /// or MT-mode flip can never replay another program's or partition's
+  /// trace.
+  struct FastBlock {
+    BlockId block = 0;
+    std::uint32_t uops = 0;
+    Addr code_base = 0;
+    Addr code_addr = 0;  ///< ITLB lookup address of the block
+    int partition = 0;
+    bool valid = false;
+    SetAssocCache::LineRef itlb;
+    TraceCache::FastTrace trace;
+    /// LRU clocks of the trace partition and the ITLB right after the last
+    /// (re)validated fetch of this block.  Both structures mutate only
+    /// through clock-ticking operations (probe, fill, fast_commit) or
+    /// reset() — which tears this register down — so unchanged clocks prove
+    /// every handle is exactly as the last commit left it and the repeat
+    /// fetch can replay with no per-line checks at all.
+    std::uint64_t part_clock = 0;
+    std::uint64_t itlb_clock = 0;
+  };
+
+  [[nodiscard]] FastEntry& fast_entry(Addr line) noexcept {
+    // Fold high line bits into the index: concurrently-walked arrays are
+    // often a near-multiple of the table span apart in the address space,
+    // and a plain modulo would alias them slot-for-slot.
+    const Addr l = line >> fast_line_shift_;
+    return fast_[(l ^ (l >> 9)) & (kFastEntries - 1)];
+  }
+  /// Replays the state and timing effects of an L1/DTLB hit through the
+  /// entry's validated handles (tail of the inlined load()/store() paths).
+  void fast_hit(FastEntry& fe, Dep dep, bool is_store) noexcept;
+
+  /// Conservative teardown: any coherence action, MT-mode flip, rebind or
+  /// reset empties the registers; the next access re-registers via the
+  /// reference path.
+  void clear_fast_entries() noexcept {
+    for (FastEntry& e : fast_) e = FastEntry{};
+    fast_block_.valid = false;
+  }
+
+  /// Reference path of exec_block(): ITLB access, trace fetch, miss
+  /// penalties — and fast-path re-registration on the way out.
+  void exec_block_slow(BlockId block, std::uint32_t uops) noexcept;
+
+  /// Adds the batched high-frequency events to the bound counter set and
+  /// zeroes the accumulators.  Integer adds, no rounding: attribution is
+  /// exact however often this runs.  Memory accesses and branches batch as
+  /// single per-kind counts that fan out here — a load/store is always one
+  /// instruction + one L1D reference + one DTLB reference, and a branch is
+  /// always one instruction + one branch, so folding at flush time charges
+  /// exactly what per-access increments would have.
+  void flush_event_counts() noexcept {
+    if (counters_ != nullptr) {
+      counters_->add(perf::Event::kInstructions,
+                     acc_instructions_ + acc_mem_accesses_ + acc_branch_ops_);
+      counters_->add(perf::Event::kL1dReferences, acc_mem_accesses_);
+      counters_->add(perf::Event::kDtlbReferences, acc_mem_accesses_);
+      counters_->add(perf::Event::kItlbReferences, acc_itlb_refs_);
+      counters_->add(perf::Event::kTraceCacheReferences, acc_tc_refs_);
+      counters_->add(perf::Event::kBranches, acc_branch_ops_);
+    }
+    acc_instructions_ = acc_mem_accesses_ = 0;
+    acc_itlb_refs_ = acc_tc_refs_ = acc_branch_ops_ = 0;
+  }
 
   void advance_busy(double c) noexcept {
     now_ += c;
@@ -129,6 +249,19 @@ class HwContext {
   double stall_tlb_ = 0;
   double stall_fe_ = 0;
   double executed_total_ = 0;
+
+  // Batched high-frequency event counts (flushed by flush_event_counts).
+  std::uint64_t acc_instructions_ = 0;   // alu uops only
+  std::uint64_t acc_mem_accesses_ = 0;   // loads + stores (3 events each)
+  std::uint64_t acc_itlb_refs_ = 0;
+  std::uint64_t acc_tc_refs_ = 0;
+  std::uint64_t acc_branch_ops_ = 0;     // branches (2 events each)
+
+  // Fast-path registers; geometry mirrors the owning core's L1 lines.
+  std::array<FastEntry, kFastEntries> fast_{};
+  FastBlock fast_block_{};
+  Addr fast_line_mask_ = 0;
+  unsigned fast_line_shift_ = 0;
 };
 
 /// One physical core and its shared structures.
@@ -148,13 +281,16 @@ class Core {
   /// Declares how many contexts of this core are actively running threads
   /// in the current region (1 or 2).  Set by the runtime; drives the SMT
   /// issue-sharing stretch.
-  void set_active_contexts(int n) noexcept { active_contexts_ = n; }
+  void set_active_contexts(int n) noexcept {
+    active_contexts_ = n;
+    refresh_issue_cost();
+    clear_fast_entries();
+  }
   [[nodiscard]] int active_contexts() const noexcept { return active_contexts_; }
 
   /// Issue cost of one uop on one context under the current SMT activity.
   [[nodiscard]] double issue_cycles_per_uop() const noexcept {
-    return active_contexts_ > 1 ? params_->cycles_per_uop * params_->smt_issue_stretch
-                                : params_->cycles_per_uop;
+    return issue_cost_;
   }
 
   /// Global core id (0..3) used by the coherence directory.
@@ -191,6 +327,21 @@ class Core {
                double ready_at = 0) noexcept;
   void issue_prefetches(HwContext& ctx, Addr line_addr) noexcept;
 
+  /// Recomputes the cached issue cost and the precomputed chained-L1-hit
+  /// stall for the current SMT activity (the values the inlined fast path
+  /// reads per access).
+  void refresh_issue_cost() noexcept {
+    issue_cost_ = active_contexts_ > 1
+                      ? params_->cycles_per_uop * params_->smt_issue_stretch
+                      : params_->cycles_per_uop;
+    chained_l1_stall_ =
+        std::max(0.0, static_cast<double>(params_->l1_latency) - issue_cost_);
+  }
+  void clear_fast_entries() noexcept {
+    contexts_[0].clear_fast_entries();
+    contexts_[1].clear_fast_entries();
+  }
+
   const MachineParams* params_;
   Machine* machine_;
   int chip_idx_;
@@ -206,6 +357,145 @@ class Core {
   std::vector<PrefetchRequest> prefetch_buffer_;
   std::array<HwContext, 2> contexts_;
   int active_contexts_ = 1;
+
+  bool fast_path_ = true;          ///< MachineParams::fast_path
+  double issue_cost_ = 0;          ///< cached issue_cycles_per_uop()
+  double chained_l1_stall_ = 0;    ///< max(0, l1_latency - issue_cost_)
 };
+
+// ---------------------------------------------------------------------------
+// Inlined hot path.  A load/store whose line and page hit registered, still-
+// valid L1/DTLB entries replays the exact state and timing effects of the
+// out-of-line path: issue cost, both reference counts, one LRU clock tick
+// per structure, stamp refresh, store upgrade towards Modified, and (for
+// chained accesses) the precomputed exposed L1-hit stall.  Everything else —
+// first touch, misses, shared-line stores, in-flight fills — falls through
+// to Core::access_memory, which re-registers the entry on its way out.
+//
+// Validation is two-tier.  Tier 1 compares the entry's armed generation sum
+// against the live L1D+DTLB set generations: equality proves no fill,
+// invalidation, downgrade or reset has touched either set since arming, so
+// both handles are valid *by construction* and the access commits without
+// reading a single cache-line field.  Tier 2 (generation moved) revalidates
+// through the handles as before and re-arms the entry when the line is
+// store-safe.  Both tiers commit the identical effects; only the proof of
+// validity differs.
+// ---------------------------------------------------------------------------
+
+inline void HwContext::alu(std::uint32_t uops) noexcept {
+  advance_busy(static_cast<double>(uops) * core_->issue_cost_);
+  acc_instructions_ += uops;
+}
+
+inline void HwContext::fast_hit(FastEntry& fe, Dep dep,
+                                bool is_store) noexcept {
+  core_->l1d_.fast_commit(fe.l1, is_store);
+  core_->dtlb_.fast_commit(fe.tlb);
+  if (dep == Dep::kChained) {
+    const double stall = core_->chained_l1_stall_;
+    now_ += stall;
+    stall_mem_ += stall;
+  }
+  // Independent L1 hits are fully pipelined: no exposed stall.
+}
+
+inline void HwContext::load(Addr addr, Dep dep) noexcept {
+  advance_busy(core_->issue_cost_);
+  ++acc_mem_accesses_;
+  const Addr line = addr & fast_line_mask_;
+  FastEntry& fe = fast_entry(line);
+  if (fe.line == line) {  // a match implies registration: l1_gen_slot is set
+    const std::uint64_t cur =
+        *fe.l1_gen_slot + core_->dtlb_.mutation_gen();
+    if (fe.gen == cur) {  // tier 1: armed and nothing structural happened
+      fast_hit(fe, dep, /*is_store=*/false);
+      return;
+    }
+    if (core_->dtlb_.fast_check(fe.tlb, addr)) {  // tier 2
+      if (core_->l1d_.fast_check(fe.l1, addr, /*is_store=*/true)) {
+        fe.gen = cur;  // store-safe: re-arm tier 1 for both access kinds
+        fast_hit(fe, dep, /*is_store=*/false);
+        return;
+      }
+      if (core_->l1d_.fast_check(fe.l1, addr, /*is_store=*/false)) {
+        fast_hit(fe, dep, /*is_store=*/false);  // kShared line: stay unarmed
+        return;
+      }
+    }
+  }
+  const double stall = core_->access_memory(*this, addr, /*is_store=*/false, dep);
+  now_ += stall;
+  stall_mem_ += stall;
+}
+
+inline void HwContext::store(Addr addr, Dep dep) noexcept {
+  advance_busy(core_->issue_cost_);
+  ++acc_mem_accesses_;
+  const Addr line = addr & fast_line_mask_;
+  FastEntry& fe = fast_entry(line);
+  if (fe.line == line) {  // a match implies registration: l1_gen_slot is set
+    const std::uint64_t cur =
+        *fe.l1_gen_slot + core_->dtlb_.mutation_gen();
+    if (fe.gen == cur) {  // tier 1: an armed line is store-safe by arming rule
+      fast_hit(fe, dep, /*is_store=*/true);
+      return;
+    }
+    if (core_->l1d_.fast_check(fe.l1, addr, /*is_store=*/true) &&
+        core_->dtlb_.fast_check(fe.tlb, addr)) {  // tier 2
+      fe.gen = cur;
+      fast_hit(fe, dep, /*is_store=*/true);
+      return;
+    }
+  }
+  const double stall = core_->access_memory(*this, addr, /*is_store=*/true, dep);
+  now_ += stall;
+  stall_mem_ += stall;
+}
+
+inline void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
+  FastBlock& fb = fast_block_;
+  if (fb.valid && fb.block == block && fb.uops == uops &&
+      fb.code_base == code_base_) {
+    const int partition = (core_->active_contexts_ > 1 &&
+                           core_->params_->trace_mt_static_partition)
+                              ? id_.context
+                              : -1;
+    if (partition == fb.partition) {
+      if (fb.part_clock == fb.trace.part->lru_clock() &&
+          fb.itlb_clock == core_->itlb_.lru_clock()) {
+        // Tier 1: neither structure ticked since our last commit, so every
+        // handle is exactly as that commit left it — replay unchecked.
+        core_->trace_cache_.commit(fb.trace);
+        core_->itlb_.fast_commit(fb.itlb);
+      } else if (core_->itlb_.fast_check(fb.itlb, fb.code_addr) &&
+                 core_->trace_cache_.try_commit(fb.trace)) {
+        core_->itlb_.fast_commit(fb.itlb);  // tier 2: handle revalidation
+      } else {
+        exec_block_slow(block, uops);
+        return;
+      }
+      fb.part_clock = fb.trace.part->lru_clock();
+      fb.itlb_clock = core_->itlb_.lru_clock();
+      ++acc_itlb_refs_;
+      acc_tc_refs_ += fb.trace.n;
+      return;
+    }
+  }
+  exec_block_slow(block, uops);
+}
+
+inline void HwContext::branch(std::uint32_t site, bool taken) noexcept {
+  advance_busy(core_->issue_cost_);
+  ++acc_branch_ops_;
+  const bool correct =
+      core_->predictor_.predict_and_update(site, taken, history_);
+  if (!correct) {
+    counters_->add(perf::Event::kBranchMispredicts, 1);
+    const double penalty =
+        static_cast<double>(core_->params_->mispredict_penalty);
+    now_ += penalty;
+    stall_branch_ += penalty;
+  }
+}
 
 }  // namespace paxsim::sim

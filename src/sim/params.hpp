@@ -135,6 +135,18 @@ struct MachineParams {
   // ---- front-end / code layout ---------------------------------------------
   std::size_t code_block_bytes = 256; ///< average static footprint per block
 
+  // ---- simulator execution (not a property of the modelled machine) --------
+  /// Enables the core's inlined L1-hit/DTLB-hit fast path.  Results are
+  /// bit-identical either way — the fast path replays exactly the state
+  /// effects the out-of-line path would have (enforced by the differential
+  /// tests); the reference path exists to prove that and to debug against.
+  /// Building with -DPAXSIM_REFERENCE_PATH=ON flips the default to false.
+#ifdef PAXSIM_REFERENCE_PATH
+  bool fast_path = false;
+#else
+  bool fast_path = true;
+#endif
+
   /// Returns a copy with all capacity-like quantities divided by @p factor
   /// (latencies, bandwidth-per-cycle and issue parameters untouched).
   /// Associativities are preserved; entry counts are floored at the

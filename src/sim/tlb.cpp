@@ -17,10 +17,4 @@ CacheGeometry tlb_geometry(std::size_t entries, std::size_t ways,
 Tlb::Tlb(std::size_t entries, std::size_t ways, std::size_t page_bytes)
     : cache_(tlb_geometry(entries, ways, page_bytes)) {}
 
-bool Tlb::access(Addr addr) noexcept {
-  if (cache_.probe(addr, /*is_store=*/false).hit) return true;
-  cache_.fill(addr, LineState::kExclusive, /*prefetched=*/false);
-  return false;
-}
-
 }  // namespace paxsim::sim

@@ -21,7 +21,38 @@ class Tlb {
   Tlb(std::size_t entries, std::size_t ways, std::size_t page_bytes);
 
   /// Looks up the page of @p addr; inserts it on miss. Returns true on hit.
-  bool access(Addr addr) noexcept;
+  bool access(Addr addr) noexcept {
+    if (cache_.probe(addr, /*is_store=*/false).hit) return true;
+    cache_.fill(addr, LineState::kExclusive, /*prefetched=*/false);
+    return false;
+  }
+
+  /// Fast-path handle support (see SetAssocCache::LineRef): the core caches
+  /// the translation entry access() last touched and replays the equivalent
+  /// of a hitting access() — probe(addr, false) — without the set walk.
+  [[nodiscard]] SetAssocCache::LineRef last_ref() const noexcept {
+    return cache_.last_ref();
+  }
+  [[nodiscard]] bool fast_check(SetAssocCache::LineRef ref,
+                                Addr addr) const noexcept {
+    return cache_.fast_check(ref, addr, /*is_store=*/false);
+  }
+  void fast_commit(SetAssocCache::LineRef ref) noexcept {
+    cache_.fast_commit(ref, /*is_store=*/false);
+  }
+
+  /// Whole-TLB mutation generation (see SetAssocCache::mutation_gen) — the
+  /// zero-dereference validity tier.  Coarse on purpose: a TLB mutates only
+  /// on a miss's fill or on reset, both rare, so one member load buys a
+  /// proof that every outstanding translation handle is still valid.
+  [[nodiscard]] std::uint64_t mutation_gen() const noexcept {
+    return cache_.mutation_gen();
+  }
+
+  /// LRU clock of the underlying cache (ticks on every access()).
+  [[nodiscard]] std::uint64_t lru_clock() const noexcept {
+    return cache_.lru_clock();
+  }
 
   /// Drops all translations.
   void reset() noexcept { cache_.reset(); }

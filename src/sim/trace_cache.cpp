@@ -6,7 +6,7 @@
 namespace paxsim::sim {
 namespace {
 
-constexpr std::size_t kTraceKeyBytes = 64;  // synthetic address stride per line
+constexpr std::size_t kTraceKeyBytes = TraceCache::kKeyBytes;
 
 CacheGeometry trace_geometry(std::size_t capacity_uops,
                              std::size_t uops_per_line, std::size_t ways) {
@@ -55,6 +55,33 @@ TraceFetch TraceCache::fetch(Addr code_base, BlockId block, std::uint32_t uops,
     }
   }
   return out;
+}
+
+void TraceCache::register_fast(FastTrace& ft, Addr code_base, BlockId block,
+                               std::uint32_t uops, int partition) noexcept {
+  SetAssocCache& cache =
+      partition < 0 ? full_ : half_[partition & 1];
+  const std::uint32_t n_lines =
+      std::max<std::uint32_t>(1, (uops + static_cast<std::uint32_t>(uops_per_line_) - 1) /
+                                     static_cast<std::uint32_t>(uops_per_line_));
+  if (n_lines > kFastTraceLines) {
+    ft.part = nullptr;
+    return;
+  }
+  ft.part = &cache;
+  ft.base_key = code_base + static_cast<Addr>(block) * 67 * kKeyBytes;
+  ft.n = n_lines;
+  for (std::uint32_t i = 0; i < n_lines; ++i) {
+    const Addr key = ft.base_key + static_cast<Addr>(i) * kKeyBytes;
+    ft.ref[i] = cache.ref_of(key);
+    // A block can evict its own earlier lines while filling later ones
+    // (tiny scaled caches): such a register would fail try_commit() on
+    // every repeat and must never be replayed unchecked, so refuse it.
+    if (!cache.fast_check(ft.ref[i], key)) {
+      ft.part = nullptr;
+      return;
+    }
+  }
 }
 
 }  // namespace paxsim::sim

@@ -9,6 +9,7 @@
 // authors' earlier IOSCA'05 work and revisited in this paper.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "sim/cache.hpp"
@@ -33,6 +34,13 @@ struct TraceFetch {
 /// the hardware's partition/recombine (warm state per mode survives).
 class TraceCache {
  public:
+  /// Synthetic-address stride per trace line (see fetch()).
+  static constexpr Addr kKeyBytes = 64;
+  /// Upper bound on trace lines a FastTrace may span; blocks larger than
+  /// this (none in the study: BT's 64-uop bodies are 11 lines at the
+  /// default 6 uops/line) simply never take the fast path.
+  static constexpr std::uint32_t kFastTraceLines = 12;
+
   TraceCache(std::size_t capacity_uops, std::size_t uops_per_line,
              std::size_t ways);
 
@@ -42,6 +50,47 @@ class TraceCache {
   ///        for the fetching context's half in MT mode.
   TraceFetch fetch(Addr code_base, BlockId block, std::uint32_t uops,
                    int partition = -1) noexcept;
+
+  /// Cached line handles of one block's resident trace, captured by
+  /// register_fast() and revalidated/replayed by try_commit() — the
+  /// exec-block half of the core's inlined fast path.
+  struct FastTrace {
+    SetAssocCache* part = nullptr;  ///< partition the handles live in
+    Addr base_key = 0;              ///< synthetic address of the block's line 0
+    std::uint32_t n = 0;            ///< trace lines in the block
+    std::array<SetAssocCache::LineRef, kFastTraceLines> ref{};
+  };
+
+  /// If every cached handle still denotes its resident, fast-safe trace
+  /// line, replays the all-hit fetch — one LRU clock tick and stamp refresh
+  /// per line, exactly what fetch() does when nothing misses — and returns
+  /// true.  Otherwise leaves all state untouched (the caller re-fetches).
+  [[nodiscard]] bool try_commit(FastTrace& ft) noexcept {
+    for (std::uint32_t i = 0; i < ft.n; ++i) {
+      if (!ft.part->fast_check(
+              ft.ref[i], ft.base_key + static_cast<Addr>(i) * kKeyBytes)) {
+        return false;
+      }
+    }
+    commit(ft);
+    return true;
+  }
+
+  /// Replays the all-hit fetch with no validation at all.  Only callable
+  /// when every handle is known-valid by construction: register_fast()
+  /// verified them at capture, and the partition's lru_clock() is unchanged
+  /// since — nothing can have probed, filled or reset the partition in
+  /// between, so the lines are exactly as the last commit left them.
+  void commit(FastTrace& ft) noexcept {
+    for (std::uint32_t i = 0; i < ft.n; ++i) ft.part->fast_commit(ft.ref[i]);
+  }
+
+  /// Captures handles to the (now resident) trace lines of the block a
+  /// fetch just served, for later replay by try_commit().  Leaves @p ft
+  /// unusable (part == nullptr) when the block spans more lines than a
+  /// FastTrace holds.
+  void register_fast(FastTrace& ft, Addr code_base, BlockId block,
+                     std::uint32_t uops, int partition) noexcept;
 
   void reset() noexcept {
     full_.reset();

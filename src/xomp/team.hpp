@@ -22,11 +22,11 @@
 
 #include <cstddef>
 #include <functional>
-#include <limits>
 #include <vector>
 
 #include "perf/counters.hpp"
 #include "sim/machine.hpp"
+#include "xomp/min_heap.hpp"
 #include "xomp/schedule.hpp"
 
 namespace paxsim::xomp {
@@ -52,6 +52,17 @@ class Team {
   Team& operator=(const Team&) = delete;
 
   [[nodiscard]] int size() const noexcept { return static_cast<int>(ctxs_.size()); }
+
+  /// Iteration grain (see kDefaultGrain).  Runtime-configurable: larger
+  /// grains simulate faster but change the interleaving — and with it every
+  /// emergent contention number — so golden-signature comparisons are only
+  /// valid between runs of equal grain, and the experiment engine keys its
+  /// memo cache on grain for the same reason.
+  void set_grain(std::size_t grain) noexcept {
+    grain_ = grain == 0 ? 1 : grain;
+  }
+  [[nodiscard]] std::size_t grain() const noexcept { return grain_; }
+
   [[nodiscard]] sim::Machine& machine() noexcept { return *machine_; }
   [[nodiscard]] sim::HwContext& context_of(int rank) noexcept { return *ctxs_[rank]; }
   [[nodiscard]] perf::CounterSet& counters() noexcept { return *counters_; }
@@ -217,7 +228,6 @@ class Team {
     struct ThreadRun {
       std::size_t pos = 0;   // next iteration in current chunk
       std::size_t lim = 0;   // end of current chunk
-      bool done = false;
     };
     std::vector<ThreadRun> run(static_cast<std::size_t>(nt));
 
@@ -292,24 +302,16 @@ class Team {
       return false;
     };
 
-    int remaining_threads = nt;
-    while (remaining_threads > 0) {
-      // Pick the runnable thread that is furthest behind in virtual time.
-      int pick = -1;
-      double best = std::numeric_limits<double>::max();
-      for (int r = 0; r < nt; ++r) {
-        const ThreadRun& tr = run[static_cast<std::size_t>(r)];
-        if (tr.done) continue;
-        const double t = ctxs_[r]->now();
-        if (t < best) {
-          best = t;
-          pick = r;
-        }
-      }
+    // Runnable threads in a min-heap keyed by their virtual clock; the
+    // (key, rank) tie-break reproduces the linear scan's "first strictly
+    // smaller clock wins" pick exactly, so the interleaving is unchanged.
+    ready_.reset(nt);
+    for (int r = 0; r < nt; ++r) ready_.push(r, ctxs_[r]->now());
+    while (!ready_.empty()) {
+      const int pick = ready_.top();
       ThreadRun& tr = run[static_cast<std::size_t>(pick)];
       if (tr.pos >= tr.lim && !acquire(pick, tr)) {
-        tr.done = true;
-        --remaining_threads;
+        ready_.pop();
         continue;
       }
       sim::HwContext& ctx = *ctxs_[pick];
@@ -318,6 +320,9 @@ class Team {
         body(tr.pos, ctx, pick);
         ctx.branch(backedge_site(body_block.id), tr.pos + 1 < tr.lim);
       }
+      // Only the picked thread's clock moved (acquire() may have advanced
+      // it too, before retiring above).
+      ready_.update(pick, ctx.now());
     }
   }
 
@@ -332,6 +337,7 @@ class Team {
   sim::Addr barrier_addr_;
   sim::Addr reduction_addr_;
   std::size_t grain_ = kDefaultGrain;
+  IndexedMinHeap ready_;  ///< run_loop's pick structure, reused across loops
 };
 
 }  // namespace paxsim::xomp

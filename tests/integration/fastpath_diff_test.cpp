@@ -1,0 +1,47 @@
+// Differential proof of the hot-path overhaul: every NPB benchmark, on the
+// paper's serial, 4-thread (HT off -4-2) and 8-thread (HT on -8-2)
+// configurations, produces an identical counter table and an identical
+// wall time whether memory accesses take the inlined L1/DTLB fast path or
+// the out-of-line reference path (MachineParams::fast_path = false).
+#include <gtest/gtest.h>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+#include "sim/machine.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+TEST(FastPathDiffTest, CountersAndWallBitIdenticalAcrossPaths) {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;  // verification is orthogonal; class S keeps this fast
+
+  sim::MachineParams fast_params = opt.machine_params();
+  fast_params.fast_path = true;
+  sim::MachineParams ref_params = opt.machine_params();
+  ref_params.fast_path = false;
+  sim::Machine fast_machine(fast_params);
+  sim::Machine ref_machine(ref_params);
+
+  const char* config_names[] = {"Serial", "HT off -4-2", "HT on -8-2"};
+  for (const char* name : config_names) {
+    const StudyConfig* cfg = find_config(name);
+    ASSERT_NE(cfg, nullptr) << name;
+    for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+      const std::uint64_t seed = opt.trial_seed(0);
+      const RunResult fast = run_single(fast_machine, bench, *cfg, opt, seed);
+      const RunResult ref = run_single(ref_machine, bench, *cfg, opt, seed);
+      EXPECT_EQ(fast.counters, ref.counters)
+          << npb::benchmark_name(bench) << " on '" << name
+          << "': counter tables differ between fast and reference paths";
+      EXPECT_EQ(fast.wall_cycles, ref.wall_cycles)
+          << npb::benchmark_name(bench) << " on '" << name
+          << "': wall time differs (must be exact, not approximate)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness

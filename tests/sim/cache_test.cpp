@@ -137,6 +137,90 @@ TEST(CacheTest, ResetDropsEverything) {
 }
 
 // ---------------------------------------------------------------------------
+// Fast-path support: the MRU way hint, LineRef handles, and the
+// fast_check / fast_commit replay of probe()'s hit effects.
+// ---------------------------------------------------------------------------
+
+TEST(CacheTest, DirectMappedEvictsThroughMruHint) {
+  SetAssocCache c(CacheGeometry{1024, 64, 1});  // 16 sets, 1 way
+  const Addr a = 0x0000, b = 0x0400;            // conflict: stride sets*line
+  c.fill(a, LineState::kExclusive, false);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(c.probe(a, false).hit);
+  const auto ev = c.fill(b, LineState::kExclusive, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, a);
+  EXPECT_FALSE(c.contains(a));
+  EXPECT_TRUE(c.probe(b, false).hit) << "MRU hint must track the new tenant";
+}
+
+TEST(CacheTest, ReadyAtPreservedAcrossHits) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kExclusive, false, /*ready_at=*/500.0);
+  EXPECT_DOUBLE_EQ(c.probe(0x1000, false).ready_at, 500.0);
+  EXPECT_DOUBLE_EQ(c.probe(0x1000, false).ready_at, 500.0)
+      << "a second (MRU-hint) hit must still see the in-flight timestamp";
+  EXPECT_FALSE(c.fast_check(c.last_ref(), 0x1000))
+      << "in-flight lines are slow-path only (ready_at must be charged)";
+}
+
+TEST(CacheTest, ResetInvalidatesFastPathHandles) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kExclusive, false);
+  c.probe(0x1000, false);
+  const SetAssocCache::LineRef ref = c.last_ref();
+  ASSERT_TRUE(c.fast_check(ref, 0x1000));
+  c.reset();
+  EXPECT_FALSE(c.fast_check(ref, 0x1000))
+      << "a handle left stale by reset() must fail revalidation";
+  EXPECT_FALSE(c.fast_check(c.last_ref(), 0x1000))
+      << "reset() clears the last-hit handle";
+  EXPECT_FALSE(c.probe(0x1000, false).hit);
+}
+
+TEST(CacheTest, FastCheckRejectsUnsafeStates) {
+  SetAssocCache c(small_geom());
+  c.fill(0x1000, LineState::kShared, false);
+  c.probe(0x1000, false);
+  const SetAssocCache::LineRef ref = c.last_ref();
+  EXPECT_TRUE(c.fast_check(ref, 0x1000)) << "a load of a Shared line is safe";
+  EXPECT_FALSE(c.fast_check(ref, 0x1000, /*is_store=*/true))
+      << "a store to a Shared line needs the slow path's remote upgrade";
+  EXPECT_FALSE(c.fast_check(ref, 0x1040)) << "different line, same handle";
+  c.fill(0x2000, LineState::kExclusive, /*prefetched=*/true);
+  EXPECT_FALSE(c.fast_check(c.last_ref(), 0x2000))
+      << "the prefetch credit must be consumed by the slow path";
+  c.invalidate(0x1000);
+  EXPECT_FALSE(c.fast_check(ref, 0x1000)) << "invalidation strands the handle";
+}
+
+TEST(CacheTest, FastCommitReplaysProbeEffects) {
+  // The same access sequence through two caches, one using probe() for the
+  // repeated touch and one using fast_commit(); the LRU decision and the
+  // line states must come out identical.
+  SetAssocCache ref_cache(small_geom());
+  SetAssocCache fast_cache(small_geom());
+  const Addr a = 0x0000, b = 0x0200, d = 0x0400;  // same set, 2 ways
+  for (SetAssocCache* c : {&ref_cache, &fast_cache}) {
+    c->fill(a, LineState::kExclusive, false);
+    c->fill(b, LineState::kExclusive, false);
+    c->probe(a, false);  // registers the handle
+  }
+  ref_cache.probe(a, /*is_store=*/true);
+  const SetAssocCache::LineRef ref = fast_cache.last_ref();
+  ASSERT_TRUE(fast_cache.fast_check(ref, a, /*is_store=*/true));
+  fast_cache.fast_commit(ref, /*is_store=*/true);
+  EXPECT_EQ(fast_cache.state_of(a), ref_cache.state_of(a));
+  EXPECT_EQ(fast_cache.state_of(a), LineState::kModified);
+  // The replayed LRU tick refreshed `a` identically: b is the victim in both.
+  const auto ev_ref = ref_cache.fill(d, LineState::kExclusive, false);
+  const auto ev_fast = fast_cache.fill(d, LineState::kExclusive, false);
+  ASSERT_TRUE(ev_ref.has_value());
+  ASSERT_TRUE(ev_fast.has_value());
+  EXPECT_EQ(ev_ref->line_addr, b);
+  EXPECT_EQ(ev_fast->line_addr, ev_ref->line_addr);
+}
+
+// ---------------------------------------------------------------------------
 // Property sweeps over geometries.
 // ---------------------------------------------------------------------------
 

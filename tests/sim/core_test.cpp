@@ -36,6 +36,7 @@ TEST(CoreTest, AluCostsIssueCycles) {
   HwContext& c = r.ctx();
   c.alu(100);
   EXPECT_DOUBLE_EQ(c.now(), 100 * r.p.cycles_per_uop);
+  c.flush_accumulators();  // instruction counts are batched until a flush
   EXPECT_EQ(r.counters.get(Event::kInstructions), 100u);
 }
 
@@ -133,11 +134,13 @@ TEST(CoreTest, ExecBlockCountsTraceAndItlb) {
   Rig r;
   HwContext& c = r.ctx();
   c.exec_block(5, 30);
+  c.flush_accumulators();  // reference counts are batched until a flush
   EXPECT_EQ(r.counters.get(Event::kItlbReferences), 1u);
   EXPECT_EQ(r.counters.get(Event::kItlbMisses), 1u);
   EXPECT_EQ(r.counters.get(Event::kTraceCacheReferences), 5u);
   EXPECT_EQ(r.counters.get(Event::kTraceCacheMisses), 5u);
   c.exec_block(5, 30);
+  c.flush_accumulators();
   EXPECT_EQ(r.counters.get(Event::kTraceCacheMisses), 5u) << "warm block hits";
   EXPECT_EQ(r.counters.get(Event::kItlbMisses), 1u);
 }
@@ -221,6 +224,8 @@ TEST(CoreTest, CountersAttributedToBoundProgram) {
   c1.bind(&other, r.space.code_base());
   c0.alu(10);
   c1.alu(20);
+  c0.flush_accumulators();  // instruction counts are batched until a flush
+  c1.flush_accumulators();
   EXPECT_EQ(r.counters.get(Event::kInstructions), 10u);
   EXPECT_EQ(other.get(Event::kInstructions), 20u);
 }
