@@ -5,6 +5,11 @@
 //
 //   fast      — MachineParams::fast_path = true (the default build)
 //   reference — fast_path = false, every access through the slow path
+//   checked   — check_mode = full: the reference path with the src/check
+//               analysis sink attached (race detection + invariant audits);
+//               the "check_overhead" figure is checked-vs-reference warm
+//               time, i.e. the cost of the analyses themselves on top of
+//               the slow path they require
 //
 // with per-flavour cold (first run, cold host caches) and warm (best of
 // the remaining --trials repeats) timings of the simulation loop proper
@@ -88,12 +93,17 @@ int main(int argc, char** argv) {
   fast_params.fast_path = true;
   sim::MachineParams ref_params = opt.run.machine_params();
   ref_params.fast_path = false;
+  harness::RunOptions check_run = opt.run;
+  check_run.check_mode = sim::CheckMode::kFull;
+  sim::MachineParams check_params = check_run.machine_params();
   sim::Machine fast_machine(fast_params);
   sim::Machine ref_machine(ref_params);
+  sim::Machine check_machine(check_params);
 
   const std::string cls = std::string(npb::class_name(opt.run.cls));
-  std::printf("%-4s %12s %10s %10s %10s %10s %8s\n", "", "events",
-              "fast cold", "fast warm", "ref warm", "Mev/s fast", "speedup");
+  std::printf("%-4s %12s %10s %10s %10s %10s %8s %8s\n", "", "events",
+              "fast cold", "fast warm", "ref warm", "chk warm", "speedup",
+              "chk ovh");
 
   bool mismatch = false;
   for (const npb::Benchmark bench : npb::kAllBenchmarks) {
@@ -103,11 +113,23 @@ int main(int argc, char** argv) {
     const Timing fast =
         time_runs(fast_machine, bench, cfg, opt.run, repeats);
     const Timing ref = time_runs(ref_machine, bench, cfg, opt.run, repeats);
+    const Timing chk =
+        time_runs(check_machine, bench, cfg, check_run, repeats);
 
+    // The analyses are pure observers on the reference path, so all three
+    // flavours must agree on every counter and on virtual wall time.
     if (fast.result.counters != ref.result.counters ||
-        fast.result.wall_cycles != ref.result.wall_cycles) {
+        fast.result.wall_cycles != ref.result.wall_cycles ||
+        chk.result.counters != ref.result.counters ||
+        chk.result.wall_cycles != ref.result.wall_cycles) {
       std::fprintf(stderr,
-                   "FAIL: %s diverged between fast and reference paths\n",
+                   "FAIL: %s diverged between fast/reference/checked paths\n",
+                   std::string(npb::benchmark_name(bench)).c_str());
+      mismatch = true;
+      continue;
+    }
+    if (!chk.result.check.clean()) {
+      std::fprintf(stderr, "FAIL: %s not clean under --check=full\n",
                    std::string(npb::benchmark_name(bench)).c_str());
       mismatch = true;
       continue;
@@ -116,23 +138,28 @@ int main(int argc, char** argv) {
     const std::uint64_t events = event_count(fast.result.counters);
     const double fast_eps = static_cast<double>(events) / fast.warm_sec;
     const double ref_eps = static_cast<double>(events) / ref.warm_sec;
+    const double chk_eps = static_cast<double>(events) / chk.warm_sec;
     const double speedup = ref.warm_sec / fast.warm_sec;
+    const double check_overhead = chk.warm_sec / ref.warm_sec;
     const std::string name = std::string(npb::benchmark_name(bench));
-    std::printf("%-4s %12llu %9.3fs %9.3fs %9.3fs %10.1f %7.2fx\n",
+    std::printf("%-4s %12llu %9.3fs %9.3fs %9.3fs %9.3fs %7.2fx %7.2fx\n",
                 name.c_str(), static_cast<unsigned long long>(events),
-                fast.cold_sec, fast.warm_sec, ref.warm_sec, fast_eps / 1e6,
-                speedup);
+                fast.cold_sec, fast.warm_sec, ref.warm_sec, chk.warm_sec,
+                speedup, check_overhead);
     // One machine-readable line per kernel for CI trend tracking.
     std::printf(
         "{\"artifact\":\"hotpath_throughput\",\"bench\":\"%s\","
         "\"class\":\"%s\",\"events\":%llu,"
         "\"fast_cold_sec\":%.4f,\"fast_warm_sec\":%.4f,"
         "\"ref_cold_sec\":%.4f,\"ref_warm_sec\":%.4f,"
+        "\"check_cold_sec\":%.4f,\"check_warm_sec\":%.4f,"
         "\"fast_events_per_sec\":%.0f,\"ref_events_per_sec\":%.0f,"
-        "\"speedup\":%.3f}\n",
+        "\"check_events_per_sec\":%.0f,"
+        "\"speedup\":%.3f,\"check_overhead\":%.3f}\n",
         name.c_str(), cls.c_str(), static_cast<unsigned long long>(events),
-        fast.cold_sec, fast.warm_sec, ref.cold_sec, ref.warm_sec, fast_eps,
-        ref_eps, speedup);
+        fast.cold_sec, fast.warm_sec, ref.cold_sec, ref.warm_sec,
+        chk.cold_sec, chk.warm_sec, fast_eps, ref_eps, chk_eps, speedup,
+        check_overhead);
   }
   return mismatch ? 1 : 0;
 }

@@ -1,0 +1,93 @@
+// paxsim/check/checker.hpp
+//
+// The Checker glues the analysis subsystem to a Machine: it implements
+// sim::TraceSink, owns the race detector and/or the invariant auditor
+// according to the CheckMode, and renders a CheckReport at the end of the
+// run.
+//
+// Usage (the harness runner does exactly this):
+//
+//   machine.reset();
+//   check::Checker checker(machine, machine.params().check_mode);  // attaches
+//   ... run the program ...
+//   check::CheckReport report = checker.finish();                  // detaches
+//
+// Attachment is RAII: the destructor detaches the sink if finish() was
+// never called, so an exception cannot leave a dangling sink on a pooled
+// machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/race_detector.hpp"
+#include "check/report.hpp"
+#include "sim/hooks.hpp"
+#include "sim/machine.hpp"
+
+namespace paxsim::check {
+
+/// TraceSink implementation driving the analyses in virtual time.
+class Checker final : public sim::TraceSink {
+ public:
+  /// Attaches to @p machine (Machine::set_trace_sink).  @p mode selects the
+  /// analyses; kOff constructs a valid but inert checker.
+  Checker(sim::Machine& machine, sim::CheckMode mode);
+  ~Checker() override;
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  /// Final invariant audit, detach, and report assembly.  Idempotent.
+  CheckReport finish();
+
+  // ---- sim::TraceSink ------------------------------------------------------
+  void on_access(const sim::HwContext& ctx, sim::Addr addr,
+                 bool is_store) override;
+  void on_fetch(const sim::HwContext& ctx, sim::Addr code_addr) override;
+  void on_team(TeamEvent ev, const void* team,
+               const sim::HwContext* const* members,
+               std::size_t count) override;
+  void on_runtime_range(sim::Addr base, std::size_t bytes) override;
+  void on_sync(SyncOp op, const sim::HwContext& ctx, sim::Addr addr) override;
+  void on_thread_moved(const sim::HwContext& from,
+                       const sim::HwContext& to) override;
+
+  /// Audit throttle: a sync-boundary audit runs only after this many events
+  /// since the previous one (plus the unconditional final audit).
+  static constexpr std::uint64_t kAuditMinEvents = 4096;
+
+ private:
+  [[nodiscard]] bool race_mode() const noexcept {
+    return mode_ == sim::CheckMode::kRace || mode_ == sim::CheckMode::kFull;
+  }
+  [[nodiscard]] bool invariant_mode() const noexcept {
+    return mode_ == sim::CheckMode::kInvariants ||
+           mode_ == sim::CheckMode::kFull;
+  }
+  /// Dense thread id of @p ctx, assigned on first sight.
+  int tid_of(const sim::HwContext& ctx);
+  void maybe_audit();
+
+  sim::Machine* machine_;
+  sim::CheckMode mode_;
+  bool attached_ = false;
+
+  std::unique_ptr<RaceDetector> detector_;    // race_mode() only
+  std::unique_ptr<InvariantAuditor> auditor_; // invariant_mode() only
+
+  std::unordered_map<const sim::HwContext*, int> tids_;
+  int next_tid_ = 0;
+  std::vector<int> tid_scratch_;  // member-tid buffer for on_team
+
+  std::uint64_t accesses_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t team_events_ = 0;
+  std::uint64_t events_since_audit_ = 0;
+};
+
+}  // namespace paxsim::check

@@ -1,0 +1,187 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace paxsim::check {
+
+namespace {
+
+const char* state_name(sim::LineState s) noexcept {
+  switch (s) {
+    case sim::LineState::kInvalid: return "I";
+    case sim::LineState::kShared: return "S";
+    case sim::LineState::kExclusive: return "E";
+    case sim::LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+std::string hex(sim::Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+bool owned(sim::LineState s) noexcept {
+  return s == sim::LineState::kExclusive || s == sim::LineState::kModified;
+}
+
+}  // namespace
+
+void InvariantAuditor::record(const char* rule, std::string detail) {
+  ++violations_total_;
+  if (violations_.size() < max_records_) {
+    violations_.push_back(Violation{rule, std::move(detail)});
+  }
+}
+
+void InvariantAuditor::audit(const sim::Machine& m) {
+  ++audits_run_;
+  audit_coherence(m);
+  audit_tlbs(m);
+  audit_structures(m);
+}
+
+void InvariantAuditor::audit_coherence(const sim::Machine& m) {
+  const int ncores = m.params().total_cores();
+
+  // Per-core residency maps, and the union of lines seen anywhere.
+  struct CoreLines {
+    std::unordered_map<sim::Addr, sim::LineState> l1;
+    std::unordered_map<sim::Addr, sim::LineState> l2;
+  };
+  std::vector<CoreLines> per(static_cast<std::size_t>(ncores));
+  std::unordered_set<sim::Addr> all_lines;
+  for (int c = 0; c < ncores; ++c) {
+    const sim::Core& core = m.core_by_id(c);
+    for (const auto& lv : core.l1d().live_lines()) {
+      per[static_cast<std::size_t>(c)].l1.emplace(lv.line_addr, lv.state);
+      all_lines.insert(lv.line_addr);
+    }
+    for (const auto& lv : core.l2().live_lines()) {
+      per[static_cast<std::size_t>(c)].l2.emplace(lv.line_addr, lv.state);
+      all_lines.insert(lv.line_addr);
+    }
+  }
+
+  // swmr + inclusion, per line.
+  for (const sim::Addr line : all_lines) {
+    int owner = -1;       // core holding the line E/M in its L2
+    int holders = 0;      // cores with the line live anywhere
+    for (int c = 0; c < ncores; ++c) {
+      const CoreLines& cl = per[static_cast<std::size_t>(c)];
+      const auto l2it = cl.l2.find(line);
+      const auto l1it = cl.l1.find(line);
+      const bool here = l2it != cl.l2.end() || l1it != cl.l1.end();
+      if (here) ++holders;
+      if (l2it != cl.l2.end() && owned(l2it->second)) {
+        if (owner >= 0) {
+          record("swmr", "line " + hex(line) + " owned by cores " +
+                             std::to_string(owner) + " and " +
+                             std::to_string(c));
+        }
+        owner = c;
+      }
+      // Inclusion + state consistency inside one core.
+      if (l1it != cl.l1.end()) {
+        if (l2it == cl.l2.end()) {
+          record("inclusion", "core " + std::to_string(c) + " holds line " +
+                                  hex(line) + " in L1 (" +
+                                  state_name(l1it->second) +
+                                  ") without an L2 copy");
+        } else {
+          const sim::LineState s1 = l1it->second;
+          const sim::LineState s2 = l2it->second;
+          const bool ok = s1 == sim::LineState::kShared
+                              ? s2 == sim::LineState::kShared
+                              : owned(s2);
+          if (!ok) {
+            record("inclusion", "core " + std::to_string(c) + " line " +
+                                    hex(line) + " L1=" + state_name(s1) +
+                                    " vs L2=" + state_name(s2));
+          }
+        }
+      }
+    }
+    if (owner >= 0 && holders > 1) {
+      record("swmr", "line " + hex(line) + " owned E/M by core " +
+                         std::to_string(owner) + " but resident in " +
+                         std::to_string(holders) + " cores");
+    }
+  }
+
+  // Directory <-> L2 residency, both directions.
+  std::unordered_map<sim::Addr, unsigned> dir;
+  for (const auto& [line, holders] : m.directory_snapshot()) {
+    dir.emplace(line, holders);
+    for (int c = 0; c < ncores; ++c) {
+      const bool bit = (holders & (1u << c)) != 0;
+      const bool resident =
+          per[static_cast<std::size_t>(c)].l2.count(line) != 0;
+      if (bit && !resident) {
+        record("directory", "bit set for core " + std::to_string(c) +
+                                " on line " + hex(line) +
+                                " absent from that L2");
+      }
+    }
+  }
+  for (int c = 0; c < ncores; ++c) {
+    for (const auto& [line, state] : per[static_cast<std::size_t>(c)].l2) {
+      const auto it = dir.find(line);
+      if (it == dir.end() || (it->second & (1u << c)) == 0) {
+        record("directory", "core " + std::to_string(c) + " holds line " +
+                                hex(line) + " (" + state_name(state) +
+                                ") with no directory bit");
+      }
+    }
+  }
+}
+
+void InvariantAuditor::audit_tlbs(const sim::Machine& m) {
+  const int ncores = m.params().total_cores();
+  for (int c = 0; c < ncores; ++c) {
+    const sim::Core& core = m.core_by_id(c);
+    for (const auto& e : core.dtlb().table().live_lines()) {
+      if (data_pages_.count(e.line_addr) == 0) {
+        record("tlb", "core " + std::to_string(c) + " DTLB entry for page " +
+                          hex(e.line_addr) + " never observed in the stream");
+      }
+    }
+    for (const auto& e : core.itlb().table().live_lines()) {
+      if (code_pages_.count(e.line_addr) == 0) {
+        record("tlb", "core " + std::to_string(c) + " ITLB entry for page " +
+                          hex(e.line_addr) + " never observed in the stream");
+      }
+    }
+  }
+}
+
+void InvariantAuditor::audit_structures(const sim::Machine& m) {
+  const int ncores = m.params().total_cores();
+  std::string why;
+  for (int c = 0; c < ncores; ++c) {
+    const sim::Core& core = m.core_by_id(c);
+    const struct {
+      const char* name;
+      const sim::SetAssocCache* cache;
+    } structs[] = {
+        {"L1D", &core.l1d()},
+        {"L2", &core.l2()},
+        {"ITLB", &core.itlb().table()},
+        {"DTLB", &core.dtlb().table()},
+    };
+    for (const auto& s : structs) {
+      if (!s.cache->audit(&why)) {
+        record("structure",
+               std::string(s.name) + " of core " + std::to_string(c) + ": " + why);
+      }
+    }
+    if (!core.audit_fast_entries(&why)) {
+      record("fastpath", why);
+    }
+  }
+}
+
+}  // namespace paxsim::check

@@ -1,0 +1,176 @@
+#include "check/race_detector.hpp"
+
+#include <algorithm>
+
+namespace paxsim::check {
+
+namespace {
+constexpr sim::Addr kLineShift = 6;  // 64-byte lines, as the modelled caches
+}  // namespace
+
+const char* race_kind_name(RaceRecord::Kind k) noexcept {
+  switch (k) {
+    case RaceRecord::Kind::kWriteWrite: return "write-write";
+    case RaceRecord::Kind::kReadWrite: return "read-write";
+    case RaceRecord::Kind::kWriteRead: return "write-read";
+  }
+  return "?";
+}
+
+void RaceDetector::add_exempt_range(sim::Addr base, std::size_t bytes) {
+  exempt_.emplace_back(base, base + static_cast<sim::Addr>(bytes));
+}
+
+bool RaceDetector::exempt(sim::Addr addr) const noexcept {
+  for (const auto& [lo, hi] : exempt_) {
+    if (addr >= lo && addr < hi) return true;
+  }
+  return false;
+}
+
+void RaceDetector::ensure_thread(int tid) {
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= clocks_.size()) clocks_.resize(i + 1);
+  // A fresh thread's own component starts at 1 so its epochs are never the
+  // reserved kEpochNone.
+  if (clocks_[i].get(tid) == 0) clocks_[i].tick(tid);
+}
+
+void RaceDetector::report(RaceRecord::Kind kind, sim::Addr word_addr,
+                          const AccessRecord& prior,
+                          const AccessRecord& current) {
+  ++races_total_;
+  racy_words_.insert(word_addr);
+  // One retained record per (word, kind): repeats just inflate the total,
+  // but a load-then-store racer (Array::add) exposes both a write-read and
+  // a write-write on the same word and both kinds are worth a record.
+  // word_addr's low two bits are clear, so they can carry the kind tag.
+  const sim::Addr key = word_addr | static_cast<sim::Addr>(kind);
+  if (!reported_.insert(key).second) return;
+  if (races_.size() < max_records_) {
+    races_.push_back(RaceRecord{kind, word_addr, prior, current});
+  }
+}
+
+void RaceDetector::note_line(int tid, sim::Addr addr, bool is_store) {
+  const sim::Addr line = addr >> kLineShift;
+  const sim::Addr word = addr >> 2;
+  LineTouch& lt = lines_[line];
+  if (lt.tid >= 0 && lt.tid != tid && lt.word != word &&
+      (is_store || lt.store)) {
+    ++line_conflicts_;
+    if (!lt.counted) {
+      lt.counted = true;
+      ++conflicted_lines_;
+    }
+  }
+  lt.tid = tid;
+  lt.word = word;
+  lt.store = is_store;
+}
+
+void RaceDetector::on_access(int tid, sim::Addr addr, bool is_store,
+                             AccessRecord rec) {
+  ensure_thread(tid);
+  rec.tid = tid;
+  note_line(tid, addr, is_store);
+
+  const sim::Addr word = addr >> 2;
+  const sim::Addr word_addr = word << 2;
+  const VectorClock& ct = clocks_[static_cast<std::size_t>(tid)];
+  const Epoch here = ct.epoch_of(tid);
+  VarState& v = words_[word];
+
+  if (is_store) {
+    if (v.w == here) return;  // same-epoch repeat write
+    // Writes must be ordered after every prior read and write.
+    if (v.shared) {
+      if (!v.rvc.leq(ct)) {
+        // Find a reader the writer is not ordered after, for the report.
+        const AccessRecord* prior = &v.last_read;
+        for (const AccessRecord& r : v.shared_reads) {
+          if (r.tid >= 0 && v.rvc.get(r.tid) > ct.get(r.tid)) {
+            prior = &r;
+            break;
+          }
+        }
+        report(RaceRecord::Kind::kReadWrite, word_addr, *prior, rec);
+      }
+    } else if (v.r != kEpochNone && !ct.covers(v.r)) {
+      report(RaceRecord::Kind::kReadWrite, word_addr, v.last_read, rec);
+    }
+    if (v.w != kEpochNone && !ct.covers(v.w)) {
+      report(RaceRecord::Kind::kWriteWrite, word_addr, v.last_write, rec);
+    }
+    // The write adopts the word: reads collapse back to the epoch regime.
+    v.w = here;
+    v.r = kEpochNone;
+    v.shared = false;
+    v.rvc.clear();
+    v.shared_reads.clear();
+    v.last_write = rec;
+    return;
+  }
+
+  // Read.
+  if (!v.shared && v.r == here) return;  // same-epoch repeat read
+  if (v.shared && v.rvc.get(tid) == ct.get(tid)) return;
+  if (v.w != kEpochNone && !ct.covers(v.w)) {
+    report(RaceRecord::Kind::kWriteRead, word_addr, v.last_write, rec);
+  }
+  if (v.shared) {
+    v.rvc.set(tid, ct.get(tid));
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= v.shared_reads.size()) v.shared_reads.resize(i + 1);
+    v.shared_reads[i] = rec;
+  } else if (v.r == kEpochNone || ct.covers(v.r)) {
+    v.r = here;  // reads stay totally ordered: keep the cheap epoch
+    v.last_read = rec;
+  } else {
+    // Two concurrent readers: promote to a read vector clock (FastTrack's
+    // read-share transition).
+    v.shared = true;
+    v.rvc.set(epoch_tid(v.r), epoch_clock(v.r));
+    v.rvc.set(tid, ct.get(tid));
+    const auto prev = static_cast<std::size_t>(epoch_tid(v.r));
+    const auto cur = static_cast<std::size_t>(tid);
+    v.shared_reads.resize(std::max(prev, cur) + 1);
+    v.shared_reads[prev] = v.last_read;
+    v.shared_reads[cur] = rec;
+    v.r = kEpochNone;
+  }
+}
+
+void RaceDetector::on_acquire(int tid, sim::Addr lock) {
+  ensure_thread(tid);
+  const auto it = lock_clocks_.find(lock);
+  if (it != lock_clocks_.end()) {
+    clocks_[static_cast<std::size_t>(tid)].join(it->second);
+  }
+}
+
+void RaceDetector::on_release(int tid, sim::Addr lock) {
+  ensure_thread(tid);
+  VectorClock& ct = clocks_[static_cast<std::size_t>(tid)];
+  lock_clocks_[lock] = ct;
+  // The releaser moves to a fresh epoch so its post-release accesses are not
+  // mistaken for lock-protected ones.
+  ct.tick(tid);
+}
+
+void RaceDetector::on_barrier(const int* tids, std::size_t count) {
+  VectorClock all;
+  for (std::size_t i = 0; i < count; ++i) {
+    ensure_thread(tids[i]);
+    all.join(clocks_[static_cast<std::size_t>(tids[i])]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    VectorClock& ct = clocks_[static_cast<std::size_t>(tids[i])];
+    ct = all;
+    ct.tick(tids[i]);
+  }
+}
+
+void RaceDetector::on_thread_moved(int /*tid*/) {}
+
+}  // namespace paxsim::check

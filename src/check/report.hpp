@@ -1,0 +1,49 @@
+// paxsim/check/report.hpp
+//
+// The structured result of a checked run: event stream totals, the race
+// detector's findings and the invariant auditor's findings.  Rendering
+// (text and JSON) lives in the harness report layer with the other
+// artifact emitters (harness/report.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/race_detector.hpp"
+#include "sim/params.hpp"
+
+namespace paxsim::check {
+
+/// Everything a checked run learned.  Default-constructed == "not checked"
+/// (mode kOff, zeros everywhere, trivially clean).
+struct CheckReport {
+  sim::CheckMode mode = sim::CheckMode::kOff;
+
+  // ---- event stream totals -------------------------------------------------
+  std::uint64_t accesses = 0;     ///< data loads + stores observed
+  std::uint64_t fetches = 0;      ///< code-block fetches observed
+  std::uint64_t syncs = 0;        ///< acquire/release/combine events
+  std::uint64_t team_events = 0;  ///< create/fork/barrier/join events
+  std::uint64_t audits = 0;       ///< invariant audits executed
+
+  // ---- race detector -------------------------------------------------------
+  std::uint64_t races_total = 0;  ///< every race observation
+  std::uint64_t racy_words = 0;   ///< distinct words with >= 1 race
+  std::vector<RaceRecord> races;  ///< capped, one per racy word
+
+  /// False-sharing statistics (line-granularity conflicts; not races).
+  std::uint64_t line_conflicts = 0;
+  std::uint64_t conflicted_lines = 0;
+
+  // ---- invariant auditor ---------------------------------------------------
+  std::uint64_t violations_total = 0;
+  std::vector<Violation> violations;  ///< capped
+
+  /// True when the run raised no race and no invariant violation.
+  [[nodiscard]] bool clean() const noexcept {
+    return races_total == 0 && violations_total == 0;
+  }
+};
+
+}  // namespace paxsim::check

@@ -1,0 +1,91 @@
+// paxsim/check/vector_clock.hpp
+//
+// Vector-clock algebra for the happens-before race detector: plain vector
+// clocks plus FastTrack's packed epochs (one thread's scalar clock tagged
+// with its thread id), which let the common same-thread / ordered cases be
+// decided with one u64 compare instead of a full vector join.
+//
+// Thread ids are small dense integers assigned by the Checker (at most the
+// machine's context count, 8 on the modelled SMP); clocks start at 1 so the
+// packed value 0 is free to mean "no access yet" (kEpochNone).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paxsim::check {
+
+/// Packed epoch: thread id in the top 8 bits, that thread's scalar clock in
+/// the low 56.  Value 0 is reserved for "never accessed".
+using Epoch = std::uint64_t;
+
+inline constexpr Epoch kEpochNone = 0;
+inline constexpr unsigned kEpochTidShift = 56;
+
+[[nodiscard]] constexpr Epoch make_epoch(int tid, std::uint64_t clock) noexcept {
+  return (static_cast<Epoch>(tid) << kEpochTidShift) | clock;
+}
+[[nodiscard]] constexpr int epoch_tid(Epoch e) noexcept {
+  return static_cast<int>(e >> kEpochTidShift);
+}
+[[nodiscard]] constexpr std::uint64_t epoch_clock(Epoch e) noexcept {
+  return e & ((Epoch{1} << kEpochTidShift) - 1);
+}
+
+/// A vector clock over dense thread ids.  Missing entries read as 0, so
+/// clocks grow lazily as threads appear.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  [[nodiscard]] std::uint64_t get(int tid) const noexcept {
+    const auto i = static_cast<std::size_t>(tid);
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  void set(int tid, std::uint64_t v) {
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= c_.size()) c_.resize(i + 1, 0);
+    c_[i] = v;
+  }
+
+  /// Advances this thread's own component.
+  void tick(int tid) { set(tid, get(tid) + 1); }
+
+  /// Pointwise maximum: this := this join other.
+  void join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// True if every component of this clock is <= the corresponding
+  /// component of @p other (this happened-before-or-equals other).
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.get(static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  /// The epoch of thread @p tid under this clock.
+  [[nodiscard]] Epoch epoch_of(int tid) const noexcept {
+    return make_epoch(tid, get(tid));
+  }
+
+  /// True if the access stamped @p e happened-before this clock's view:
+  /// the accessing thread's component has reached e's scalar clock.
+  [[nodiscard]] bool covers(Epoch e) const noexcept {
+    return epoch_clock(e) <= get(epoch_tid(e));
+  }
+
+  void clear() noexcept { c_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace paxsim::check

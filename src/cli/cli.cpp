@@ -126,6 +126,8 @@ std::string usage() {
       "  timeline --bench=CG --config=\"HT on -8-2\"  per-step metric deltas\n"
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
+      "              --check=off|race|invariants|full (run/pair: attach the\n"
+      "                         src/check analysis sink; prints a check report)\n"
       "              --baseline (also run and report the serial baseline)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
       "              --grain=N (iterations per scheduling turn; default 1;\n"
@@ -199,6 +201,12 @@ ParseResult parse(const std::vector<std::string>& args) {
         return res;
       }
       cmd.options.grain = static_cast<std::size_t>(g);
+    } else if (key == "check") {
+      if (!sim::parse_check_mode(value.c_str(), cmd.options.check_mode)) {
+        res.error = "bad --check '" + value +
+                    "' (use off, race, invariants or full)";
+        return res;
+      }
     } else if (key == "policy") {
       cmd.policy = value;
     } else if (key == "csv") {
@@ -278,6 +286,13 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
                        s, cmd.csv);
           out << "speedup," << study.speedup(cmd.benches[0], 0) << '\n';
         }
+        if (cmd.options.check_mode != sim::CheckMode::kOff) {
+          if (cmd.csv) {
+            harness::print_check_report_json(out, r.check);
+          } else {
+            harness::print_check_report(out, r.check);
+          }
+        }
         return 0;
       }
       case Command::Kind::kPair: {
@@ -291,6 +306,15 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
                        std::string(npb::benchmark_name(cmd.benches[p])) +
                            "[" + std::to_string(p) + "]@" + cmd.config_name,
                        r.program[p], cmd.csv);
+        }
+        if (cmd.options.check_mode != sim::CheckMode::kOff) {
+          // One machine-wide checker covers both programs; the report is
+          // shared, so print it once.
+          if (cmd.csv) {
+            harness::print_check_report_json(out, r.program[0].check);
+          } else {
+            harness::print_check_report(out, r.program[0].check);
+          }
         }
         return 0;
       }

@@ -6,7 +6,7 @@
 // Subcommands:
 //   paxsim list                        — benchmarks, classes, configurations
 //   paxsim run   --bench=CG --config="HT on -4-1" [--class=B] [--trials=N]
-//                [--seed=N] [--csv] [--baseline]
+//                [--seed=N] [--csv] [--baseline] [--check=mode]
 //   paxsim pair  --bench=CG,FT --config="HT off -4-2" [...]
 //   paxsim sched --bench=CG,FT --config="HT on -8-2" --policy=symbiotic
 //   paxsim timeline --bench=CG --config="HT on -8-2"

@@ -31,6 +31,9 @@ std::string params_pool_key(const sim::MachineParams& p) {
   app(p.dtlb_entries);
   app(static_cast<std::uint64_t>(p.prefetch_streams));
   app(p.fast_path ? 1u : 0u);
+  // A checked machine routes through the reference path and carries an
+  // attached sink during runs; never hand it out for unchecked cells.
+  app(static_cast<std::uint64_t>(p.check_mode));
   return s;
 }
 
@@ -38,14 +41,16 @@ CellKey single_key(npb::Benchmark b, const StudyConfig& cfg,
                    const RunOptions& opt, std::uint64_t seed) {
   return CellKey{CellKey::Kind::kSingle, b,     b,
                  config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify, opt.grain};
+                 seed,                    opt.verify, opt.grain,
+                 opt.check_mode};
 }
 
 CellKey pair_key(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                  const RunOptions& opt, std::uint64_t seed) {
   return CellKey{CellKey::Kind::kPair,   a,       b,
                  config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify, opt.grain};
+                 seed,                    opt.verify, opt.grain,
+                 opt.check_mode};
 }
 
 }  // namespace
@@ -82,6 +87,7 @@ std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   mix(k.seed);
   mix(k.verify ? 1u : 0u);
   mix(static_cast<std::uint64_t>(k.grain));
+  mix(static_cast<std::uint64_t>(k.check));
   return h;
 }
 

@@ -125,6 +125,9 @@ struct CellKey {
   std::uint64_t seed = 0;
   bool verify = true;
   std::size_t grain = 1;   ///< RunOptions::grain (changes interleaving)
+  /// RunOptions::check_mode: checked cells route through the reference path
+  /// and carry a CheckReport, so they never alias unchecked ones.
+  sim::CheckMode check = sim::CheckMode::kOff;
 
   friend bool operator==(const CellKey&, const CellKey&) = default;
 };

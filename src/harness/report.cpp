@@ -71,4 +71,92 @@ void print_box_line(std::ostream& os, const std::string& label,
   os.unsetf(std::ios::fixed);
 }
 
+namespace {
+
+void print_access(std::ostream& os, const char* role,
+                  const check::AccessRecord& a) {
+  os << "      " << role << ": thread " << a.tid << " on cpu "
+     << static_cast<int>(a.cpu.flat()) << " (chip " << int{a.cpu.chip}
+     << " core " << int{a.cpu.core} << " ctx " << int{a.cpu.context}
+     << "), block " << a.block << ", t=" << std::fixed << std::setprecision(0)
+     << a.vtime << '\n';
+  os.unsetf(std::ios::fixed);
+}
+
+void json_access(std::ostream& os, const check::AccessRecord& a) {
+  os << "{\"tid\":" << a.tid << ",\"cpu\":" << static_cast<int>(a.cpu.flat())
+     << ",\"block\":" << a.block << ",\"vtime\":" << std::fixed
+     << std::setprecision(0) << a.vtime << "}";
+  os.unsetf(std::ios::fixed);
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void print_check_report(std::ostream& os, const check::CheckReport& r) {
+  os << "== check report (mode=" << sim::check_mode_name(r.mode) << ") ==\n";
+  os << "  events: " << r.accesses << " accesses, " << r.fetches
+     << " fetches, " << r.syncs << " syncs, " << r.team_events
+     << " team events, " << r.audits << " audits\n";
+  os << "  result: " << (r.clean() ? "CLEAN" : "FINDINGS") << " ("
+     << r.races_total << " race observations on " << r.racy_words
+     << " words, " << r.violations_total << " invariant violations)\n";
+  if (!r.races.empty()) {
+    os << "  races (first per word and kind, " << r.races.size()
+       << " retained):\n";
+    for (const check::RaceRecord& rec : r.races) {
+      os << "    " << check::race_kind_name(rec.kind) << " on word 0x"
+         << std::hex << rec.addr << std::dec << '\n';
+      print_access(os, "prior  ", rec.prior);
+      print_access(os, "current", rec.current);
+    }
+  }
+  if (!r.violations.empty()) {
+    os << "  invariant violations (" << r.violations.size() << " retained):\n";
+    for (const check::Violation& v : r.violations) {
+      os << "    [" << v.rule << "] " << v.detail << '\n';
+    }
+  }
+  os << "  false sharing: " << r.line_conflicts
+     << " line conflicts across " << r.conflicted_lines << " lines\n\n";
+}
+
+void print_check_report_json(std::ostream& os, const check::CheckReport& r) {
+  os << "{\"mode\":\"" << sim::check_mode_name(r.mode) << "\""
+     << ",\"clean\":" << (r.clean() ? "true" : "false")
+     << ",\"accesses\":" << r.accesses << ",\"fetches\":" << r.fetches
+     << ",\"syncs\":" << r.syncs << ",\"team_events\":" << r.team_events
+     << ",\"audits\":" << r.audits << ",\"races_total\":" << r.races_total
+     << ",\"racy_words\":" << r.racy_words
+     << ",\"violations_total\":" << r.violations_total
+     << ",\"line_conflicts\":" << r.line_conflicts
+     << ",\"conflicted_lines\":" << r.conflicted_lines << ",\"races\":[";
+  for (std::size_t i = 0; i < r.races.size(); ++i) {
+    const check::RaceRecord& rec = r.races[i];
+    if (i != 0) os << ',';
+    os << "{\"kind\":\"" << check::race_kind_name(rec.kind) << "\",\"addr\":"
+       << rec.addr << ",\"prior\":";
+    json_access(os, rec.prior);
+    os << ",\"current\":";
+    json_access(os, rec.current);
+    os << "}";
+  }
+  os << "],\"violations\":[";
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"rule\":\"";
+    json_escape(os, r.violations[i].rule);
+    os << "\",\"detail\":\"";
+    json_escape(os, r.violations[i].detail);
+    os << "\"}";
+  }
+  os << "]}\n";
+}
+
 }  // namespace paxsim::harness

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "check/report.hpp"
 #include "harness/stats.hpp"
 
 namespace paxsim::harness {
@@ -44,5 +45,14 @@ class Table {
 /// scaled into [lo, hi] over @p width characters.
 void print_box_line(std::ostream& os, const std::string& label,
                     const BoxStats& box, double lo, double hi, int width = 60);
+
+/// Renders the analysis findings of a checked run (--check=...): event
+/// totals, each retained race with its two conflicting accesses, each
+/// invariant violation, and the false-sharing statistics.
+void print_check_report(std::ostream& os, const check::CheckReport& r);
+
+/// One JSON object (single line) with the same content, machine-readable —
+/// the check-mode counterpart of print_csv.
+void print_check_report_json(std::ostream& os, const check::CheckReport& r);
 
 }  // namespace paxsim::harness

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "check/checker.hpp"
 #include "xomp/min_heap.hpp"
 #include "xomp/team.hpp"
 
@@ -79,6 +81,12 @@ RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
                      const StudyConfig& cfg, const RunOptions& opt,
                      std::uint64_t seed) {
   machine.reset();
+  // The checker must attach before the Team exists: the Team's constructor
+  // reports its runtime-internal lines and the initial clock sync.
+  std::optional<check::Checker> checker;
+  if (machine.params().check_mode != sim::CheckMode::kOff) {
+    checker.emplace(machine, machine.params().check_mode);
+  }
   auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
   apply_smt_activity(machine, cfg.cpus);
   const auto host_t0 = std::chrono::steady_clock::now();
@@ -89,6 +97,7 @@ RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
   prog->finish_time = prog->team->wall_time();
   const auto host_t1 = std::chrono::steady_clock::now();
   RunResult r = finish_result(*prog, opt.verify);
+  if (checker) r.check = checker->finish();
   r.host_sim_sec = std::chrono::duration<double>(host_t1 - host_t0).count();
   if (opt.verify && !r.verified) {
     throw std::runtime_error(std::string("verification failed: ") +
@@ -114,6 +123,10 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
                     std::uint64_t seed) {
   assert(cfg.cpus.size() >= 2 && "pair runs need at least two contexts");
   machine.reset();
+  std::optional<check::Checker> checker;
+  if (machine.params().check_mode != sim::CheckMode::kOff) {
+    checker.emplace(machine, machine.params().check_mode);
+  }
   // Even list positions to program 0, odd to program 1.
   std::vector<sim::LogicalCpu> cpus_a, cpus_b;
   for (std::size_t i = 0; i < cfg.cpus.size(); ++i) {
@@ -154,6 +167,13 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
   PairResult out;
   out.program[0] = finish_result(*progs[0], opt.verify);
   out.program[1] = finish_result(*progs[1], opt.verify);
+  if (checker) {
+    // The analyses observe the whole machine, not one program; both results
+    // carry the same machine-wide report.
+    const check::CheckReport rep = checker->finish();
+    out.program[0].check = rep;
+    out.program[1].check = rep;
+  }
   if (opt.verify && (!out.program[0].verified || !out.program[1].verified)) {
     throw std::runtime_error("pair verification failed on " +
                              std::string(cfg.name));

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/report.hpp"
 #include "harness/config.hpp"
 #include "harness/stats.hpp"
 #include "npb/kernel.hpp"
@@ -37,9 +38,15 @@ struct RunOptions {
   /// full-fidelity setting; larger grains change the interleaving, so
   /// grained runs are never comparable against grain-1 golden signatures).
   std::size_t grain = 1;
+  /// Opt-in runtime analyses (race detection / invariant auditing).  Any
+  /// mode but kOff routes the machine through the reference path and
+  /// attaches a check::Checker for the duration of each run.
+  sim::CheckMode check_mode = sim::CheckMode::kOff;
 
   [[nodiscard]] sim::MachineParams machine_params() const {
-    return sim::MachineParams{}.scaled(machine_scale);
+    sim::MachineParams p = sim::MachineParams{}.scaled(machine_scale);
+    p.check_mode = check_mode;
+    return p;
   }
   [[nodiscard]] std::uint64_t trial_seed(int trial) const noexcept {
     return base_seed + static_cast<std::uint64_t>(trial) * 104729;
@@ -57,6 +64,10 @@ struct RunResult {
   /// verification.  Filled by run_single; the throughput artifacts use it so
   /// they measure the simulator inner loop, not workload setup.
   double host_sim_sec = 0;
+  /// Analysis findings when opt.check_mode != kOff (default-constructed —
+  /// trivially clean — otherwise).  For pair runs the analyses observe the
+  /// whole machine, so both programs carry the same machine-wide report.
+  check::CheckReport check;
 };
 
 /// Runs @p bench once on @p cfg (single-program).

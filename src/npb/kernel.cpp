@@ -16,6 +16,8 @@ std::string_view benchmark_name(Benchmark b) noexcept {
     case Benchmark::kBT: return "BT";
     case Benchmark::kSP: return "SP";
     case Benchmark::kLU: return "LU";
+    case Benchmark::kRacyHist: return "RW";
+    case Benchmark::kRacyFlag: return "RF";
   }
   return "??";
 }
@@ -24,12 +26,19 @@ bool parse_benchmark(std::string_view s, Benchmark& out) noexcept {
   if (s.size() != 2) return false;
   const char a = static_cast<char>(std::toupper(s[0]));
   const char b = static_cast<char>(std::toupper(s[1]));
-  for (const Benchmark bm : kAllBenchmarks) {
+  const auto match = [&](Benchmark bm) {
     const std::string_view n = benchmark_name(bm);
     if (n[0] == a && n[1] == b) {
       out = bm;
       return true;
     }
+    return false;
+  };
+  for (const Benchmark bm : kAllBenchmarks) {
+    if (match(bm)) return true;
+  }
+  for (const Benchmark bm : kRacyBenchmarks) {
+    if (match(bm)) return true;
   }
   return false;
 }
@@ -54,6 +63,8 @@ std::unique_ptr<Kernel> make_kernel(Benchmark b) {
     case Benchmark::kBT: return detail::make_bt();
     case Benchmark::kSP: return detail::make_sp();
     case Benchmark::kLU: return detail::make_lu();
+    case Benchmark::kRacyHist: return detail::make_racy_hist();
+    case Benchmark::kRacyFlag: return detail::make_racy_flag();
   }
   return nullptr;
 }

@@ -25,13 +25,22 @@
 
 namespace paxsim::npb {
 
-/// Suite members (NPB-OMP 3.x).
-enum class Benchmark { kCG, kMG, kFT, kIS, kEP, kBT, kSP, kLU };
+/// Suite members (NPB-OMP 3.x), plus two deliberately racy diagnostic
+/// kernels (kRacyHist "RW", kRacyFlag "RF") that seed known data races for
+/// the analysis subsystem (src/check/) to find.  The racy kernels are never
+/// part of kAllBenchmarks: study drivers iterate the suite, the checker
+/// tests request them by name.
+enum class Benchmark { kCG, kMG, kFT, kIS, kEP, kBT, kSP, kLU,
+                       kRacyHist, kRacyFlag };
 
 /// All suite members, in the paper's listing order (kernels then apps).
 inline constexpr Benchmark kAllBenchmarks[] = {
     Benchmark::kCG, Benchmark::kMG, Benchmark::kFT, Benchmark::kIS,
     Benchmark::kEP, Benchmark::kBT, Benchmark::kSP, Benchmark::kLU};
+
+/// The seeded-racy diagnostic kernels (checker tests only).
+inline constexpr Benchmark kRacyBenchmarks[] = {Benchmark::kRacyHist,
+                                                Benchmark::kRacyFlag};
 
 /// Short uppercase name ("CG", "MG", ...).
 [[nodiscard]] std::string_view benchmark_name(Benchmark b) noexcept;

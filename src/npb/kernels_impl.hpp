@@ -18,6 +18,8 @@ std::unique_ptr<Kernel> make_ep();
 std::unique_ptr<Kernel> make_bt();
 std::unique_ptr<Kernel> make_sp();
 std::unique_ptr<Kernel> make_lu();
+std::unique_ptr<Kernel> make_racy_hist();
+std::unique_ptr<Kernel> make_racy_flag();
 
 }  // namespace detail
 }  // namespace paxsim::npb

@@ -62,4 +62,48 @@ std::size_t SetAssocCache::resident_lines() const noexcept {
   return n;
 }
 
+std::vector<SetAssocCache::LineView> SetAssocCache::live_lines() const {
+  std::vector<LineView> out;
+  out.reserve(lines_.size());
+  for (const Line& l : lines_) {
+    if (!live(l)) continue;
+    out.push_back(LineView{l.tag << line_shift_, l.state, l.stamp, l.ready_at,
+                           l.prefetched});
+  }
+  return out;
+}
+
+bool SetAssocCache::audit(std::string* why) const {
+  const auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  for (std::size_t set = 0; set < sets_; ++set) {
+    if (mru_[set] >= ways_) {
+      return fail("mru hint out of range in set " + std::to_string(set));
+    }
+    const std::size_t base = set * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      const Line& l = lines_[base + w];
+      if (!live(l)) continue;
+      if (l.stamp > clock_) {
+        return fail("stamp " + std::to_string(l.stamp) + " ahead of LRU clock " +
+                    std::to_string(clock_) + " (set " + std::to_string(set) +
+                    ", way " + std::to_string(w) + ")");
+      }
+      if (set_index(l.tag << line_shift_) != set) {
+        return fail("tag maps outside its set (set " + std::to_string(set) +
+                    ", way " + std::to_string(w) + ")");
+      }
+      for (std::size_t w2 = w + 1; w2 < ways_; ++w2) {
+        const Line& l2 = lines_[base + w2];
+        if (live(l2) && l2.tag == l.tag) {
+          return fail("duplicate live tag in set " + std::to_string(set));
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace paxsim::sim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/params.hpp"
@@ -196,6 +197,26 @@ class SetAssocCache {
 
   /// Number of valid lines currently resident (for tests / introspection).
   [[nodiscard]] std::size_t resident_lines() const noexcept;
+
+  // ---- introspection (invariant checker, src/check/) ----------------------
+  /// Snapshot of one live line.
+  struct LineView {
+    Addr line_addr = 0;       ///< line-aligned byte address
+    LineState state = LineState::kInvalid;
+    std::uint64_t stamp = 0;  ///< LRU stamp at snapshot time
+    double ready_at = 0;      ///< pending fill arrival (0 = data present)
+    bool prefetched = false;  ///< unconsumed prefetch credit
+  };
+
+  /// All live lines, set-major.  O(sets * ways); checker-cadence only.
+  [[nodiscard]] std::vector<LineView> live_lines() const;
+
+  /// Structural self-audit: every live stamp <= the LRU clock, every live
+  /// epoch equals the current one (by construction of live()), each set's
+  /// MRU hint within the way count, and no two live lines of a set carry
+  /// the same tag.  Returns true when clean; otherwise fills @p why (if
+  /// non-null) with the first violation found.
+  [[nodiscard]] bool audit(std::string* why) const;
 
  private:
   [[nodiscard]] std::size_t set_index(Addr line_addr) const noexcept {

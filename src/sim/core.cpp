@@ -16,6 +16,7 @@ using perf::Event;
 void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
   const MachineParams& p = *core_->params_;
   ++acc_itlb_refs_;
+  last_block_ = block;
   const Addr code_addr = code_base_ + static_cast<Addr>(block) * p.code_block_bytes;
   if (!core_->itlb_.access(code_addr)) {
     counters_->add(Event::kItlbMisses, 1);
@@ -58,6 +59,9 @@ void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
       fb.itlb_clock = core_->itlb_.lru_clock();
     }
   }
+  if (TraceSink* sink = core_->machine_->trace_sink()) {
+    sink->on_fetch(*this, code_addr);
+  }
 }
 
 void HwContext::flush_accumulators() noexcept {
@@ -83,6 +87,7 @@ void HwContext::reset() noexcept {
   executed_total_ = 0;
   acc_instructions_ = acc_mem_accesses_ = 0;
   acc_itlb_refs_ = acc_tc_refs_ = acc_branch_ops_ = 0;
+  last_block_ = 0;
   clear_fast_entries();
   history_ = BranchHistory{};
   counters_ = nullptr;
@@ -105,7 +110,9 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
       predictor_(),
       prefetcher_(p),
-      fast_path_(p.fast_path) {
+      // Any analysis mode needs the complete access stream, which only the
+      // reference path reports; its state trajectory is bit-identical.
+      fast_path_(p.fast_path && p.check_mode == CheckMode::kOff) {
   refresh_issue_cost();
   for (int i = 0; i < 2; ++i) {
     contexts_[i].core_ = this;
@@ -237,7 +244,50 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     }
     // Independent L1 hits are fully pipelined: no exposed stall.
   }
+
+  // Analysis hook: all cache/TLB/coherence state effects are committed, so
+  // an attached sink observes the access exactly as it retired.
+  if (TraceSink* sink = machine_->trace_sink()) {
+    sink->on_access(ctx, addr, is_store);
+  }
   return stall;
+}
+
+bool Core::audit_fast_entries(std::string* why) const {
+  const auto fail = [&](const char* what, int ctx_idx) {
+    if (why != nullptr) {
+      *why = std::string(what) + " (core " + std::to_string(global_id()) +
+             ", context " + std::to_string(ctx_idx) + ")";
+    }
+    return false;
+  };
+  for (int i = 0; i < 2; ++i) {
+    const HwContext& ctx = contexts_[i];
+    for (const HwContext::FastEntry& fe : ctx.fast_) {
+      if (fe.line == ~Addr{0}) continue;  // empty register
+      if (fe.l1_gen_slot == nullptr) {
+        return fail("registered fast entry without a generation slot", i);
+      }
+      // The tier-1 proof: an armed generation sum that still matches the
+      // live structures claims both handles are valid without reading them.
+      // Cross-check the claim against tier 2.
+      if (fe.gen != 0 && fe.gen == *fe.l1_gen_slot + dtlb_.mutation_gen()) {
+        if (!l1d_.fast_check(fe.l1, fe.line, /*is_store=*/true)) {
+          return fail("armed fast entry fails L1 revalidation", i);
+        }
+        if (!dtlb_.fast_check(fe.tlb, fe.line)) {
+          return fail("armed fast entry fails DTLB revalidation", i);
+        }
+      }
+    }
+    const HwContext::FastBlock& fb = ctx.fast_block_;
+    if (fb.valid && fb.part_clock == fb.trace.part->lru_clock() &&
+        fb.itlb_clock == itlb_.lru_clock() &&
+        !itlb_.fast_check(fb.itlb, fb.code_addr)) {
+      return fail("armed fast block fails ITLB revalidation", i);
+    }
+  }
+  return true;
 }
 
 double Core::resolve_l2_miss(HwContext& ctx, Addr line_addr, bool is_store) noexcept {

@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "perf/counters.hpp"
@@ -112,6 +113,12 @@ class HwContext {
 
   /// This context's position in the machine.
   [[nodiscard]] LogicalCpu id() const noexcept { return id_; }
+
+  /// Static id of the code block most recently fetched through the
+  /// reference front-end path (exec_block_slow) — the analysis layer's
+  /// "program counter" when attributing accesses.  Every fetch takes the
+  /// reference path while a check mode is active, so this is exact there.
+  [[nodiscard]] BlockId last_block() const noexcept { return last_block_; }
 
   /// The core this context belongs to.
   [[nodiscard]] Core& core() const noexcept { return *core_; }
@@ -240,6 +247,7 @@ class HwContext {
   LogicalCpu id_{};
   perf::CounterSet* counters_ = nullptr;
   Addr code_base_ = 0;
+  BlockId last_block_ = 0;
   BranchHistory history_{};
 
   double now_ = 0;
@@ -309,9 +317,20 @@ class Core {
   /// and both contexts.
   void reset() noexcept;
 
-  // Introspection for tests.
+  // Introspection for tests and the invariant checker.
   [[nodiscard]] const SetAssocCache& l1d() const noexcept { return l1d_; }
   [[nodiscard]] const SetAssocCache& l2() const noexcept { return l2_; }
+  [[nodiscard]] const Tlb& itlb() const noexcept { return itlb_; }
+  [[nodiscard]] const Tlb& dtlb() const noexcept { return dtlb_; }
+
+  /// Audits both contexts' fast-path registers: an entry whose armed
+  /// generation sum still matches the live structures must also pass handle
+  /// revalidation — the tier-1 "commit without reading the line" proof must
+  /// never outlive tier 2's.  Returns true when clean; otherwise fills
+  /// @p why (if non-null).  Trivially clean when a check mode disabled the
+  /// fast path (the tables stay empty); exercised against fast-path
+  /// machines by the unit tests.
+  [[nodiscard]] bool audit_fast_entries(std::string* why) const;
 
  private:
   friend class HwContext;

@@ -1,0 +1,71 @@
+// paxsim/sim/hooks.hpp
+//
+// Observation interface for analysis subsystems (src/check/): a TraceSink
+// attached to a Machine receives the simulator's memory-access and fetch
+// stream plus synchronization callbacks from the xomp runtime, all in
+// virtual-time execution order.
+//
+// Cost discipline: every call site is on the *reference* (out-of-line) path
+// only — the inlined L1/DTLB fast path never consults the sink.  Analysis
+// modes that need the full stream (MachineParams::check_mode != kOff) force
+// the reference path, so a machine running with the sink detached and the
+// fast path enabled pays nothing.  A sink observes; it must never mutate
+// simulator state (all references handed to it are const).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace paxsim::sim {
+
+class HwContext;
+
+/// Receiver of the simulated machine's event stream.  Attach with
+/// Machine::set_trace_sink(); the xomp runtime discovers it through the
+/// machine and adds the synchronization vocabulary.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// One committed data access (load or store) by @p ctx at byte address
+  /// @p addr.  Called at the end of the reference memory path, after all
+  /// cache/TLB/coherence state effects have been applied.
+  virtual void on_access(const HwContext& ctx, Addr addr, bool is_store) = 0;
+
+  /// One front-end fetch of the code block at @p code_addr by @p ctx
+  /// (reference path of exec_block).
+  virtual void on_fetch(const HwContext& ctx, Addr code_addr) = 0;
+
+  /// Team lifecycle events from the xomp runtime.  @p members lists the
+  /// hardware contexts currently executing the team's threads, in rank
+  /// order.  kFork/kBarrier/kJoin all establish an all-to-all
+  /// happens-before edge across the members (the runtime synchronises every
+  /// thread clock at each of them).
+  enum class TeamEvent : std::uint8_t { kCreate, kFork, kBarrier, kJoin };
+  virtual void on_team(TeamEvent ev, const void* team,
+                       const HwContext* const* members, std::size_t count) = 0;
+
+  /// Declares [base, base+bytes) as runtime-internal synchronization
+  /// storage (lock word, loop cursor, barrier counter, reduction slots).
+  /// Accesses there model atomic hardware operations and are exempt from
+  /// data-race checking.
+  virtual void on_runtime_range(Addr base, std::size_t bytes) = 0;
+
+  /// Synchronization operation on the object identified by @p addr:
+  /// critical enter / lock acquire (kAcquire), critical exit / lock release
+  /// (kRelease), and the master-side reduction combine (kCombine, which
+  /// rides the join barrier for ordering and is reported for accounting).
+  /// An atomic read-modify-write is bracketed as kAcquire + kRelease on the
+  /// target address, so the plain load/store it issues in between are
+  /// lock-ordered against other atomics on the same address.
+  enum class SyncOp : std::uint8_t { kAcquire, kRelease, kCombine };
+  virtual void on_sync(SyncOp op, const HwContext& ctx, Addr addr) = 0;
+
+  /// Thread migration (Team::repin): the logical thread running on @p from
+  /// continues on @p to, carrying its happens-before history with it.
+  virtual void on_thread_moved(const HwContext& from, const HwContext& to) = 0;
+};
+
+}  // namespace paxsim::sim

@@ -97,4 +97,11 @@ unsigned Machine::holders_of(Addr line_addr) const noexcept {
   return it == directory_.end() ? 0u : it->second;
 }
 
+std::vector<std::pair<Addr, unsigned>> Machine::directory_snapshot() const {
+  std::vector<std::pair<Addr, unsigned>> out;
+  out.reserve(directory_.size());
+  for (const auto& [line, holders] : directory_) out.emplace_back(line, holders);
+  return out;
+}
+
 }  // namespace paxsim::sim

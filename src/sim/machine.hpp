@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/core.hpp"
+#include "sim/hooks.hpp"
 #include "sim/memsys.hpp"
 #include "sim/params.hpp"
 #include "sim/types.hpp"
@@ -84,6 +85,9 @@ class Machine {
   [[nodiscard]] Core& core_by_id(int global_id) noexcept {
     return *cores_[global_id];
   }
+  [[nodiscard]] const Core& core_by_id(int global_id) const noexcept {
+    return *cores_[global_id];
+  }
 
   [[nodiscard]] FrontSideBus& bus(int chip_idx) noexcept {
     return buses_[chip_idx];
@@ -111,12 +115,25 @@ class Machine {
   /// Directory introspection (tests): bitmask of cores holding @p line.
   [[nodiscard]] unsigned holders_of(Addr line_addr) const noexcept;
 
+  /// Full directory content, one (line address, holder bitmask) pair per
+  /// tracked line — the invariant checker cross-audits it against the L2s.
+  [[nodiscard]] std::vector<std::pair<Addr, unsigned>> directory_snapshot()
+      const;
+
+  // ---- analysis hooks (src/check/) ----------------------------------------
+  /// Attaches/detaches the event-stream observer.  Only reference-path code
+  /// consults it (see sim/hooks.hpp); pass nullptr to detach.  The sink is
+  /// not owned and must outlive its attachment.
+  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] TraceSink* trace_sink() const noexcept { return sink_; }
+
  private:
   MachineParams params_;
   MemoryController mc_;
   std::vector<FrontSideBus> buses_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::unordered_map<Addr, std::uint8_t> directory_;
+  TraceSink* sink_ = nullptr;
 };
 
 }  // namespace paxsim::sim

@@ -2,8 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace paxsim::sim {
+
+const char* check_mode_name(CheckMode m) noexcept {
+  switch (m) {
+    case CheckMode::kOff: return "off";
+    case CheckMode::kRace: return "race";
+    case CheckMode::kInvariants: return "invariants";
+    case CheckMode::kFull: return "full";
+  }
+  return "?";
+}
+
+bool parse_check_mode(const char* s, CheckMode& out) noexcept {
+  for (const CheckMode m : {CheckMode::kOff, CheckMode::kRace,
+                            CheckMode::kInvariants, CheckMode::kFull}) {
+    if (std::strcmp(s, check_mode_name(m)) == 0) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 std::size_t scale_down(std::size_t v, double factor, std::size_t floor_v) {

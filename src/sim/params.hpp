@@ -21,6 +21,23 @@
 
 namespace paxsim::sim {
 
+/// Which runtime analyses (src/check/) observe a run.  Any mode other than
+/// kOff routes every memory access through the reference (out-of-line) path
+/// so the attached checker sees the complete event stream; kOff leaves the
+/// inlined fast path untouched and costs nothing.
+enum class CheckMode : std::uint8_t {
+  kOff,         ///< no analysis; the default
+  kRace,        ///< happens-before data-race detection only
+  kInvariants,  ///< machine-state invariant auditing only
+  kFull,        ///< both analyses
+};
+
+/// Stable lowercase name ("off", "race", "invariants", "full").
+[[nodiscard]] const char* check_mode_name(CheckMode m) noexcept;
+
+/// Parses a check-mode name; returns true on success.
+bool parse_check_mode(const char* s, CheckMode& out) noexcept;
+
 /// Geometry of one set-associative structure.
 struct CacheGeometry {
   std::size_t size_bytes = 0;  ///< total capacity
@@ -146,6 +163,12 @@ struct MachineParams {
 #else
   bool fast_path = true;
 #endif
+
+  /// Opt-in analysis mode (see CheckMode).  Any mode but kOff overrides
+  /// `fast_path`: checked runs execute on the reference path, whose state
+  /// trajectory is bit-identical, so the analyses observe every access
+  /// without perturbing what they measure.
+  CheckMode check_mode = CheckMode::kOff;
 
   /// Returns a copy with all capacity-like quantities divided by @p factor
   /// (latencies, bandwidth-per-cycle and issue parameters untouched).

@@ -57,6 +57,10 @@ class Tlb {
   /// Drops all translations.
   void reset() noexcept { cache_.reset(); }
 
+  /// Read-only view of the underlying translation table (invariant checker:
+  /// every live entry must translate a page the access stream has touched).
+  [[nodiscard]] const SetAssocCache& table() const noexcept { return cache_; }
+
   [[nodiscard]] std::size_t entries() const noexcept {
     return cache_.sets() * cache_.ways();
   }

@@ -20,6 +20,16 @@ Team::Team(sim::Machine& machine, std::vector<sim::LogicalCpu> cpus,
   cursor_addr_ = space.alloc(64, 64);
   barrier_addr_ = space.alloc(64, 64);
   reduction_addr_ = space.alloc(64 * ctxs_.size(), 64);
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    // The runtime's own shared lines model atomic hardware operations;
+    // declare them so the race detector exempts the plain load/store
+    // sequences the runtime issues against them.
+    sink->on_runtime_range(lock_addr_, 64);
+    sink->on_runtime_range(cursor_addr_, 64);
+    sink->on_runtime_range(barrier_addr_, 64);
+    sink->on_runtime_range(reduction_addr_, 64 * ctxs_.size());
+  }
+  notify_team(sim::TraceSink::TeamEvent::kCreate);
 }
 
 double Team::wall_time() const noexcept {
@@ -32,9 +42,13 @@ void Team::fork() {
   // Workers that idled through a serial section catch up to the master.
   const double t = wall_time();
   for (sim::HwContext* c : ctxs_) c->set_now(t);
+  notify_team(sim::TraceSink::TeamEvent::kFork);
 }
 
-void Team::join() { barrier(); }
+void Team::join() {
+  barrier();
+  notify_team(sim::TraceSink::TeamEvent::kJoin);
+}
 
 void Team::barrier() {
   if (size() > 1) {
@@ -48,6 +62,7 @@ void Team::barrier() {
   const double t = wall_time();
   for (sim::HwContext* c : ctxs_) c->set_now(t);
   flush();
+  notify_team(sim::TraceSink::TeamEvent::kBarrier);
 }
 
 void Team::flush() {
@@ -64,7 +79,35 @@ void Team::repin(int rank, sim::LogicalCpu to, double os_penalty_cycles) {
   dst.bind(counters_, code_base_);
   dst.set_now(std::max(dst.now(), src.now()));
   dst.os_overhead(os_penalty_cycles);
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    sink->on_thread_moved(src, dst);
+  }
   ctxs_[rank] = &dst;
+}
+
+void Team::notify_team(sim::TraceSink::TeamEvent ev) {
+  sim::TraceSink* sink = machine_->trace_sink();
+  if (sink == nullptr) return;
+  members_scratch_.assign(ctxs_.begin(), ctxs_.end());
+  sink->on_team(ev, this, members_scratch_.data(), members_scratch_.size());
+}
+
+void Team::sync_acquire(sim::HwContext& ctx, sim::Addr addr) {
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    sink->on_sync(sim::TraceSink::SyncOp::kAcquire, ctx, addr);
+  }
+}
+
+void Team::sync_release(sim::HwContext& ctx, sim::Addr addr) {
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    sink->on_sync(sim::TraceSink::SyncOp::kRelease, ctx, addr);
+  }
+}
+
+void Team::sync_combine(sim::HwContext& ctx, sim::Addr addr) {
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    sink->on_sync(sim::TraceSink::SyncOp::kCombine, ctx, addr);
+  }
 }
 
 }  // namespace paxsim::xomp

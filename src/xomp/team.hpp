@@ -95,13 +95,17 @@ class Team {
                partial[static_cast<std::size_t>(rank)] += body(i, ctx, rank);
              });
     join();
-    // Master combines the partials: one load + one add per thread.
+    // Master combines the partials: one load + one add per thread.  The
+    // combine is ordered by the surrounding join barriers; the sink event is
+    // accounting vocabulary, not an extra happens-before edge.
     sim::HwContext& master = *ctxs_[0];
     double sum = 0.0;
     for (int r = 0; r < size(); ++r) {
-      master.load(reduction_addr_ + static_cast<sim::Addr>(r) * 8);
+      const sim::Addr slot = reduction_addr_ + static_cast<sim::Addr>(r) * 8;
+      master.load(slot);
       master.alu(1);
       sum += partial[static_cast<std::size_t>(r)];
+      sync_combine(master, slot);
     }
     join();
     return sum;
@@ -139,17 +143,23 @@ class Team {
     sim::HwContext& ctx = *ctxs_[rank];
     ctx.load(lock_addr_, sim::Dep::kChained);
     ctx.store(lock_addr_);
+    sync_acquire(ctx, lock_addr_);
     body(ctx);
+    sync_release(ctx, lock_addr_);
   }
 
   /// #pragma omp atomic — a lock-free read-modify-write on @p addr from
   /// thread @p rank: the chained load plus store makes the line ping-pong
   /// between writers exactly like a real atomic increment.
+  /// The acquire/release bracket lock-orders atomics on the same address
+  /// against each other for the race detector (see sim/hooks.hpp).
   void atomic_rmw(int rank, sim::Addr addr) {
     sim::HwContext& ctx = *ctxs_[rank];
+    sync_acquire(ctx, addr);
     ctx.load(addr, sim::Dep::kChained);
     ctx.alu(1);
     ctx.store(addr);
+    sync_release(ctx, addr);
   }
 
   /// #pragma omp sections — each callable in @p sections runs exactly once
@@ -210,6 +220,13 @@ class Team {
 
   void fork();
   void join();
+
+  // Analysis-sink notifications (no-ops while no TraceSink is attached).
+  // Out of line so the templates above stay free of sink plumbing.
+  void notify_team(sim::TraceSink::TeamEvent ev);
+  void sync_acquire(sim::HwContext& ctx, sim::Addr addr);
+  void sync_release(sim::HwContext& ctx, sim::Addr addr);
+  void sync_combine(sim::HwContext& ctx, sim::Addr addr);
 
   /// Core of parallel_for: virtual-time interleaved execution.
   template <typename Body>
@@ -338,6 +355,8 @@ class Team {
   sim::Addr reduction_addr_;
   std::size_t grain_ = kDefaultGrain;
   IndexedMinHeap ready_;  ///< run_loop's pick structure, reused across loops
+  /// Member list handed to on_team(), reused to avoid per-event allocation.
+  std::vector<const sim::HwContext*> members_scratch_;
 };
 
 }  // namespace paxsim::xomp

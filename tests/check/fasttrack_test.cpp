@@ -1,0 +1,188 @@
+// Unit tests for the FastTrack state machine on bare event sequences:
+// epoch regime, read-share promotion, lock/barrier edges, dedup and the
+// false-sharing accounting.
+#include "check/race_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::check {
+namespace {
+
+AccessRecord meta(sim::BlockId block = 0, double vtime = 0) {
+  AccessRecord r;
+  r.block = block;
+  r.vtime = vtime;
+  return r;
+}
+
+TEST(FastTrackTest, SameThreadSequenceIsRaceFree) {
+  RaceDetector d;
+  const sim::Addr a = 0x1000;
+  d.on_access(0, a, true, meta());
+  d.on_access(0, a, false, meta());
+  d.on_access(0, a, true, meta());
+  EXPECT_EQ(d.races_total(), 0u);
+  EXPECT_TRUE(d.races().empty());
+}
+
+TEST(FastTrackTest, ConcurrentWritesAreWriteWriteRace) {
+  RaceDetector d;
+  const sim::Addr a = 0x1004;
+  d.on_access(0, a, true, meta(7, 100));
+  d.on_access(1, a, true, meta(9, 200));
+  ASSERT_EQ(d.races().size(), 1u);
+  const RaceRecord& r = d.races()[0];
+  EXPECT_EQ(r.kind, RaceRecord::Kind::kWriteWrite);
+  EXPECT_EQ(r.addr, a);  // already word-aligned
+  EXPECT_EQ(r.prior.tid, 0);
+  EXPECT_EQ(r.current.tid, 1);
+  EXPECT_EQ(r.prior.block, 7u);
+  EXPECT_EQ(r.current.block, 9u);
+  EXPECT_EQ(r.prior.vtime, 100);
+  EXPECT_EQ(r.current.vtime, 200);
+}
+
+TEST(FastTrackTest, WriteThenConcurrentReadIsWriteRead) {
+  RaceDetector d;
+  const sim::Addr a = 0x2000;
+  d.on_access(0, a, true, meta());
+  d.on_access(1, a, false, meta());
+  ASSERT_EQ(d.races().size(), 1u);
+  EXPECT_EQ(d.races()[0].kind, RaceRecord::Kind::kWriteRead);
+  EXPECT_EQ(d.races()[0].prior.tid, 0);
+  EXPECT_EQ(d.races()[0].current.tid, 1);
+}
+
+TEST(FastTrackTest, ReadThenConcurrentWriteIsReadWrite) {
+  RaceDetector d;
+  const sim::Addr a = 0x3000;
+  d.on_access(0, a, false, meta());
+  d.on_access(1, a, true, meta());
+  ASSERT_EQ(d.races().size(), 1u);
+  EXPECT_EQ(d.races()[0].kind, RaceRecord::Kind::kReadWrite);
+  EXPECT_EQ(d.races()[0].prior.tid, 0);
+  EXPECT_EQ(d.races()[0].current.tid, 1);
+}
+
+TEST(FastTrackTest, ReleaseAcquireOrdersAccesses) {
+  RaceDetector d;
+  const sim::Addr a = 0x4000, lock = 0x9000;
+  d.on_access(0, a, true, meta());
+  d.on_release(0, lock);
+  d.on_acquire(1, lock);
+  d.on_access(1, a, true, meta());
+  EXPECT_EQ(d.races_total(), 0u);
+  // A third thread that never synchronised still races with the last write.
+  d.on_access(2, a, true, meta());
+  EXPECT_EQ(d.races_total(), 1u);
+  EXPECT_EQ(d.races()[0].prior.tid, 1);
+  EXPECT_EQ(d.races()[0].current.tid, 2);
+}
+
+TEST(FastTrackTest, BarrierOrdersAllMembers) {
+  RaceDetector d;
+  const sim::Addr a = 0x5000;
+  const int tids[] = {0, 1, 2};
+  d.on_access(0, a, true, meta());
+  d.on_barrier(tids, 3);
+  d.on_access(1, a, true, meta());
+  d.on_barrier(tids, 3);
+  d.on_access(2, a, false, meta());
+  EXPECT_EQ(d.races_total(), 0u);
+}
+
+TEST(FastTrackTest, ReadShareThenUnorderedWriteReportsAReader) {
+  RaceDetector d;
+  const sim::Addr a = 0x6000;
+  const int tids[] = {0, 1, 2};
+  d.on_access(0, a, true, meta());
+  d.on_barrier(tids, 3);
+  d.on_access(1, a, false, meta(41));  // ordered after the write: clean
+  d.on_access(2, a, false, meta(42));  // concurrent with t1's read: promote
+  EXPECT_EQ(d.races_total(), 0u);
+  d.on_access(0, a, true, meta());  // t0 saw neither read
+  ASSERT_EQ(d.races().size(), 1u);
+  const RaceRecord& r = d.races()[0];
+  EXPECT_EQ(r.kind, RaceRecord::Kind::kReadWrite);
+  EXPECT_TRUE(r.prior.tid == 1 || r.prior.tid == 2);
+  EXPECT_EQ(r.current.tid, 0);
+}
+
+TEST(FastTrackTest, BarrierAfterSharedReadsMakesWriteClean) {
+  RaceDetector d;
+  const sim::Addr a = 0x7000;
+  const int tids[] = {0, 1, 2};
+  d.on_access(0, a, true, meta());
+  d.on_barrier(tids, 3);
+  d.on_access(1, a, false, meta());
+  d.on_access(2, a, false, meta());
+  d.on_barrier(tids, 3);
+  d.on_access(0, a, true, meta());  // ordered after both reads
+  EXPECT_EQ(d.races_total(), 0u);
+  // The write collapsed the word back to the epoch regime; a further
+  // same-thread access stays clean.
+  d.on_access(0, a, false, meta());
+  EXPECT_EQ(d.races_total(), 0u);
+}
+
+TEST(FastTrackTest, ExemptRangePredicate) {
+  RaceDetector d;
+  d.add_exempt_range(0x2000, 0x40);
+  EXPECT_TRUE(d.exempt(0x2000));
+  EXPECT_TRUE(d.exempt(0x203f));
+  EXPECT_FALSE(d.exempt(0x1fff));
+  EXPECT_FALSE(d.exempt(0x2040));
+}
+
+TEST(FastTrackTest, RepeatRacesOnOneWordDedupToOneRecord) {
+  RaceDetector d;
+  const sim::Addr a = 0x8000;
+  for (int i = 0; i < 4; ++i) {
+    d.on_access(0, a, true, meta());
+    d.on_access(1, a, true, meta());
+  }
+  EXPECT_EQ(d.races().size(), 1u);
+  EXPECT_EQ(d.racy_words(), 1u);
+  EXPECT_GE(d.races_total(), 4u);
+}
+
+TEST(FastTrackTest, RecordCapKeepsCountingPastIt) {
+  RaceDetector d(2);
+  for (sim::Addr a = 0x100; a < 0x100 + 3 * 4; a += 4) {
+    d.on_access(0, a, true, meta());
+    d.on_access(1, a, true, meta());
+  }
+  EXPECT_EQ(d.races().size(), 2u);  // capped
+  EXPECT_EQ(d.racy_words(), 3u);
+  EXPECT_EQ(d.races_total(), 3u);
+}
+
+TEST(FastTrackTest, AdjacentWordsSameLineAreFalseSharingNotRaces) {
+  RaceDetector d;
+  d.on_access(0, 0x40, true, meta());
+  d.on_access(1, 0x44, true, meta());  // same 64-byte line, different word
+  EXPECT_EQ(d.races_total(), 0u);
+  EXPECT_EQ(d.line_conflicts(), 1u);
+  EXPECT_EQ(d.conflicted_lines(), 1u);
+}
+
+TEST(FastTrackTest, ReadOnlyLineSharingIsNotAConflict) {
+  RaceDetector d;
+  d.on_access(0, 0x80, false, meta());
+  d.on_access(1, 0x84, false, meta());
+  EXPECT_EQ(d.line_conflicts(), 0u);
+  EXPECT_EQ(d.conflicted_lines(), 0u);
+}
+
+TEST(FastTrackTest, ReadSharingIsRaceFree) {
+  RaceDetector d;
+  const sim::Addr a = 0x9000;
+  d.on_access(0, a, false, meta());
+  d.on_access(1, a, false, meta());
+  d.on_access(2, a, false, meta());
+  d.on_access(0, a, false, meta());
+  EXPECT_EQ(d.races_total(), 0u);
+}
+
+}  // namespace
+}  // namespace paxsim::check

@@ -1,0 +1,121 @@
+// Unit tests for the vector-clock algebra underneath the race detector:
+// packed-epoch encoding, lazy growth, join/leq/covers laws.
+#include "check/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::check {
+namespace {
+
+TEST(EpochTest, PackRoundTrip) {
+  const Epoch e = make_epoch(5, 123456789);
+  EXPECT_EQ(epoch_tid(e), 5);
+  EXPECT_EQ(epoch_clock(e), 123456789u);
+  EXPECT_NE(e, kEpochNone);
+}
+
+TEST(EpochTest, NoneIsTidZeroClockZero) {
+  EXPECT_EQ(epoch_tid(kEpochNone), 0);
+  EXPECT_EQ(epoch_clock(kEpochNone), 0u);
+  // tid 0 at clock 0 packs to kEpochNone — which is exactly why clocks
+  // start at 1 (ensure_thread ticks a fresh clock before first use).
+  EXPECT_EQ(make_epoch(0, 0), kEpochNone);
+  EXPECT_NE(make_epoch(0, 1), kEpochNone);
+}
+
+TEST(EpochTest, LargeClockDoesNotBleedIntoTid) {
+  const std::uint64_t big = (std::uint64_t{1} << kEpochTidShift) - 1;
+  const Epoch e = make_epoch(7, big);
+  EXPECT_EQ(epoch_tid(e), 7);
+  EXPECT_EQ(epoch_clock(e), big);
+}
+
+TEST(VectorClockTest, MissingEntriesReadZero) {
+  VectorClock c;
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(17), 0u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(VectorClockTest, SetGrowsLazily) {
+  VectorClock c;
+  c.set(3, 7);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.get(3), 7u);
+  EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponentOnly) {
+  VectorClock c;
+  c.tick(2);
+  c.tick(2);
+  EXPECT_EQ(c.get(2), 2u);
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(1), 0u);
+}
+
+TEST(VectorClockTest, JoinIsPointwiseMax) {
+  VectorClock a, b;
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 3);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 3u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClockTest, LeqIsComponentwise) {
+  VectorClock a, b;
+  a.set(0, 1);
+  a.set(1, 2);
+  b.set(0, 1);
+  b.set(1, 3);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  // Incomparable clocks: neither leq.
+  VectorClock c;
+  c.set(0, 2);
+  c.set(1, 1);
+  EXPECT_FALSE(a.leq(c));
+  EXPECT_FALSE(c.leq(a));
+}
+
+TEST(VectorClockTest, LeqAgainstShorterClockUsesImplicitZeros) {
+  VectorClock a, b;
+  a.set(2, 1);  // b has no component 2
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_TRUE(b.leq(a));
+}
+
+TEST(VectorClockTest, CoversMatchesEpochOrdering) {
+  VectorClock c;
+  c.set(1, 5);
+  EXPECT_TRUE(c.covers(make_epoch(1, 4)));
+  EXPECT_TRUE(c.covers(make_epoch(1, 5)));
+  EXPECT_FALSE(c.covers(make_epoch(1, 6)));
+  EXPECT_FALSE(c.covers(make_epoch(0, 1)));  // unknown thread, clock 1 > 0
+}
+
+TEST(VectorClockTest, EpochOfReflectsOwnComponent) {
+  VectorClock c;
+  c.set(3, 9);
+  EXPECT_EQ(c.epoch_of(3), make_epoch(3, 9));
+  EXPECT_EQ(c.epoch_of(1), make_epoch(1, 0));
+}
+
+TEST(VectorClockTest, JoinThenTickModelsSyncEdge) {
+  // Release/acquire: receiver joins sender's clock, then each side ticks —
+  // afterwards the sender's pre-release epoch is covered by the receiver.
+  VectorClock sender, receiver;
+  sender.tick(0);   // sender at clock 1
+  const Epoch before = sender.epoch_of(0);
+  receiver.tick(1);
+  receiver.join(sender);
+  EXPECT_TRUE(receiver.covers(before));
+  EXPECT_FALSE(sender.covers(receiver.epoch_of(1)));
+}
+
+}  // namespace
+}  // namespace paxsim::check
