@@ -33,7 +33,7 @@ void Checker::maybe_audit() {
 }
 
 void Checker::on_access(const sim::HwContext& ctx, sim::Addr addr,
-                        bool is_store) {
+                        bool is_store, sim::Dep /*dep*/) {
   ++accesses_;
   ++events_since_audit_;
   if (auditor_) {
@@ -46,7 +46,8 @@ void Checker::on_access(const sim::HwContext& ctx, sim::Addr addr,
   }
 }
 
-void Checker::on_fetch(const sim::HwContext& /*ctx*/, sim::Addr code_addr) {
+void Checker::on_fetch(const sim::HwContext& /*ctx*/, sim::Addr code_addr,
+                       std::uint32_t /*uops*/) {
   ++fetches_;
   ++events_since_audit_;
   if (auditor_) {

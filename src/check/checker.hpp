@@ -45,9 +45,10 @@ class Checker final : public sim::TraceSink {
   CheckReport finish();
 
   // ---- sim::TraceSink ------------------------------------------------------
-  void on_access(const sim::HwContext& ctx, sim::Addr addr,
-                 bool is_store) override;
-  void on_fetch(const sim::HwContext& ctx, sim::Addr code_addr) override;
+  void on_access(const sim::HwContext& ctx, sim::Addr addr, bool is_store,
+                 sim::Dep dep) override;
+  void on_fetch(const sim::HwContext& ctx, sim::Addr code_addr,
+                std::uint32_t uops) override;
   void on_team(TeamEvent ev, const void* team,
                const sim::HwContext* const* members,
                std::size_t count) override;

@@ -124,11 +124,17 @@ std::string usage() {
       "  pair  --bench=CG,FT --config=\"HT off -4-2\" co-scheduled pair\n"
       "  sched --bench=CG,FT --config=\"HT on -8-2\" --policy=symbiotic\n"
       "  timeline --bench=CG --config=\"HT on -8-2\"  per-step metric deltas\n"
+      "  predict --bench=CG --config=\"HT on -8-2\"   analytical prediction from\n"
+      "                                            one profiled serial run\n"
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
       "              --check=off|race|invariants|full (run/pair: attach the\n"
       "                         src/check analysis sink; prints a check report)\n"
       "              --baseline (also run and report the serial baseline)\n"
+      "              --compare (predict: also simulate the same cell and print\n"
+      "                         a per-metric relative-error table)\n"
+      "              --profile=on|off (run, Serial config only: collect the\n"
+      "                         paxmodel reuse profile and print its summary)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
       "              --grain=N (iterations per scheduling turn; default 1;\n"
       "                         N>1 is faster but changes the interleaving)\n"
@@ -153,6 +159,8 @@ ParseResult parse(const std::vector<std::string>& args) {
     cmd.kind = Command::Kind::kSched;
   } else if (sub == "timeline") {
     cmd.kind = Command::Kind::kTimeline;
+  } else if (sub == "predict") {
+    cmd.kind = Command::Kind::kPredict;
   } else if (sub == "lmbench") {
     cmd.kind = Command::Kind::kLmbench;
   } else if (sub == "help" || sub == "--help" || sub == "-h") {
@@ -213,6 +221,17 @@ ParseResult parse(const std::vector<std::string>& args) {
       cmd.csv = true;
     } else if (key == "baseline") {
       cmd.baseline = true;
+    } else if (key == "compare") {
+      cmd.compare = true;
+    } else if (key == "profile") {
+      if (value.empty() || value == "on") {
+        cmd.profile = true;
+      } else if (value == "off") {
+        cmd.profile = false;
+      } else {
+        res.error = "bad --profile '" + value + "' (use on or off)";
+        return res;
+      }
     } else if (key == "no-verify") {
       cmd.options.verify = false;
     } else {
@@ -231,6 +250,10 @@ ParseResult parse(const std::vector<std::string>& args) {
       need(cmd.benches.size() == 1,
            "run/timeline need --bench=<one benchmark>");
       need(!cmd.config_name.empty(), "run/timeline need --config=<name>");
+      break;
+    case Command::Kind::kPredict:
+      need(cmd.benches.size() == 1, "predict needs --bench=<one benchmark>");
+      need(!cmd.config_name.empty(), "predict needs --config=<name>");
       break;
     case Command::Kind::kPair:
     case Command::Kind::kSched:
@@ -265,8 +288,88 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return do_list(out);
       case Command::Kind::kLmbench:
         return do_lmbench(out);
+      case Command::Kind::kPredict: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        harness::ExperimentEngine engine(cmd.jobs);
+        const auto seed = cmd.options.trial_seed(0);
+        const auto pr =
+            engine.predict(cmd.benches[0], *cfg, cmd.options, seed);
+        const std::string label =
+            std::string(npb::benchmark_name(cmd.benches[0])) + "@" +
+            cmd.config_name;
+        if (cmd.csv) {
+          harness::print_prediction_json(
+              out, std::string(npb::benchmark_name(cmd.benches[0])),
+              cmd.config_name, pr.prediction);
+        } else {
+          harness::print_prediction(out, label, pr.prediction, false);
+          out << "  profile: "
+              << (pr.profile_reused ? "reused" : "collected") << " ("
+              << pr.profile_host_sec << "s), model evaluation "
+              << pr.predict_host_sec << "s\n";
+        }
+        if (cmd.compare) {
+          const auto sim =
+              engine.single(cmd.benches[0], *cfg, cmd.options, seed);
+          const auto serial =
+              engine.serial(cmd.benches[0], cmd.options, seed);
+          const double sim_speedup = serial.wall_cycles / sim.wall_cycles;
+          const auto table = harness::prediction_error_table(
+              pr.prediction, sim, sim_speedup);
+          if (cmd.csv) {
+            table.print_csv(out);
+          } else {
+            table.print(out, 4);
+            out << "simulation host time: " << sim.host_sim_sec
+                << "s; prediction is "
+                << (pr.predict_host_sec > 0
+                        ? sim.host_sim_sec / pr.predict_host_sec
+                        : 0.0)
+                << "x faster (model evaluation only)\n";
+          }
+        }
+        return 0;
+      }
       case Command::Kind::kRun: {
         const auto* cfg = harness::find_config(cmd.config_name);
+        if (cmd.profile) {
+          if (!cfg->is_serial()) {
+            err << "error: --profile=on requires --config=\"Serial\" (the "
+                   "profile is collected from a serial run)\n";
+            return 1;
+          }
+          const auto seed = cmd.options.trial_seed(0);
+          const auto prof =
+              harness::run_profiled_serial(cmd.benches[0], cmd.options, seed);
+          print_result(out,
+                       std::string(npb::benchmark_name(cmd.benches[0])) +
+                           "@Serial",
+                       prof.result, cmd.csv);
+          const auto& p = prof.profile;
+          const double acc = static_cast<double>(p.loads + p.stores);
+          out << "profile: " << p.loads << " loads, " << p.stores
+              << " stores, " << p.uops << " uops, " << p.loops << " loops, "
+              << p.iterations << " iterations, " << p.barriers
+              << " barriers\n";
+          out << "  distinct: " << p.distinct_lines << " lines, "
+              << p.distinct_pages << " pages, " << p.distinct_blocks
+              << " blocks\n";
+          out << "  serial_uop_fraction=" << p.serial_uop_fraction()
+              << " chained_load_fraction="
+              << (p.loads > 0 ? static_cast<double>(p.chained_loads) /
+                                    static_cast<double>(p.loads)
+                              : 0.0)
+              << " stream_fraction="
+              << (p.stream_candidates > 0
+                      ? static_cast<double>(p.streamed) /
+                            static_cast<double>(p.stream_candidates)
+                      : 0.0)
+              << " runtime_access_share="
+              << (acc > 0 ? static_cast<double>(p.runtime_accesses) / acc
+                          : 0.0)
+              << '\n';
+          return 0;
+        }
         harness::ExperimentEngine engine(cmd.jobs);
         auto plan = harness::ExperimentPlan(cmd.options, {*cfg})
                         .add_benchmark(cmd.benches[0])

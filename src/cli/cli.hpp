@@ -10,6 +10,7 @@
 //   paxsim pair  --bench=CG,FT --config="HT off -4-2" [...]
 //   paxsim sched --bench=CG,FT --config="HT on -8-2" --policy=symbiotic
 //   paxsim timeline --bench=CG --config="HT on -8-2"
+//   paxsim predict --bench=CG --config="HT on -8-2" [--compare]
 //   paxsim lmbench
 #pragma once
 
@@ -25,16 +26,20 @@ namespace paxsim::cli {
 
 /// Parsed command line.
 struct Command {
-  enum class Kind { kList, kRun, kPair, kSched, kTimeline, kLmbench, kHelp };
+  enum class Kind {
+    kList, kRun, kPair, kSched, kTimeline, kPredict, kLmbench, kHelp
+  };
 
   Kind kind = Kind::kHelp;
-  std::vector<npb::Benchmark> benches;  ///< 1 for run, 2 for pair/sched
+  std::vector<npb::Benchmark> benches;  ///< 1 for run/predict, 2 for pair/sched
   std::string config_name;              ///< Table-1 configuration
   std::string policy = "pinned-spread"; ///< sched subcommand policy
   harness::RunOptions options;
   int jobs = 1;                         ///< host worker threads (--jobs=N)
   bool csv = false;
   bool baseline = false;                ///< also run + report serial
+  bool compare = false;                 ///< predict: also simulate + errors
+  bool profile = false;                 ///< run: profiled serial + summary
 };
 
 /// Parse result: a command, or an error message for the user.

@@ -1,7 +1,9 @@
 #include "harness/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <stdexcept>
@@ -34,6 +36,8 @@ std::string params_pool_key(const sim::MachineParams& p) {
   // A checked machine routes through the reference path and carries an
   // attached sink during runs; never hand it out for unchecked cells.
   app(static_cast<std::uint64_t>(p.check_mode));
+  // Same story for profiled machines (model::Profiler attachment).
+  app(p.profile ? 1u : 0u);
   return s;
 }
 
@@ -51,6 +55,24 @@ CellKey pair_key(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                  config_fingerprint(cfg), opt.cls, opt.machine_scale,
                  seed,                    opt.verify, opt.grain,
                  opt.check_mode};
+}
+
+/// Memo key for kernel profiles: everything run_profiled_serial's outcome
+/// depends on.  Verification and check mode do not change the profile.
+std::string profile_key(npb::Benchmark b, const RunOptions& opt,
+                        std::uint64_t seed) {
+  std::string s;
+  s.reserve(48);
+  s += std::to_string(static_cast<int>(b));
+  s += '|';
+  s += std::to_string(static_cast<int>(opt.cls));
+  s += '|';
+  s += std::to_string(opt.machine_scale);
+  s += '|';
+  s += std::to_string(seed);
+  s += '|';
+  s += std::to_string(opt.grain);
+  return s;
 }
 
 }  // namespace
@@ -351,6 +373,76 @@ StudyResult ExperimentEngine::run(const ExperimentPlan& plan) {
   return result;
 }
 
+model::Placement placement_for(const StudyConfig& cfg) {
+  model::Placement pl;
+  const std::size_t n = cfg.cpus.size();
+  pl.threads = n == 0 ? 1 : static_cast<int>(n);
+  std::array<int, 16> per_core{};
+  std::array<bool, 8> chip_used{};
+  for (std::size_t r = 0; r < n && r < pl.rank_core.size(); ++r) {
+    const sim::LogicalCpu c = cfg.cpus[r];
+    const int core_id = c.chip * 2 + c.core;
+    pl.rank_core[r] = static_cast<std::uint8_t>(core_id);
+    ++per_core[static_cast<std::size_t>(core_id)];
+    chip_used[c.chip] = true;
+  }
+  int cores = 0;
+  int share = 1;
+  for (const int occ : per_core) {
+    if (occ > 0) ++cores;
+    share = std::max(share, occ);
+  }
+  int chips = 0;
+  for (const bool used : chip_used) chips += used ? 1 : 0;
+  pl.cores_used = std::max(1, cores);
+  pl.chips_used = std::max(1, chips);
+  pl.contexts_per_core = share;
+  return pl;
+}
+
+std::shared_ptr<const model::KernelProfile> ExperimentEngine::profile(
+    npb::Benchmark b, const RunOptions& opt, std::uint64_t seed) {
+  const std::string key = profile_key(b, opt, seed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = profiles_.find(key);
+    if (it != profiles_.end()) return it->second;
+  }
+  // Profile outside the lock; a concurrent duplicate computes the identical
+  // (deterministic) profile and first insertion wins.
+  ProfiledRun run = run_profiled_serial(b, opt, seed);
+  auto prof =
+      std::make_shared<const model::KernelProfile>(std::move(run.profile));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = profiles_.emplace(key, std::move(prof));
+  if (inserted) profile_host_sec_[key] = run.result.host_sim_sec;
+  return it->second;
+}
+
+PredictionResult ExperimentEngine::predict(npb::Benchmark b,
+                                           const StudyConfig& cfg,
+                                           const RunOptions& opt,
+                                           std::uint64_t seed) {
+  const std::string key = profile_key(b, opt, seed);
+  PredictionResult out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.profile_reused = profiles_.contains(key);
+  }
+  const std::shared_ptr<const model::KernelProfile> prof =
+      this->profile(b, opt, seed);
+  if (!out.profile_reused) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.profile_host_sec = profile_host_sec_[key];
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  out.prediction =
+      model::predict(*prof, opt.machine_params(), placement_for(cfg));
+  const auto t1 = std::chrono::steady_clock::now();
+  out.predict_host_sec = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
 RunResult ExperimentEngine::single(npb::Benchmark b, const StudyConfig& cfg,
                                    const RunOptions& opt, std::uint64_t seed) {
   const CellKey key = single_key(b, cfg, opt, seed);
@@ -474,6 +566,8 @@ EngineStats ExperimentEngine::stats() const {
 void ExperimentEngine::clear_cache() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+  profiles_.clear();
+  profile_host_sec_.clear();
 }
 
 }  // namespace paxsim::harness

@@ -36,6 +36,7 @@
 #include "harness/runner.hpp"
 #include "harness/sched_runner.hpp"
 #include "harness/stats.hpp"
+#include "model/predict.hpp"
 #include "perf/timeline.hpp"
 
 namespace paxsim::harness {
@@ -245,6 +246,23 @@ class StudyResult {
   std::unordered_map<CellKey, CellValue, CellKeyHash> cells_;
 };
 
+/// Thread placement the analytical model needs from a Table-1 row: team
+/// size, distinct cores/chips occupied, the worst-case SMT sharing degree
+/// and each rank's physical core.
+[[nodiscard]] model::Placement placement_for(const StudyConfig& cfg);
+
+/// Outcome of ExperimentEngine::predict(): the analytical prediction plus
+/// the host-time split that backs the "N x faster than simulation" claim.
+struct PredictionResult {
+  model::Prediction prediction;
+  /// Host seconds of the profiling run backing this prediction; 0 when the
+  /// profile was answered from the engine's memo cache.
+  double profile_host_sec = 0;
+  /// Host seconds of the analytical evaluation itself (microseconds).
+  double predict_host_sec = 0;
+  bool profile_reused = false;   ///< profile came from the memo cache
+};
+
 /// Per-step timeline of one run (the VTune sampling view): produced by
 /// ExperimentEngine::timeline() for the timeline drivers.
 struct TimelineResult {
@@ -277,6 +295,20 @@ class ExperimentEngine {
                    std::uint64_t seed);
   PairResult pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                   const RunOptions& opt, std::uint64_t seed);
+
+  /// Analytical prediction of @p b on @p cfg — the instant tier next to
+  /// single().  Profiles @p b once per (class, scale, seed, grain) with
+  /// run_profiled_serial (memoized for the engine's lifetime), then
+  /// evaluates model::predict for the configuration's placement.  Costs one
+  /// serial simulation on first touch and microseconds afterwards.
+  PredictionResult predict(npb::Benchmark b, const StudyConfig& cfg,
+                           const RunOptions& opt, std::uint64_t seed);
+
+  /// The memoized profile predict() uses (profiling on first touch) —
+  /// exposed for drivers that evaluate the model directly.
+  std::shared_ptr<const model::KernelProfile> profile(npb::Benchmark b,
+                                                      const RunOptions& opt,
+                                                      std::uint64_t seed);
 
   /// Scheduler-policy run on a pooled machine.  Not memoized: policies are
   /// stateful objects the cache cannot key.
@@ -324,6 +356,12 @@ class ExperimentEngine {
   mutable std::mutex mu_;  ///< guards cache_, pools_, hit/miss counters
   std::unordered_map<CellKey, CellValue, CellKeyHash> cache_;
   std::unordered_map<std::string, std::unique_ptr<MachinePool>> pools_;
+  /// Memoized kernel profiles, keyed by (bench, class, scale, seed, grain).
+  /// Guarded by mu_; the shared_ptr values are immutable once inserted.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const model::KernelProfile>>
+      profiles_;
+  std::unordered_map<std::string, double> profile_host_sec_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
 };

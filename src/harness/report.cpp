@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <iomanip>
 #include <ostream>
+
+#include "perf/metrics.hpp"
 
 namespace paxsim::harness {
 
@@ -157,6 +160,71 @@ void print_check_report_json(std::ostream& os, const check::CheckReport& r) {
     os << "\"}";
   }
   os << "]}\n";
+}
+
+void print_prediction(std::ostream& os, const std::string& label,
+                      const model::Prediction& p, bool csv) {
+  if (csv) {
+    os << label << ",wall_cycles," << p.wall_cycles << '\n';
+    os << label << ",speedup," << p.speedup << '\n';
+    for (int m = 0; m < perf::kMetricCount; ++m) {
+      os << label << ',' << perf::metric_name(m) << ','
+         << perf::metric_value(p.metrics, m) << '\n';
+    }
+    return;
+  }
+  os << label << ": " << static_cast<std::uint64_t>(p.wall_cycles)
+     << " cycles (predicted), speedup=" << p.speedup << '\n';
+  os << "  cpi=" << p.metrics.cpi
+     << " stalled=" << p.metrics.stalled_fraction
+     << " l1_miss=" << p.metrics.l1d_miss_rate
+     << " l2_miss=" << p.metrics.l2_miss_rate
+     << " bp_rate=" << p.metrics.branch_prediction_rate
+     << " prefetch_share=" << p.metrics.prefetch_bus_fraction << '\n';
+}
+
+void print_prediction_json(std::ostream& os, const std::string& bench,
+                           const std::string& config,
+                           const model::Prediction& p) {
+  os << "{\"bench\":\"";
+  json_escape(os, bench);
+  os << "\",\"config\":\"";
+  json_escape(os, config);
+  os << "\",\"wall_cycles\":" << p.wall_cycles
+     << ",\"serial_wall_cycles\":" << p.serial_wall_cycles
+     << ",\"speedup\":" << p.speedup << ",\"cycles\":" << p.cycles
+     << ",\"instructions\":" << p.instructions << ",\"metrics\":{";
+  for (int m = 0; m < perf::kMetricCount; ++m) {
+    if (m != 0) os << ',';
+    os << '"' << perf::metric_name(m)
+       << "\":" << perf::metric_value(p.metrics, m);
+  }
+  os << "},\"l1d_misses\":" << p.l1d_misses
+     << ",\"l2_misses\":" << p.l2_misses << ",\"tc_misses\":" << p.tc_misses
+     << ",\"dtlb_misses\":" << p.dtlb_misses
+     << ",\"bus_reads\":" << p.bus_reads << ",\"bus_writes\":" << p.bus_writes
+     << ",\"bus_prefetches\":" << p.bus_prefetches
+     << ",\"coherence_transfers\":" << p.coherence_transfers
+     << ",\"mc_utilization\":" << p.mc_utilization << "}\n";
+}
+
+Table prediction_error_table(const model::Prediction& p, const RunResult& sim,
+                             double sim_speedup) {
+  Table t("prediction vs simulation",
+          {"predicted", "simulated", "rel_error"});
+  const auto rel = [](double pred, double measured) {
+    return measured != 0 ? (pred - measured) / measured : 0.0;
+  };
+  const auto row = [&](const std::string& name, double pred, double measured) {
+    t.add_row(name, {pred, measured, rel(pred, measured)});
+  };
+  row("wall_cycles", p.wall_cycles, sim.wall_cycles);
+  row("speedup", p.speedup, sim_speedup);
+  for (int m = 0; m < perf::kMetricCount; ++m) {
+    row(std::string(perf::metric_name(m)), perf::metric_value(p.metrics, m),
+        perf::metric_value(sim.metrics, m));
+  }
+  return t;
 }
 
 }  // namespace paxsim::harness

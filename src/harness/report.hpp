@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "check/report.hpp"
+#include "harness/runner.hpp"
 #include "harness/stats.hpp"
+#include "model/predict.hpp"
 
 namespace paxsim::harness {
 
@@ -54,5 +56,24 @@ void print_check_report(std::ostream& os, const check::CheckReport& r);
 /// One JSON object (single line) with the same content, machine-readable —
 /// the check-mode counterpart of print_csv.
 void print_check_report_json(std::ostream& os, const check::CheckReport& r);
+
+/// Renders an analytical prediction in the same schema the run emitters use
+/// for a simulated result (wall cycles + the Figure-2 metric bundle), so
+/// `--predict` output lines up column-for-column with `run` output.
+void print_prediction(std::ostream& os, const std::string& label,
+                      const model::Prediction& p, bool csv);
+
+/// One JSON object (single line) with the prediction's metrics and backing
+/// event counts — the predict-mode counterpart of print_check_report_json.
+void print_prediction_json(std::ostream& os, const std::string& bench,
+                           const std::string& config,
+                           const model::Prediction& p);
+
+/// Per-metric predicted/simulated/relative-error table for a configuration
+/// where both tiers ran (`predict --compare`).  @p sim_speedup is the
+/// simulated serial wall over @p sim's wall.
+[[nodiscard]] Table prediction_error_table(const model::Prediction& p,
+                                           const RunResult& sim,
+                                           double sim_speedup);
 
 }  // namespace paxsim::harness

@@ -112,6 +112,69 @@ RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
   return run_single(bench, serial_config(), opt, seed);
 }
 
+ProfiledRun run_profiled_serial(npb::Benchmark bench, const RunOptions& opt,
+                                std::uint64_t seed) {
+  sim::MachineParams params = opt.machine_params();
+  params.profile = true;
+  sim::Machine machine(params);
+  machine.reset();
+  // Like the checker, the profiler must attach before the Team exists: the
+  // Team's constructor reports its runtime-internal line ranges.
+  model::Profiler profiler(machine);
+  const StudyConfig& cfg = serial_config();
+  auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
+  apply_smt_activity(machine, cfg.cpus);
+  const auto host_t0 = std::chrono::steady_clock::now();
+  while (!prog->done()) {
+    prog->kernel->step(*prog->team, prog->steps_done);
+    ++prog->steps_done;
+  }
+  prog->finish_time = prog->team->wall_time();
+  const auto host_t1 = std::chrono::steady_clock::now();
+
+  ProfiledRun out;
+  out.result = finish_result(*prog, opt.verify);
+  out.result.host_sim_sec =
+      std::chrono::duration<double>(host_t1 - host_t0).count();
+  if (opt.verify && !out.result.verified) {
+    throw std::runtime_error(std::string("verification failed: ") +
+                             std::string(prog->kernel->name()) +
+                             " on profiled Serial");
+  }
+  out.profile = profiler.finish();
+
+  // The profiling run doubles as the model's per-kernel calibration point.
+  using perf::Event;
+  const perf::CounterSet& c = out.result.counters;
+  auto& a = out.profile.anchor;
+  a.valid = true;
+  a.wall_cycles = out.result.wall_cycles;
+  a.cycles = static_cast<double>(c.get(Event::kCycles));
+  a.instructions = static_cast<double>(c.get(Event::kInstructions));
+  a.l1d_refs = static_cast<double>(c.get(Event::kL1dReferences));
+  a.l1d_misses = static_cast<double>(c.get(Event::kL1dMisses));
+  a.l2_refs = static_cast<double>(c.get(Event::kL2References));
+  a.l2_misses = static_cast<double>(c.get(Event::kL2Misses));
+  a.tc_refs = static_cast<double>(c.get(Event::kTraceCacheReferences));
+  a.tc_misses = static_cast<double>(c.get(Event::kTraceCacheMisses));
+  a.itlb_refs = static_cast<double>(c.get(Event::kItlbReferences));
+  a.itlb_misses = static_cast<double>(c.get(Event::kItlbMisses));
+  a.dtlb_misses = static_cast<double>(c.get(Event::kDtlbLoadMisses) +
+                                      c.get(Event::kDtlbStoreMisses));
+  a.branches = static_cast<double>(c.get(Event::kBranches));
+  a.mispredicts = static_cast<double>(c.get(Event::kBranchMispredicts));
+  a.bus_reads = static_cast<double>(c.get(Event::kBusReads));
+  a.bus_writes = static_cast<double>(c.get(Event::kBusWrites));
+  a.bus_prefetches = static_cast<double>(c.get(Event::kBusPrefetches));
+  a.prefetches_issued = static_cast<double>(c.get(Event::kPrefetchesIssued));
+  a.prefetches_useful = static_cast<double>(c.get(Event::kPrefetchesUseful));
+  a.stall_mem = static_cast<double>(c.get(Event::kStallCyclesMemory));
+  a.stall_branch = static_cast<double>(c.get(Event::kStallCyclesBranch));
+  a.stall_tlb = static_cast<double>(c.get(Event::kStallCyclesTlb));
+  a.stall_fe = static_cast<double>(c.get(Event::kStallCyclesFrontend));
+  return out;
+}
+
 PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
                     const RunOptions& opt, std::uint64_t seed) {
   sim::Machine machine(opt.machine_params());

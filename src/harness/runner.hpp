@@ -17,6 +17,7 @@
 #include "check/report.hpp"
 #include "harness/config.hpp"
 #include "harness/stats.hpp"
+#include "model/profile.hpp"
 #include "npb/kernel.hpp"
 #include "perf/counters.hpp"
 #include "perf/metrics.hpp"
@@ -102,6 +103,20 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
 /// the callers; computed with run_single on the Serial config).
 RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
                      std::uint64_t seed);
+
+/// Outcome of a profiled serial run — paxmodel's input.
+struct ProfiledRun {
+  RunResult result;              ///< the serial run itself (measured)
+  model::KernelProfile profile;  ///< reuse/sharing summary, anchor filled
+};
+
+/// Runs @p bench once on the Serial configuration with
+/// MachineParams::profile enabled and a model::Profiler attached, then
+/// fills profile.anchor from the run's own counters.  The run routes
+/// through the reference path but its counters and wall time are
+/// bit-identical to an unprofiled serial run (test-enforced).
+ProfiledRun run_profiled_serial(npb::Benchmark bench, const RunOptions& opt,
+                                std::uint64_t seed);
 
 /// Mean speedup (serial wall / config wall) over opt.trials trials,
 /// with the per-trial serial baseline sharing the trial's seed.

@@ -1,0 +1,206 @@
+#include "model/reuse.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace paxsim::model {
+
+// ---------------------------------------------------------------------------
+// StackDistanceTracker
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kInitialCap = 1024;
+}  // namespace
+
+void StackDistanceTracker::fen_add(std::uint32_t slot, int delta) noexcept {
+  for (std::uint32_t i = slot + 1; i <= cap_; i += i & (~i + 1)) {
+    fen_[i] = static_cast<std::uint32_t>(static_cast<int>(fen_[i]) + delta);
+  }
+}
+
+std::uint64_t StackDistanceTracker::fen_prefix(
+    std::uint32_t slot) const noexcept {
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = slot + 1; i > 0; i -= i & (~i + 1)) sum += fen_[i];
+  return sum;
+}
+
+std::uint64_t StackDistanceTracker::live_after(
+    std::uint32_t t) const noexcept {
+  // All live slots minus those at or before t (t itself is live).
+  return static_cast<std::uint64_t>(last_.size()) - fen_prefix(t);
+}
+
+void StackDistanceTracker::compact_or_grow() {
+  const std::uint32_t live = static_cast<std::uint32_t>(last_.size());
+  if (cap_ == 0) {
+    cap_ = kInitialCap;
+    fen_.assign(cap_ + 1, 0);
+    return;
+  }
+  if (live * 2 <= cap_) {
+    // Renumber the live slots in recency order, dropping the dead ones.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
+    order.reserve(live);
+    for (const auto& [key, slot] : last_) order.emplace_back(slot, key);
+    std::sort(order.begin(), order.end());
+    fen_.assign(cap_ + 1, 0);
+    std::uint32_t next = 0;
+    for (const auto& [slot, key] : order) {
+      last_[key] = next;
+      fen_add(next, +1);
+      ++next;
+    }
+    time_ = next;
+    return;
+  }
+  // Mostly-live tree: double the slot space instead (keeps amortized O(1)
+  // slot assignment even for scans that never reuse).
+  cap_ *= 2;
+  fen_.assign(cap_ + 1, 0);
+  for (const auto& [key, slot] : last_) {
+    (void)key;
+    fen_add(slot, +1);
+  }
+}
+
+std::uint64_t StackDistanceTracker::access(std::uint64_t key) {
+  if (time_ == cap_) compact_or_grow();
+  std::uint64_t distance = kCold;
+  const auto it = last_.find(key);
+  if (it != last_.end()) {
+    distance = live_after(it->second);
+    fen_add(it->second, -1);
+    it->second = time_;
+    fen_add(time_, +1);
+  } else {
+    last_.emplace(key, time_);
+    fen_add(time_, +1);
+  }
+  ++time_;
+  return distance;
+}
+
+std::uint64_t StackDistanceTracker::peek(std::uint64_t key) const {
+  const auto it = last_.find(key);
+  if (it == last_.end()) return kCold;
+  return live_after(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// ReuseHistogram
+// ---------------------------------------------------------------------------
+
+std::size_t ReuseHistogram::bucket_index(std::uint64_t d) noexcept {
+  if (d < kExact) return static_cast<std::size_t>(d);
+  const int octave = std::bit_width(d) - 1;  // >= 6
+  const std::uint64_t sub = (d >> (octave - 3)) & (kSub - 1);
+  return kExact + static_cast<std::size_t>(octave - 6) * kSub +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t ReuseHistogram::bucket_lo(std::size_t i) noexcept {
+  if (i < kExact) return i;
+  const std::size_t octave = 6 + (i - kExact) / kSub;
+  const std::size_t sub = (i - kExact) % kSub;
+  return (std::uint64_t{1} << octave) +
+         static_cast<std::uint64_t>(sub) * (std::uint64_t{1} << (octave - 3));
+}
+
+std::uint64_t ReuseHistogram::bucket_hi(std::size_t i) noexcept {
+  if (i < kExact) return i + 1;
+  const std::size_t octave = 6 + (i - kExact) / kSub;
+  return bucket_lo(i) + (std::uint64_t{1} << (octave - 3));
+}
+
+void ReuseHistogram::add(std::uint64_t distance, std::uint64_t weight) {
+  const std::size_t idx = bucket_index(distance);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += weight;
+  finite_ += weight;
+}
+
+void ReuseHistogram::merge(const ReuseHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  finite_ += other.finite_;
+  cold_ += other.cold_;
+}
+
+double ReuseHistogram::hit_probability(double distance, std::size_t sets,
+                                       std::size_t ways) {
+  if (ways == 0 || sets == 0) return 0.0;
+  if (distance < static_cast<double>(ways)) return 1.0;  // cannot be evicted
+  // The distance-many distinct intervening lines scatter uniformly over the
+  // sets; the access hits iff fewer than `ways` landed in its own set.
+  // Binomial(distance, 1/sets) ~= Poisson(distance/sets).
+  const double lambda = distance / static_cast<double>(sets);
+  double term = std::exp(-lambda);  // underflows to 0 for hopeless lambdas
+  if (term == 0.0) return 0.0;
+  double cdf = term;
+  for (std::size_t j = 1; j < ways; ++j) {
+    term *= lambda / static_cast<double>(j);
+    cdf += term;
+  }
+  return std::min(1.0, cdf);
+}
+
+double ReuseHistogram::expected_hits(std::size_t sets,
+                                     std::size_t ways) const {
+  double hits = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double mid = 0.5 * (static_cast<double>(bucket_lo(i)) +
+                              static_cast<double>(bucket_hi(i) - 1));
+    hits += static_cast<double>(counts_[i]) * hit_probability(mid, sets, ways);
+  }
+  return hits;
+}
+
+double ReuseHistogram::fraction_below(double capacity) const {
+  if (total() == 0) return 0.0;
+  double below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo = static_cast<double>(bucket_lo(i));
+    const double hi = static_cast<double>(bucket_hi(i));
+    if (capacity >= hi) {
+      below += static_cast<double>(counts_[i]);
+    } else if (capacity > lo) {
+      below += static_cast<double>(counts_[i]) * (capacity - lo) / (hi - lo);
+    }
+  }
+  return below / static_cast<double>(total());
+}
+
+MissSplit miss_split(const ReuseHistogram& h, std::size_t sets,
+                     std::size_t ways) {
+  MissSplit out;
+  out.cold = static_cast<double>(h.cold());
+  const double capacity_lines =
+      static_cast<double>(sets) * static_cast<double>(ways);
+  const auto& counts = h.buckets();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double mid =
+        0.5 * (static_cast<double>(ReuseHistogram::bucket_lo(i)) +
+               static_cast<double>(ReuseHistogram::bucket_hi(i) - 1));
+    const double p = ReuseHistogram::hit_probability(mid, sets, ways);
+    const double n = static_cast<double>(counts[i]);
+    out.hits += n * p;
+    if (mid >= capacity_lines) {
+      out.capacity += n * (1.0 - p);
+    } else {
+      out.conflict += n * (1.0 - p);
+    }
+  }
+  return out;
+}
+
+}  // namespace paxsim::model

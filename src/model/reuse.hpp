@@ -1,0 +1,131 @@
+// paxsim/model/reuse.hpp
+//
+// Reuse-distance machinery for paxmodel, the analytical predictor:
+//
+//   * StackDistanceTracker — Mattson's LRU stack algorithm in Olken's
+//     O(log n) formulation: a hash map from key to its most recent
+//     timestamp plus a Fenwick tree over timestamps marking which are live
+//     (most recent for their key).  The reuse distance of an access is the
+//     number of *distinct* other keys touched since the previous access to
+//     the same key — exactly the LRU stack depth minus one, so an LRU cache
+//     of capacity C hits iff distance < C.
+//
+//   * ReuseHistogram — log-linear histogram of reuse distances (exact
+//     buckets below 64, then eight sub-buckets per octave), integrable
+//     against any cache geometry: `expected_hits(sets, ways)` folds each
+//     bucket through a binomial/Poisson set-conflict model, which is what
+//     lets one profiled run predict hit rates for every MachineParams.
+//
+//   * miss_split — the classic cold / capacity / conflict decomposition of
+//     the misses the histogram implies for one geometry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace paxsim::model {
+
+/// Mattson/Olken LRU stack-distance tracker over opaque 64-bit keys
+/// (line indices, page indices, block ids — the caller picks the
+/// granularity by shifting addresses before calling).
+class StackDistanceTracker {
+ public:
+  /// Distance reported for a first-touch (cold) access.
+  static constexpr std::uint64_t kCold = ~std::uint64_t{0};
+
+  /// Records an access to @p key and returns its reuse distance: the number
+  /// of distinct other keys accessed since the previous access to @p key,
+  /// or kCold on first touch.
+  std::uint64_t access(std::uint64_t key);
+
+  /// Reuse distance @p key would observe if accessed now, without recording
+  /// anything.  kCold if never seen.  (Used for neighbour-line stream
+  /// detection.)
+  [[nodiscard]] std::uint64_t peek(std::uint64_t key) const;
+
+  /// Number of distinct keys seen so far.
+  [[nodiscard]] std::size_t distinct() const noexcept { return last_.size(); }
+
+ private:
+  /// Live timestamps strictly greater than slot @p t (0-based).
+  [[nodiscard]] std::uint64_t live_after(std::uint32_t t) const noexcept;
+  void fen_add(std::uint32_t slot, int delta) noexcept;
+  [[nodiscard]] std::uint64_t fen_prefix(std::uint32_t slot) const noexcept;
+  /// Renumbers timestamps (dropping dead slots) or doubles capacity.
+  void compact_or_grow();
+
+  std::unordered_map<std::uint64_t, std::uint32_t> last_;  ///< key -> slot
+  std::vector<std::uint32_t> fen_;  ///< Fenwick tree, 1-based, live markers
+  std::uint32_t cap_ = 0;           ///< slots available before compaction
+  std::uint32_t time_ = 0;          ///< next slot to assign
+};
+
+/// Log-linear reuse-distance histogram.  Distances below kExact get exact
+/// buckets; above, each power-of-two octave is split into kSub sub-buckets,
+/// so integration error stays within ~12% of a bucket's span.
+class ReuseHistogram {
+ public:
+  static constexpr std::uint64_t kExact = 64;
+  static constexpr std::uint64_t kSub = 8;
+
+  void add(std::uint64_t distance, std::uint64_t weight = 1);
+  void add_cold(std::uint64_t weight = 1) { cold_ += weight; }
+  void merge(const ReuseHistogram& other);
+
+  [[nodiscard]] std::uint64_t cold() const noexcept { return cold_; }
+  /// Accesses with a finite distance (re-references).
+  [[nodiscard]] std::uint64_t finite() const noexcept { return finite_; }
+  /// All recorded accesses (finite + cold).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return finite_ + cold_;
+  }
+
+  /// Expected number of recorded accesses that hit an LRU cache of
+  /// @p sets x @p ways entries: stack-distance integration with a Poisson
+  /// set-conflict correction (an access at distance d sees ~Poisson(d/sets)
+  /// intervening lines in its own set and hits iff fewer than `ways`
+  /// arrived).  Cold accesses never hit.
+  [[nodiscard]] double expected_hits(std::size_t sets,
+                                     std::size_t ways) const;
+
+  /// Fraction of all recorded accesses (cold included) whose distance is
+  /// below @p capacity — the fully-associative hit rate at that capacity,
+  /// with linear interpolation inside the straddling bucket.
+  [[nodiscard]] double fraction_below(double capacity) const;
+
+  /// Probability that one access at distance @p distance hits a
+  /// @p sets x @p ways LRU cache (the per-access kernel expected_hits
+  /// integrates).  Exposed for the unit tests.
+  [[nodiscard]] static double hit_probability(double distance,
+                                              std::size_t sets,
+                                              std::size_t ways);
+
+  // Bucket introspection (tests and report emitters).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t d) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i) noexcept;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t finite_ = 0;
+  std::uint64_t cold_ = 0;
+};
+
+/// Cold / capacity / conflict decomposition of a histogram against one
+/// geometry.  hits + cold + capacity + conflict == total().
+struct MissSplit {
+  double hits = 0;      ///< expected set-associative hits
+  double cold = 0;      ///< first-touch misses
+  double capacity = 0;  ///< distance >= sets*ways: even fully-assoc misses
+  double conflict = 0;  ///< distance <  sets*ways but evicted by set conflict
+};
+
+[[nodiscard]] MissSplit miss_split(const ReuseHistogram& h, std::size_t sets,
+                                   std::size_t ways);
+
+}  // namespace paxsim::model

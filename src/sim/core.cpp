@@ -60,7 +60,7 @@ void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
     }
   }
   if (TraceSink* sink = core_->machine_->trace_sink()) {
-    sink->on_fetch(*this, code_addr);
+    sink->on_fetch(*this, code_addr, uops);
   }
 }
 
@@ -110,9 +110,11 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
       predictor_(),
       prefetcher_(p),
-      // Any analysis mode needs the complete access stream, which only the
-      // reference path reports; its state trajectory is bit-identical.
-      fast_path_(p.fast_path && p.check_mode == CheckMode::kOff) {
+      // Any analysis or profiling mode needs the complete access stream,
+      // which only the reference path reports; its state trajectory is
+      // bit-identical.
+      fast_path_(p.fast_path && p.check_mode == CheckMode::kOff &&
+                 !p.profile) {
   refresh_issue_cost();
   for (int i = 0; i < 2; ++i) {
     contexts_[i].core_ = this;
@@ -248,7 +250,7 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
   // Analysis hook: all cache/TLB/coherence state effects are committed, so
   // an attached sink observes the access exactly as it retired.
   if (TraceSink* sink = machine_->trace_sink()) {
-    sink->on_access(ctx, addr, is_store);
+    sink->on_access(ctx, addr, is_store, dep);
   }
   return stall;
 }

@@ -31,12 +31,28 @@ class TraceSink {
 
   /// One committed data access (load or store) by @p ctx at byte address
   /// @p addr.  Called at the end of the reference memory path, after all
-  /// cache/TLB/coherence state effects have been applied.
-  virtual void on_access(const HwContext& ctx, Addr addr, bool is_store) = 0;
+  /// cache/TLB/coherence state effects have been applied.  @p dep is the
+  /// dependence class the program declared for the access (chained loads
+  /// expose their full latency; the reuse profiler bins them separately
+  /// because they are what Hyper-Threading overlaps).
+  virtual void on_access(const HwContext& ctx, Addr addr, bool is_store,
+                         Dep dep) = 0;
 
   /// One front-end fetch of the code block at @p code_addr by @p ctx
-  /// (reference path of exec_block).
-  virtual void on_fetch(const HwContext& ctx, Addr code_addr) = 0;
+  /// (reference path of exec_block).  @p uops is the block's issue width
+  /// in uops — the front-end cost model's unit.
+  virtual void on_fetch(const HwContext& ctx, Addr code_addr,
+                        std::uint32_t uops) = 0;
+
+  /// A work-sharing loop over [@p begin, @p end) is about to be dispatched
+  /// by the xomp runtime on @p ctx's team; @p body identifies the loop
+  /// body's code block.  Fired once per dynamic loop instance (including
+  /// single-thread teams), before any iteration executes.  Default no-op so
+  /// existing sinks need not care.
+  virtual void on_loop(const HwContext& ctx, BlockId body, std::size_t begin,
+                       std::size_t end) {
+    (void)ctx; (void)body; (void)begin; (void)end;
+  }
 
   /// Team lifecycle events from the xomp runtime.  @p members lists the
   /// hardware contexts currently executing the team's threads, in rank

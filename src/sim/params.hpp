@@ -170,6 +170,13 @@ struct MachineParams {
   /// without perturbing what they measure.
   CheckMode check_mode = CheckMode::kOff;
 
+  /// Opt-in reuse-profile collection (src/model/).  Like check_mode, any
+  /// profiled run executes on the reference path so the attached
+  /// model::Profiler sees the complete access/fetch stream; the state
+  /// trajectory — and therefore every counter — is bit-identical to an
+  /// unprofiled run (test-enforced).  Off by default and free when off.
+  bool profile = false;
+
   /// Returns a copy with all capacity-like quantities divided by @p factor
   /// (latencies, bandwidth-per-cycle and issue parameters untouched).
   /// Associativities are preserved; entry counts are floored at the

@@ -92,6 +92,12 @@ void Team::notify_team(sim::TraceSink::TeamEvent ev) {
   sink->on_team(ev, this, members_scratch_.data(), members_scratch_.size());
 }
 
+void Team::notify_loop(sim::BlockId body, std::size_t begin, std::size_t end) {
+  if (sim::TraceSink* sink = machine_->trace_sink()) {
+    sink->on_loop(*ctxs_[0], body, begin, end);
+  }
+}
+
 void Team::sync_acquire(sim::HwContext& ctx, sim::Addr addr) {
   if (sim::TraceSink* sink = machine_->trace_sink()) {
     sink->on_sync(sim::TraceSink::SyncOp::kAcquire, ctx, addr);

@@ -224,6 +224,7 @@ class Team {
   // Analysis-sink notifications (no-ops while no TraceSink is attached).
   // Out of line so the templates above stay free of sink plumbing.
   void notify_team(sim::TraceSink::TeamEvent ev);
+  void notify_loop(sim::BlockId body, std::size_t begin, std::size_t end);
   void sync_acquire(sim::HwContext& ctx, sim::Addr addr);
   void sync_release(sim::HwContext& ctx, sim::Addr addr);
   void sync_combine(sim::HwContext& ctx, sim::Addr addr);
@@ -232,6 +233,7 @@ class Team {
   template <typename Body>
   void run_loop(std::size_t begin, std::size_t end, Schedule sched,
                 CodeBlock body_block, Body&& body) {
+    notify_loop(body_block.id, begin, end);
     const int nt = size();
     if (nt == 1) {
       serial_for(begin, end, body_block, [&](std::size_t i, sim::HwContext& c) {

@@ -79,6 +79,30 @@ TEST(CliParseTest, RejectsUnknownValues) {
           .ok());
 }
 
+TEST(CliParseTest, PredictParsesFlagsAndRequiresOneBench) {
+  const auto r = P({"predict", "--bench=CG", "--config=HT on -8-2",
+                    "--class=S", "--compare", "--csv"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.command->kind, Command::Kind::kPredict);
+  ASSERT_EQ(r.command->benches.size(), 1u);
+  EXPECT_EQ(r.command->benches[0], npb::Benchmark::kCG);
+  EXPECT_TRUE(r.command->compare);
+  EXPECT_TRUE(r.command->csv);
+
+  EXPECT_FALSE(r.command->profile);  // predict never sets the run flag
+  EXPECT_FALSE(P({"predict", "--config=HT on -8-2"}).ok());
+  EXPECT_FALSE(P({"predict", "--bench=CG,FT", "--config=HT on -8-2"}).ok());
+}
+
+TEST(CliParseTest, RunAcceptsProfileFlag) {
+  const auto r =
+      P({"run", "--bench=IS", "--config=Serial", "--class=S", "--profile"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.command->profile);
+  EXPECT_FALSE(
+      P({"run", "--bench=CG", "--config=Serial"}).command->profile);
+}
+
 TEST(CliParseTest, SchedAcceptsEveryShippedPolicy) {
   for (const char* p : {"pinned-spread", "naive-pack", "random-migrating",
                         "ht-aware", "symbiotic"}) {
@@ -174,6 +198,55 @@ TEST(CliExecTest, TimelineCsv) {
                     out),
             0);
   EXPECT_NE(out.find("0,cpi,"), std::string::npos);
+}
+
+TEST(CliExecTest, PredictReportsPredictionAndProfileCost) {
+  std::string out;
+  EXPECT_EQ(run_cli({"predict", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S"},
+                    out),
+            0);
+  EXPECT_NE(out.find("EP@HT off -2-1"), std::string::npos);
+  EXPECT_NE(out.find("(predicted), speedup="), std::string::npos);
+  EXPECT_NE(out.find("profile: collected"), std::string::npos);
+}
+
+TEST(CliExecTest, PredictCsvEmitsJson) {
+  std::string out;
+  EXPECT_EQ(run_cli({"predict", "--bench=EP", "--config=Serial",
+                     "--class=S", "--csv"},
+                    out),
+            0);
+  EXPECT_NE(out.find("{\"bench\":\"EP\""), std::string::npos);
+  EXPECT_NE(out.find("\"speedup\":"), std::string::npos);
+}
+
+TEST(CliExecTest, PredictCompareShowsErrorTable) {
+  std::string out;
+  EXPECT_EQ(run_cli({"predict", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S", "--compare"},
+                    out),
+            0);
+  EXPECT_NE(out.find("prediction vs simulation"), std::string::npos);
+  EXPECT_NE(out.find("rel_error"), std::string::npos);
+  EXPECT_NE(out.find("x faster"), std::string::npos);
+}
+
+TEST(CliExecTest, RunProfilePrintsSummaryAndRequiresSerial) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=Serial", "--class=S",
+                     "--profile"},
+                    out),
+            0);
+  EXPECT_NE(out.find("profile:"), std::string::npos);
+  EXPECT_NE(out.find("barriers"), std::string::npos);
+
+  std::string err_out;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S", "--profile"},
+                    err_out),
+            1);
+  EXPECT_NE(err_out.find("--profile"), std::string::npos);
 }
 
 TEST(CliExecTest, HelpPrintsUsage) {

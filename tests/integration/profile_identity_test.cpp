@@ -1,0 +1,67 @@
+// Observer-effect proof for the profiling pass: attaching the model
+// profiler (MachineParams::profile = true + a model::Profiler sink, which
+// forces the reference path) must not change a single counter or the wall
+// time of any benchmark's serial run relative to the default fast-path run.
+// This is what makes the profiled run's own counters usable as the model's
+// measured anchor.
+#include <gtest/gtest.h>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+TEST(ProfileIdentityTest, ProfiledSerialRunIsBitIdentical) {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+
+  for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+    const std::uint64_t seed = opt.trial_seed(0);
+    const RunResult plain = run_serial(bench, opt, seed);
+    const ProfiledRun profiled = run_profiled_serial(bench, opt, seed);
+
+    EXPECT_EQ(plain.counters, profiled.result.counters)
+        << npb::benchmark_name(bench)
+        << ": profiling perturbed the counter table";
+    EXPECT_EQ(plain.wall_cycles, profiled.result.wall_cycles)
+        << npb::benchmark_name(bench)
+        << ": profiling perturbed the wall time (must be exact)";
+
+    // The anchor is those same counters, verbatim.
+    EXPECT_TRUE(profiled.profile.anchor.valid);
+    EXPECT_EQ(profiled.profile.anchor.wall_cycles, plain.wall_cycles)
+        << npb::benchmark_name(bench);
+  }
+}
+
+TEST(ProfileIdentityTest, ProfileFlagAloneDoesNotPerturb) {
+  // MachineParams::profile routes through the reference path even with no
+  // sink attached (the --profile plumbing with profiling compiled out of
+  // the run); counters and wall must still match the fast path exactly.
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+
+  sim::MachineParams profiled_params = opt.machine_params();
+  profiled_params.profile = true;
+  sim::Machine profiled_machine(profiled_params);
+
+  const StudyConfig* serial_cfg = find_config("Serial");
+  ASSERT_NE(serial_cfg, nullptr);
+  const std::uint64_t seed = opt.trial_seed(0);
+  for (const npb::Benchmark bench :
+       {npb::Benchmark::kCG, npb::Benchmark::kIS, npb::Benchmark::kLU}) {
+    const RunResult plain = run_serial(bench, opt, seed);
+    const RunResult hooked =
+        run_single(profiled_machine, bench, *serial_cfg, opt, seed);
+    EXPECT_EQ(plain.counters, hooked.counters) << npb::benchmark_name(bench);
+    EXPECT_EQ(plain.wall_cycles, hooked.wall_cycles)
+        << npb::benchmark_name(bench);
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness
