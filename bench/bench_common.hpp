@@ -11,10 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/config.hpp"
-#include "harness/engine.hpp"
-#include "harness/runner.hpp"
-#include "npb/kernel.hpp"
+#include "paxsim.hpp"
 
 namespace paxsim::bench {
 

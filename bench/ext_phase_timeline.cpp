@@ -6,8 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
-#include "perf/timeline.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -15,9 +15,7 @@
 #include <memory>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
-#include "harness/sched_runner.hpp"
-#include "sched/scheduler.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -7,8 +7,7 @@
 #include <map>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
-#include "perf/metrics.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

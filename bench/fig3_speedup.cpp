@@ -5,9 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "harness/plot.hpp"
-#include "harness/report.hpp"
-#include "perf/metrics.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -8,8 +8,7 @@
 #include <iterator>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
-#include "perf/metrics.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -10,8 +10,7 @@
 #include <map>
 
 #include "bench/bench_common.hpp"
-#include "harness/plot.hpp"
-#include "harness/report.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -30,7 +30,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
-#include "sim/machine.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

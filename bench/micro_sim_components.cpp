@@ -7,9 +7,8 @@
 
 #include <random>
 
-#include "perf/counters.hpp"
+#include "paxsim.hpp"
 #include "sim/cache.hpp"
-#include "sim/machine.hpp"
 #include "sim/tlb.hpp"
 
 using namespace paxsim;

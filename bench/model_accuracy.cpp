@@ -13,8 +13,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
-#include "model/predict.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -4,7 +4,7 @@
 // calibrated machine.
 #include <cstdio>
 
-#include "lmb/lmbench.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "harness/report.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

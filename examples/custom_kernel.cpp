@@ -13,11 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness/config.hpp"
-#include "npb/array.hpp"
-#include "perf/metrics.hpp"
-#include "sim/machine.hpp"
-#include "xomp/team.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

@@ -16,9 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/config.hpp"
-#include "harness/runner.hpp"
-#include "npb/kernel.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 
@@ -41,10 +39,11 @@ int main(int argc, char** argv) {
   std::printf("pairing study on %s (class %s)\n\n", config_name,
               std::string(npb::class_name(opt.cls)).c_str());
 
-  // Solo baselines.
+  // Solo baselines (pooled machines, memoized cells).
+  harness::ExperimentEngine engine;
   std::map<npb::Benchmark, double> solo;
   for (const npb::Benchmark b : cands) {
-    solo[b] = harness::run_serial(b, opt, seed).wall_cycles;
+    solo[b] = engine.serial(b, opt, seed).wall_cycles;
   }
 
   // All ordered pairings; report each program's slowdown vs serial.
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
   for (const npb::Benchmark a : cands) {
     std::printf("%-6s", std::string(npb::benchmark_name(a)).c_str());
     for (const npb::Benchmark b : cands) {
-      const harness::PairResult r = harness::run_pair(a, b, *cfg, opt, seed);
+      const harness::PairResult r = engine.pair(a, b, *cfg, opt, seed);
       const double speedup = solo[a] / r.program[0].wall_cycles;
       std::printf("%12.2f", speedup);
       auto it = best.find(a);

@@ -8,11 +8,7 @@
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
-#include "harness/config.hpp"
-#include "harness/runner.hpp"
-#include "lmb/lmbench.hpp"
-#include "npb/kernel.hpp"
-#include "perf/metrics.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 
@@ -39,9 +35,10 @@ int main() {
   opt.trials = 1;
 
   const std::uint64_t seed = opt.trial_seed(0);
-  const auto serial = harness::run_serial(npb::Benchmark::kCG, opt, seed);
+  harness::ExperimentEngine engine;
+  const auto serial = engine.serial(npb::Benchmark::kCG, opt, seed);
   const harness::StudyConfig* cmt = harness::find_config("HT on -4-1");
-  const auto par = harness::run_single(npb::Benchmark::kCG, *cmt, opt, seed);
+  const auto par = engine.single(npb::Benchmark::kCG, *cmt, opt, seed);
 
   std::printf("CG class A: serial %.0f cycles, %s %.0f cycles -> speedup %.2f\n",
               serial.wall_cycles, std::string(cmt->name).c_str(),

@@ -14,11 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/config.hpp"
-#include "npb/array.hpp"
-#include "npb/rng.hpp"
-#include "sim/machine.hpp"
-#include "xomp/team.hpp"
+#include "paxsim.hpp"
 
 using namespace paxsim;
 

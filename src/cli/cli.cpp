@@ -1,16 +1,12 @@
 #include "cli/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
 
-#include "harness/engine.hpp"
-#include "harness/report.hpp"
-#include "lmb/lmbench.hpp"
-#include "perf/metrics.hpp"
-#include "perf/timeline.hpp"
-#include "sched/scheduler.hpp"
+#include "paxsim.hpp"
 
 namespace paxsim::cli {
 namespace {
@@ -126,6 +122,8 @@ std::string usage() {
       "  timeline --bench=CG --config=\"HT on -8-2\"  per-step metric deltas\n"
       "  predict --bench=CG --config=\"HT on -8-2\"   analytical prediction from\n"
       "                                            one profiled serial run\n"
+      "  trace --bench=CG --config=\"HT on -8-2\"     traced run: per-context and\n"
+      "                                            per-region CPI stall stacks\n"
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
       "              --check=off|race|invariants|full (run/pair: attach the\n"
@@ -135,6 +133,12 @@ std::string usage() {
       "                         a per-metric relative-error table)\n"
       "              --profile=on|off (run, Serial config only: collect the\n"
       "                         paxmodel reuse profile and print its summary)\n"
+      "              --trace=off|stacks|events|full (trace: recording depth;\n"
+      "                         default stacks; events/full feed --trace-out)\n"
+      "              --trace-out=FILE (trace: write a Chrome-tracing /\n"
+      "                         Perfetto JSON timeline; implies --trace=full)\n"
+      "              --regions / --stacks (trace: print only the per-region /\n"
+      "                         per-context table; default prints both)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
       "              --grain=N (iterations per scheduling turn; default 1;\n"
       "                         N>1 is faster but changes the interleaving)\n"
@@ -161,6 +165,8 @@ ParseResult parse(const std::vector<std::string>& args) {
     cmd.kind = Command::Kind::kTimeline;
   } else if (sub == "predict") {
     cmd.kind = Command::Kind::kPredict;
+  } else if (sub == "trace") {
+    cmd.kind = Command::Kind::kTrace;
   } else if (sub == "lmbench") {
     cmd.kind = Command::Kind::kLmbench;
   } else if (sub == "help" || sub == "--help" || sub == "-h") {
@@ -215,6 +221,22 @@ ParseResult parse(const std::vector<std::string>& args) {
                     "' (use off, race, invariants or full)";
         return res;
       }
+    } else if (key == "trace") {
+      if (!sim::parse_trace_mode(value.c_str(), cmd.options.trace_mode)) {
+        res.error = "bad --trace '" + value +
+                    "' (use off, stacks, events or full)";
+        return res;
+      }
+    } else if (key == "trace-out") {
+      if (value.empty()) {
+        res.error = "bad --trace-out (need a file name)";
+        return res;
+      }
+      cmd.trace_out = value;
+    } else if (key == "regions") {
+      cmd.regions = true;
+    } else if (key == "stacks") {
+      cmd.stacks = true;
     } else if (key == "policy") {
       cmd.policy = value;
     } else if (key == "csv") {
@@ -254,6 +276,12 @@ ParseResult parse(const std::vector<std::string>& args) {
     case Command::Kind::kPredict:
       need(cmd.benches.size() == 1, "predict needs --bench=<one benchmark>");
       need(!cmd.config_name.empty(), "predict needs --config=<name>");
+      break;
+    case Command::Kind::kTrace:
+      need(cmd.benches.size() == 1, "trace needs --bench=<one benchmark>");
+      need(!cmd.config_name.empty(), "trace needs --config=<name>");
+      need(cmd.options.check_mode == sim::CheckMode::kOff,
+           "trace and --check are mutually exclusive (one sink per machine)");
       break;
     case Command::Kind::kPair:
     case Command::Kind::kSched:
@@ -440,6 +468,53 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
                 << " stalled=" << m.stalled_fraction
                 << " l2_miss=" << m.l2_miss_rate
                 << " prefetch_share=" << m.prefetch_bus_fraction << '\n';
+          }
+        }
+        return 0;
+      }
+      case Command::Kind::kTrace: {
+        const auto* cfg = harness::find_config(cmd.config_name);
+        harness::RunOptions opt = cmd.options;
+        // The Chrome export needs the event stream; the stack tables need
+        // only the accountant.  engine.trace() substitutes kStacks for kOff.
+        if (!cmd.trace_out.empty() &&
+            opt.trace_mode != sim::TraceMode::kEvents &&
+            opt.trace_mode != sim::TraceMode::kFull) {
+          opt.trace_mode = sim::TraceMode::kFull;
+        }
+        const auto seed = opt.trial_seed(0);
+        harness::ExperimentEngine engine(cmd.jobs);
+        const auto tr = engine.trace(cmd.benches[0], *cfg, opt, seed);
+        const std::string bench_name(npb::benchmark_name(cmd.benches[0]));
+        if (cmd.csv) {
+          harness::print_trace_report_json(out, bench_name, cmd.config_name,
+                                           tr.trace);
+        } else {
+          print_result(out, bench_name + "@" + cmd.config_name, tr.run,
+                       false);
+          // --stacks / --regions narrow the output; default prints both.
+          const bool want_stacks = cmd.stacks || !cmd.regions;
+          const bool want_regions = cmd.regions || !cmd.stacks;
+          out << "trace: mode=" << sim::trace_mode_name(tr.trace.mode)
+              << ", " << tr.trace.team_forks << " forks, "
+              << tr.trace.loop_dispatches << " loop dispatches, "
+              << tr.trace.barriers << " barriers, " << tr.trace.criticals
+              << " critical sections, " << tr.trace.events_recorded
+              << " events (" << tr.trace.events_dropped << " dropped)\n";
+          if (want_stacks) harness::trace_context_table(tr.trace).print(out, 0);
+          if (want_regions) harness::trace_region_table(tr.trace).print(out, 0);
+        }
+        if (!cmd.trace_out.empty()) {
+          std::ofstream f(cmd.trace_out);
+          if (!f) {
+            err << "error: cannot open '" << cmd.trace_out
+                << "' for writing\n";
+            return 1;
+          }
+          trace::write_chrome_trace(f, tr.trace);
+          if (!cmd.csv) {
+            out << "wrote " << cmd.trace_out
+                << " (chrome://tracing / Perfetto)\n";
           }
         }
         return 0;

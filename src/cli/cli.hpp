@@ -11,6 +11,8 @@
 //   paxsim sched --bench=CG,FT --config="HT on -8-2" --policy=symbiotic
 //   paxsim timeline --bench=CG --config="HT on -8-2"
 //   paxsim predict --bench=CG --config="HT on -8-2" [--compare]
+//   paxsim trace --bench=CG --config="HT on -8-2" [--trace=stacks|events|full]
+//                [--trace-out=FILE] [--regions] [--stacks]
 //   paxsim lmbench
 #pragma once
 
@@ -19,15 +21,14 @@
 #include <string>
 #include <vector>
 
-#include "harness/runner.hpp"
-#include "npb/kernel.hpp"
+#include "paxsim.hpp"
 
 namespace paxsim::cli {
 
 /// Parsed command line.
 struct Command {
   enum class Kind {
-    kList, kRun, kPair, kSched, kTimeline, kPredict, kLmbench, kHelp
+    kList, kRun, kPair, kSched, kTimeline, kPredict, kTrace, kLmbench, kHelp
   };
 
   Kind kind = Kind::kHelp;
@@ -40,6 +41,9 @@ struct Command {
   bool baseline = false;                ///< also run + report serial
   bool compare = false;                 ///< predict: also simulate + errors
   bool profile = false;                 ///< run: profiled serial + summary
+  std::string trace_out;                ///< trace: Chrome-tracing JSON file
+  bool regions = false;                 ///< trace: print the region table
+  bool stacks = false;                  ///< trace: print the context stacks
 };
 
 /// Parse result: a command, or an error message for the user.

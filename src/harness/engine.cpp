@@ -38,23 +38,9 @@ std::string params_pool_key(const sim::MachineParams& p) {
   app(static_cast<std::uint64_t>(p.check_mode));
   // Same story for profiled machines (model::Profiler attachment).
   app(p.profile ? 1u : 0u);
+  // And for traced machines (trace::Tracer attachment + region flushes).
+  app(static_cast<std::uint64_t>(p.trace_mode));
   return s;
-}
-
-CellKey single_key(npb::Benchmark b, const StudyConfig& cfg,
-                   const RunOptions& opt, std::uint64_t seed) {
-  return CellKey{CellKey::Kind::kSingle, b,     b,
-                 config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify, opt.grain,
-                 opt.check_mode};
-}
-
-CellKey pair_key(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
-                 const RunOptions& opt, std::uint64_t seed) {
-  return CellKey{CellKey::Kind::kPair,   a,       b,
-                 config_fingerprint(cfg), opt.cls, opt.machine_scale,
-                 seed,                    opt.verify, opt.grain,
-                 opt.check_mode};
 }
 
 /// Memo key for kernel profiles: everything run_profiled_serial's outcome
@@ -76,6 +62,35 @@ std::string profile_key(npb::Benchmark b, const RunOptions& opt,
 }
 
 }  // namespace
+
+// Tripwire for CellKey::from: RunOptions and CellKey must evolve together.
+// When a field is added to RunOptions, the build fails here until (a) the
+// factory below is audited to either project the field into the key or
+// justify its exclusion, and (b) this expected size is updated.  (Guarded to
+// the common LP64 layout; other ABIs rely on the audit having happened.)
+#if defined(__x86_64__) && defined(__LP64__)
+static_assert(sizeof(RunOptions) == 56,
+              "RunOptions changed: audit CellKey::from for the new field, "
+              "then update this expected size");
+#endif
+
+CellKey CellKey::from(Kind kind, npb::Benchmark a, npb::Benchmark b,
+                      const StudyConfig& cfg, const RunOptions& opt,
+                      std::uint64_t seed) {
+  CellKey k;
+  k.kind = kind;
+  k.a = a;
+  k.b = b;
+  k.config = config_fingerprint(cfg);
+  k.cls = opt.cls;
+  k.machine_scale = opt.machine_scale;
+  k.seed = seed;  // per-trial seed; opt.trials/base_seed are plan-level
+  k.verify = opt.verify;
+  k.grain = opt.grain;
+  k.check = opt.check_mode;
+  k.trace = opt.trace_mode;
+  return k;
+}
 
 std::string config_fingerprint(const StudyConfig& cfg) {
   std::string s(cfg.name);
@@ -110,6 +125,7 @@ std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   mix(k.verify ? 1u : 0u);
   mix(static_cast<std::uint64_t>(k.grain));
   mix(static_cast<std::uint64_t>(k.check));
+  mix(static_cast<std::uint64_t>(k.trace));
   return h;
 }
 
@@ -175,22 +191,24 @@ const StudyResult::CellValue& StudyResult::at(const CellKey& key) const {
 const RunResult& StudyResult::single(npb::Benchmark b, std::size_t config_index,
                                      int trial) const {
   const RunOptions& opt = plan_.options();
-  return at(single_key(b, plan_.configs().at(config_index), opt,
-                       opt.trial_seed(trial)))
+  return at(CellKey::from(b, plan_.configs().at(config_index), opt,
+                          opt.trial_seed(trial)))
       .single;
 }
 
 const RunResult& StudyResult::serial(npb::Benchmark b, int trial) const {
   const RunOptions& opt = plan_.options();
-  return at(single_key(b, serial_config(), opt, opt.trial_seed(trial))).single;
+  return at(CellKey::from(b, serial_config(), opt, opt.trial_seed(trial)))
+      .single;
 }
 
 const PairResult& StudyResult::pair(std::size_t pair_index,
                                     std::size_t config_index, int trial) const {
   const RunOptions& opt = plan_.options();
   const auto& pr = plan_.pairs().at(pair_index);
-  return at(pair_key(pr.first, pr.second, plan_.configs().at(config_index), opt,
-                     opt.trial_seed(trial)))
+  return at(CellKey::from(CellKey::Kind::kPair, pr.first, pr.second,
+                          plan_.configs().at(config_index), opt,
+                          opt.trial_seed(trial)))
       .pair;
 }
 
@@ -270,12 +288,12 @@ void ExperimentEngine::enumerate_cells(
     const std::uint64_t seed = opt.trial_seed(t);
     for (const npb::Benchmark b : plan.benchmarks()) {
       for (const StudyConfig& cfg : plan.configs()) {
-        fn(single_key(b, cfg, opt, seed), cfg);
+        fn(CellKey::from(b, cfg, opt, seed), cfg);
       }
     }
     for (const auto& [a, b] : plan.pairs()) {
       for (const StudyConfig& cfg : plan.configs()) {
-        fn(pair_key(a, b, cfg, opt, seed), cfg);
+        fn(CellKey::from(CellKey::Kind::kPair, a, b, cfg, opt, seed), cfg);
       }
     }
     if (plan.serial_baselines()) {
@@ -294,7 +312,7 @@ void ExperimentEngine::enumerate_cells(
         mention(b);
       }
       for (const npb::Benchmark b : mentioned) {
-        fn(single_key(b, serial_config(), opt, seed), serial_config());
+        fn(CellKey::from(b, serial_config(), opt, seed), serial_config());
       }
     }
   }
@@ -445,7 +463,7 @@ PredictionResult ExperimentEngine::predict(npb::Benchmark b,
 
 RunResult ExperimentEngine::single(npb::Benchmark b, const StudyConfig& cfg,
                                    const RunOptions& opt, std::uint64_t seed) {
-  const CellKey key = single_key(b, cfg, opt, seed);
+  const CellKey key = CellKey::from(b, cfg, opt, seed);
   if (const CellValue* hit = lookup(key)) return hit->single;
   MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
   return memoize(key, compute_cell(*lease, key, cfg, opt)).single;
@@ -459,7 +477,7 @@ RunResult ExperimentEngine::serial(npb::Benchmark b, const RunOptions& opt,
 PairResult ExperimentEngine::pair(npb::Benchmark a, npb::Benchmark b,
                                   const StudyConfig& cfg, const RunOptions& opt,
                                   std::uint64_t seed) {
-  const CellKey key = pair_key(a, b, cfg, opt, seed);
+  const CellKey key = CellKey::from(CellKey::Kind::kPair, a, b, cfg, opt, seed);
   if (const CellValue* hit = lookup(key)) return hit->pair;
   MachinePool::Lease lease = pool_for(opt.machine_params()).acquire();
   return memoize(key, compute_cell(*lease, key, cfg, opt)).pair;
@@ -512,6 +530,17 @@ TimelineResult ExperimentEngine::timeline(npb::Benchmark b,
   out.run.metrics = perf::derive_metrics(out.run.counters);
   out.run.verified = !opt.verify || kernel->verify();
   return out;
+}
+
+TraceResult ExperimentEngine::trace(npb::Benchmark b, const StudyConfig& cfg,
+                                    const RunOptions& opt,
+                                    std::uint64_t seed) {
+  RunOptions topt = opt;
+  if (topt.trace_mode == sim::TraceMode::kOff) {
+    topt.trace_mode = sim::TraceMode::kStacks;  // trace() implies tracing
+  }
+  MachinePool::Lease lease = pool_for(topt.machine_params()).acquire();
+  return run_traced(*lease, b, cfg, topt, seed);
 }
 
 void ExperimentEngine::for_each(std::size_t n,

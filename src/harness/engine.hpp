@@ -129,6 +129,24 @@ struct CellKey {
   /// RunOptions::check_mode: checked cells route through the reference path
   /// and carry a CheckReport, so they never alias unchecked ones.
   sim::CheckMode check = sim::CheckMode::kOff;
+  /// RunOptions::trace_mode: traced cells route through the reference path
+  /// and flush at region boundaries (different counter rounding), so they
+  /// never alias untraced ones.
+  sim::TraceMode trace = sim::TraceMode::kOff;
+
+  /// The one place RunOptions is projected onto a cell identity.  Every
+  /// result-relevant RunOptions field must flow through here (trials and
+  /// base_seed are plan-level: the per-trial seed is the @p seed argument);
+  /// a sizeof tripwire in engine.cpp fails the build when RunOptions grows
+  /// a field this factory has not been audited against.
+  [[nodiscard]] static CellKey from(Kind kind, npb::Benchmark a,
+                                    npb::Benchmark b, const StudyConfig& cfg,
+                                    const RunOptions& opt, std::uint64_t seed);
+  /// Single-program shorthand (b == a).
+  [[nodiscard]] static CellKey from(npb::Benchmark b, const StudyConfig& cfg,
+                                    const RunOptions& opt, std::uint64_t seed) {
+    return from(Kind::kSingle, b, b, cfg, opt, seed);
+  }
 
   friend bool operator==(const CellKey&, const CellKey&) = default;
 };
@@ -321,6 +339,13 @@ class ExperimentEngine {
   /// failure; the caller inspects result.run.verified.
   TimelineResult timeline(npb::Benchmark b, const StudyConfig& cfg,
                           const RunOptions& opt, std::uint64_t seed);
+
+  /// Traced run on a pooled machine (run_traced): CPI stall stacks,
+  /// per-region aggregates and ring-buffered events per opt.trace_mode
+  /// (kStacks is substituted when the caller left it kOff).  Not memoized:
+  /// trace reports are not part of the cell table.
+  TraceResult trace(npb::Benchmark b, const StudyConfig& cfg,
+                    const RunOptions& opt, std::uint64_t seed);
 
   /// Host-parallel index map over [0, n) on the engine's worker pool — for
   /// cell shapes the cache cannot key (e.g. scheduler-policy studies).

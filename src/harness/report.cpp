@@ -7,6 +7,8 @@
 #include <ostream>
 
 #include "perf/metrics.hpp"
+#include "report/json.hpp"
+#include "trace/stack.hpp"
 
 namespace paxsim::harness {
 
@@ -86,18 +88,22 @@ void print_access(std::ostream& os, const char* role,
   os.unsetf(std::ios::fixed);
 }
 
-void json_access(std::ostream& os, const check::AccessRecord& a) {
-  os << "{\"tid\":" << a.tid << ",\"cpu\":" << static_cast<int>(a.cpu.flat())
-     << ",\"block\":" << a.block << ",\"vtime\":" << std::fixed
-     << std::setprecision(0) << a.vtime << "}";
-  os.unsetf(std::ios::fixed);
+void json_access(report::Json& j, const check::AccessRecord& a) {
+  j.object()
+      .field("tid", a.tid)
+      .field("cpu", static_cast<int>(a.cpu.flat()))
+      .field("block", static_cast<std::uint64_t>(a.block))
+      .field("vtime", a.vtime)
+      .end();
 }
 
-void json_escape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+void json_cpi_stack(report::Json& j, const trace::CpiStack& s) {
+  j.object();
+  for (std::size_t c = 0; c < trace::kStackCatCount; ++c) {
+    j.field(trace::stack_cat_name(static_cast<trace::StackCat>(c)),
+            s.cycles[c]);
   }
+  j.end();
 }
 
 }  // namespace
@@ -131,35 +137,38 @@ void print_check_report(std::ostream& os, const check::CheckReport& r) {
 }
 
 void print_check_report_json(std::ostream& os, const check::CheckReport& r) {
-  os << "{\"mode\":\"" << sim::check_mode_name(r.mode) << "\""
-     << ",\"clean\":" << (r.clean() ? "true" : "false")
-     << ",\"accesses\":" << r.accesses << ",\"fetches\":" << r.fetches
-     << ",\"syncs\":" << r.syncs << ",\"team_events\":" << r.team_events
-     << ",\"audits\":" << r.audits << ",\"races_total\":" << r.races_total
-     << ",\"racy_words\":" << r.racy_words
-     << ",\"violations_total\":" << r.violations_total
-     << ",\"line_conflicts\":" << r.line_conflicts
-     << ",\"conflicted_lines\":" << r.conflicted_lines << ",\"races\":[";
-  for (std::size_t i = 0; i < r.races.size(); ++i) {
-    const check::RaceRecord& rec = r.races[i];
-    if (i != 0) os << ',';
-    os << "{\"kind\":\"" << check::race_kind_name(rec.kind) << "\",\"addr\":"
-       << rec.addr << ",\"prior\":";
-    json_access(os, rec.prior);
-    os << ",\"current\":";
-    json_access(os, rec.current);
-    os << "}";
+  report::Json j(os);
+  j.begin_document("check")
+      .field("mode", sim::check_mode_name(r.mode))
+      .field("clean", r.clean())
+      .field("accesses", r.accesses)
+      .field("fetches", r.fetches)
+      .field("syncs", r.syncs)
+      .field("team_events", r.team_events)
+      .field("audits", r.audits)
+      .field("races_total", r.races_total)
+      .field("racy_words", r.racy_words)
+      .field("violations_total", r.violations_total)
+      .field("line_conflicts", r.line_conflicts)
+      .field("conflicted_lines", r.conflicted_lines);
+  j.key("races").array();
+  for (const check::RaceRecord& rec : r.races) {
+    j.object()
+        .field("kind", check::race_kind_name(rec.kind))
+        .field("addr", rec.addr);
+    j.key("prior");
+    json_access(j, rec.prior);
+    j.key("current");
+    json_access(j, rec.current);
+    j.end();
   }
-  os << "],\"violations\":[";
-  for (std::size_t i = 0; i < r.violations.size(); ++i) {
-    if (i != 0) os << ',';
-    os << "{\"rule\":\"";
-    json_escape(os, r.violations[i].rule);
-    os << "\",\"detail\":\"";
-    json_escape(os, r.violations[i].detail);
-    os << "\"}";
+  j.end();
+  j.key("violations").array();
+  for (const check::Violation& v : r.violations) {
+    j.object().field("rule", v.rule).field("detail", v.detail).end();
   }
-  os << "]}\n";
+  j.end();
+  j.finish();
 }
 
 void print_prediction(std::ostream& os, const std::string& label,
@@ -186,26 +195,30 @@ void print_prediction(std::ostream& os, const std::string& label,
 void print_prediction_json(std::ostream& os, const std::string& bench,
                            const std::string& config,
                            const model::Prediction& p) {
-  os << "{\"bench\":\"";
-  json_escape(os, bench);
-  os << "\",\"config\":\"";
-  json_escape(os, config);
-  os << "\",\"wall_cycles\":" << p.wall_cycles
-     << ",\"serial_wall_cycles\":" << p.serial_wall_cycles
-     << ",\"speedup\":" << p.speedup << ",\"cycles\":" << p.cycles
-     << ",\"instructions\":" << p.instructions << ",\"metrics\":{";
+  report::Json j(os);
+  j.begin_document("predict")
+      .field("bench", bench)
+      .field("config", config)
+      .field("wall_cycles", p.wall_cycles)
+      .field("serial_wall_cycles", p.serial_wall_cycles)
+      .field("speedup", p.speedup)
+      .field("cycles", p.cycles)
+      .field("instructions", p.instructions);
+  j.key("metrics").object();
   for (int m = 0; m < perf::kMetricCount; ++m) {
-    if (m != 0) os << ',';
-    os << '"' << perf::metric_name(m)
-       << "\":" << perf::metric_value(p.metrics, m);
+    j.field(perf::metric_name(m), perf::metric_value(p.metrics, m));
   }
-  os << "},\"l1d_misses\":" << p.l1d_misses
-     << ",\"l2_misses\":" << p.l2_misses << ",\"tc_misses\":" << p.tc_misses
-     << ",\"dtlb_misses\":" << p.dtlb_misses
-     << ",\"bus_reads\":" << p.bus_reads << ",\"bus_writes\":" << p.bus_writes
-     << ",\"bus_prefetches\":" << p.bus_prefetches
-     << ",\"coherence_transfers\":" << p.coherence_transfers
-     << ",\"mc_utilization\":" << p.mc_utilization << "}\n";
+  j.end();
+  j.field("l1d_misses", p.l1d_misses)
+      .field("l2_misses", p.l2_misses)
+      .field("tc_misses", p.tc_misses)
+      .field("dtlb_misses", p.dtlb_misses)
+      .field("bus_reads", p.bus_reads)
+      .field("bus_writes", p.bus_writes)
+      .field("bus_prefetches", p.bus_prefetches)
+      .field("coherence_transfers", p.coherence_transfers)
+      .field("mc_utilization", p.mc_utilization);
+  j.finish();
 }
 
 Table prediction_error_table(const model::Prediction& p, const RunResult& sim,
@@ -225,6 +238,141 @@ Table prediction_error_table(const model::Prediction& p, const RunResult& sim,
         perf::metric_value(sim.metrics, m));
   }
   return t;
+}
+
+void print_run_json(std::ostream& os, const std::string& bench,
+                    const std::string& config, const RunResult& r) {
+  report::Json j(os);
+  j.begin_document("run")
+      .field("bench", bench)
+      .field("config", config)
+      .field("wall_cycles", r.wall_cycles)
+      .field("verified", r.verified);
+  j.key("metrics").object();
+  for (int m = 0; m < perf::kMetricCount; ++m) {
+    j.field(perf::metric_name(m), perf::metric_value(r.metrics, m));
+  }
+  j.end();
+  j.key("counters").object();
+  for (std::size_t e = 0; e < perf::kEventCount; ++e) {
+    const auto ev = static_cast<perf::Event>(e);
+    j.field(perf::event_name(ev), r.counters.get(ev));
+  }
+  j.end();
+  j.finish();
+}
+
+namespace {
+
+std::vector<std::string> stack_columns(std::vector<std::string> head) {
+  for (std::size_t c = 0; c < trace::kStackCatCount; ++c) {
+    head.emplace_back(trace::stack_cat_name(static_cast<trace::StackCat>(c)));
+  }
+  return head;
+}
+
+void append_stack(std::vector<double>& row, const trace::CpiStack& s) {
+  for (std::size_t c = 0; c < trace::kStackCatCount; ++c) {
+    row.push_back(s.cycles[c]);
+  }
+}
+
+std::string region_label(const trace::RegionStats& r) {
+  return r.body == 0 ? std::string("serial")
+                     : "body " + std::to_string(r.body);
+}
+
+}  // namespace
+
+Table trace_context_table(const trace::TraceReport& t) {
+  Table tab("per-context CPI stack (cycles)", stack_columns({"wall"}));
+  for (const trace::ContextStack& c : t.contexts) {
+    if (!c.active) continue;
+    std::vector<double> row = {c.stack.sum()};
+    append_stack(row, c.stack);
+    tab.add_row("cpu" + std::to_string(c.cpu.flat()), std::move(row));
+  }
+  return tab;
+}
+
+Table trace_region_table(const trace::TraceReport& t) {
+  Table tab("per-region CPI stack (cycles)",
+            stack_columns({"instances", "iterations", "accesses"}));
+  for (const trace::RegionStats& r : t.regions) {
+    std::vector<double> row = {static_cast<double>(r.instances),
+                               static_cast<double>(r.iterations),
+                               static_cast<double>(r.accesses)};
+    append_stack(row, r.stack);
+    tab.add_row(region_label(r), std::move(row));
+  }
+  return tab;
+}
+
+void print_trace_report(std::ostream& os, const trace::TraceReport& t,
+                        bool csv) {
+  const Table ctx = trace_context_table(t);
+  const Table reg = trace_region_table(t);
+  if (csv) {
+    ctx.print_csv(os);
+    reg.print_csv(os);
+    return;
+  }
+  os << "== trace report (mode=" << sim::trace_mode_name(t.mode)
+     << ") ==\n  wall: " << std::fixed << std::setprecision(0)
+     << t.wall_cycles << " cycles\n";
+  os.unsetf(std::ios::fixed);
+  os << "  phases: " << t.team_forks << " forks, " << t.loop_dispatches
+     << " loop dispatches, " << t.barriers << " barriers, " << t.criticals
+     << " critical sections\n";
+  os << "  events: " << t.events_recorded << " recorded, " << t.events_dropped
+     << " dropped\n\n";
+  ctx.print(os, 0);
+  reg.print(os, 0);
+}
+
+void print_trace_report_json(std::ostream& os, const std::string& bench,
+                             const std::string& config,
+                             const trace::TraceReport& t) {
+  report::Json j(os);
+  j.begin_document("trace")
+      .field("bench", bench)
+      .field("config", config)
+      .field("mode", sim::trace_mode_name(t.mode))
+      .field("wall_cycles", t.wall_cycles)
+      .field("team_forks", t.team_forks)
+      .field("loop_dispatches", t.loop_dispatches)
+      .field("barriers", t.barriers)
+      .field("criticals", t.criticals)
+      .field("events_recorded", t.events_recorded)
+      .field("events_dropped", t.events_dropped);
+  j.key("contexts").array();
+  for (const trace::ContextStack& c : t.contexts) {
+    j.object()
+        .field("cpu", static_cast<int>(c.cpu.flat()))
+        .field("active", c.active)
+        .field("wall_cycles", c.stack.sum())
+        .field("executed", c.executed);
+    j.key("stack");
+    json_cpi_stack(j, c.stack);
+    j.end();
+  }
+  j.end();
+  j.key("regions").array();
+  for (const trace::RegionStats& r : t.regions) {
+    j.object()
+        .field("body", static_cast<std::uint64_t>(r.body))
+        .field("instances", r.instances)
+        .field("iterations", r.iterations)
+        .field("accesses", r.accesses)
+        .field("l1_misses", r.l1_misses)
+        .field("l2_misses", r.l2_misses)
+        .field("fetches", r.fetches);
+    j.key("stack");
+    json_cpi_stack(j, r.stack);
+    j.end();
+  }
+  j.end();
+  j.finish();
 }
 
 }  // namespace paxsim::harness

@@ -14,6 +14,7 @@
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "model/predict.hpp"
+#include "trace/report.hpp"
 
 namespace paxsim::harness {
 
@@ -75,5 +76,29 @@ void print_prediction_json(std::ostream& os, const std::string& bench,
 [[nodiscard]] Table prediction_error_table(const model::Prediction& p,
                                            const RunResult& sim,
                                            double sim_speedup);
+
+/// One JSON document (single line), kind "run": wall time, verification,
+/// the Figure-2 metric bundle and every PMU counter of a simulated run.
+void print_run_json(std::ostream& os, const std::string& bench,
+                    const std::string& config, const RunResult& r);
+
+/// Per-context CPI stack table: one row per active hardware context with
+/// the cycle count of every stack category plus the stack sum (== wall).
+[[nodiscard]] Table trace_context_table(const trace::TraceReport& t);
+
+/// Per-region CPI stack table: one row per parallel-loop body (plus the
+/// serial bucket) with dispatch counts and the attributed cycle split.
+[[nodiscard]] Table trace_region_table(const trace::TraceReport& t);
+
+/// Renders a traced run: header line with the event tallies, then the
+/// per-context and per-region stack tables (CSV rows when @p csv).
+void print_trace_report(std::ostream& os, const trace::TraceReport& t,
+                        bool csv);
+
+/// One JSON document (single line), kind "trace": tallies, per-context
+/// stacks and per-region stacks (events go through the Chrome exporter).
+void print_trace_report_json(std::ostream& os, const std::string& bench,
+                             const std::string& config,
+                             const trace::TraceReport& t);
 
 }  // namespace paxsim::harness

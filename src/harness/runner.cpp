@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "check/checker.hpp"
+#include "trace/tracer.hpp"
 #include "xomp/min_heap.hpp"
 #include "xomp/team.hpp"
 
@@ -71,12 +72,6 @@ RunResult finish_result(Program& prog, bool verify) {
 
 }  // namespace
 
-RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
-                     const RunOptions& opt, std::uint64_t seed) {
-  sim::Machine machine(opt.machine_params());
-  return run_single(machine, bench, cfg, opt, seed);
-}
-
 RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
                      const StudyConfig& cfg, const RunOptions& opt,
                      std::uint64_t seed) {
@@ -107,9 +102,51 @@ RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
   return r;
 }
 
-RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
-                     std::uint64_t seed) {
-  return run_single(bench, serial_config(), opt, seed);
+RunResult run_serial(sim::Machine& machine, npb::Benchmark bench,
+                     const RunOptions& opt, std::uint64_t seed) {
+  return run_single(machine, bench, serial_config(), opt, seed);
+}
+
+TraceResult run_traced(sim::Machine& machine, npb::Benchmark bench,
+                       const StudyConfig& cfg, const RunOptions& opt,
+                       std::uint64_t seed) {
+  if (machine.params().trace_mode == sim::TraceMode::kOff) {
+    throw std::invalid_argument(
+        "run_traced: machine must be built with trace_mode != off "
+        "(opt.machine_params() with opt.trace_mode set)");
+  }
+  if (machine.params().check_mode != sim::CheckMode::kOff) {
+    throw std::invalid_argument(
+        "run_traced: trace and check modes are mutually exclusive (the "
+        "machine carries one sink)");
+  }
+  machine.reset();
+  // Like the checker, the tracer must attach before the Team exists so it
+  // observes the team-creation events and the initial clock sync.
+  trace::Tracer tracer(machine, machine.params().trace_mode);
+  auto prog = make_program(bench, 0, cfg.cpus, machine, opt, seed);
+  apply_smt_activity(machine, cfg.cpus);
+  const auto host_t0 = std::chrono::steady_clock::now();
+  while (!prog->done()) {
+    prog->kernel->step(*prog->team, prog->steps_done);
+    ++prog->steps_done;
+  }
+  prog->finish_time = prog->team->wall_time();
+  const auto host_t1 = std::chrono::steady_clock::now();
+
+  TraceResult out;
+  // finish_result's flush drives the final on_flush while the tracer is
+  // still attached, so the last region's deltas land in the stacks.
+  out.run = finish_result(*prog, opt.verify);
+  out.run.host_sim_sec =
+      std::chrono::duration<double>(host_t1 - host_t0).count();
+  out.trace = tracer.finish(out.run.wall_cycles);
+  if (opt.verify && !out.run.verified) {
+    throw std::runtime_error(std::string("verification failed: ") +
+                             std::string(prog->kernel->name()) + " on traced " +
+                             std::string(cfg.name));
+  }
+  return out;
 }
 
 ProfiledRun run_profiled_serial(npb::Benchmark bench, const RunOptions& opt,
@@ -173,12 +210,6 @@ ProfiledRun run_profiled_serial(npb::Benchmark bench, const RunOptions& opt,
   a.stall_tlb = static_cast<double>(c.get(Event::kStallCyclesTlb));
   a.stall_fe = static_cast<double>(c.get(Event::kStallCyclesFrontend));
   return out;
-}
-
-PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
-                    const RunOptions& opt, std::uint64_t seed) {
-  sim::Machine machine(opt.machine_params());
-  return run_pair(machine, a, b, cfg, opt, seed);
 }
 
 PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
@@ -246,12 +277,15 @@ PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
 
 TrialStats speedup_over_trials(npb::Benchmark bench, const StudyConfig& cfg,
                                const RunOptions& opt) {
+  // One machine serves every trial — reset() restores the cold state, so
+  // this is bit-identical to constructing a machine per run.
+  sim::Machine machine(opt.machine_params());
   std::vector<double> speedups;
   speedups.reserve(static_cast<std::size_t>(opt.trials));
   for (int t = 0; t < opt.trials; ++t) {
     const std::uint64_t seed = opt.trial_seed(t);
-    const RunResult serial = run_serial(bench, opt, seed);
-    const RunResult par = run_single(bench, cfg, opt, seed);
+    const RunResult serial = run_serial(machine, bench, opt, seed);
+    const RunResult par = run_single(machine, bench, cfg, opt, seed);
     speedups.push_back(serial.wall_cycles / par.wall_cycles);
   }
   return summarize(speedups);

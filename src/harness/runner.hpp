@@ -7,7 +7,15 @@
 //                     threads split evenly (Figure 4 / Figure 5), the
 //                     programs interleaved in virtual time the way two
 //                     processes share a real machine;
+//   * run_traced    — run_single with a trace::Tracer attached (CPI stall
+//                     stacks + event recording, RunOptions::trace_mode);
 //   * speedup helpers over repeated trials.
+//
+// Every runner takes the sim::Machine to run on (the MachinePool recycling
+// path; the machine is reset() to a cold state on entry, so results are
+// bit-identical to a fresh construction).  The historical machine-less
+// overloads remain as deprecated wrappers — new code routes through
+// ExperimentEngine, which pools machines and memoizes cells.
 #pragma once
 
 #include <array>
@@ -22,6 +30,7 @@
 #include "perf/counters.hpp"
 #include "perf/metrics.hpp"
 #include "sim/machine.hpp"
+#include "trace/report.hpp"
 
 namespace paxsim::harness {
 
@@ -43,10 +52,17 @@ struct RunOptions {
   /// mode but kOff routes the machine through the reference path and
   /// attaches a check::Checker for the duration of each run.
   sim::CheckMode check_mode = sim::CheckMode::kOff;
+  /// Opt-in execution tracing (CPI stall stacks / event recording).  Any
+  /// mode but kOff routes the machine through the reference path, enables
+  /// the xomp region-boundary flushes and (in run_traced) attaches a
+  /// trace::Tracer.  Mutually exclusive with check_mode in a traced run:
+  /// the machine carries one sink.
+  sim::TraceMode trace_mode = sim::TraceMode::kOff;
 
   [[nodiscard]] sim::MachineParams machine_params() const {
     sim::MachineParams p = sim::MachineParams{}.scaled(machine_scale);
     p.check_mode = check_mode;
+    p.trace_mode = trace_mode;
     return p;
   }
   [[nodiscard]] std::uint64_t trial_seed(int trial) const noexcept {
@@ -71,14 +87,11 @@ struct RunResult {
   check::CheckReport check;
 };
 
-/// Runs @p bench once on @p cfg (single-program).
-RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
-                     const RunOptions& opt, std::uint64_t seed);
-
-/// Machine-reusing variant: runs on @p machine, which is reset() to a cold
-/// state on entry — the MachinePool recycling path.  @p machine must have
-/// been built from opt.machine_params() (same geometry); results are
-/// bit-identical to running on a freshly constructed machine.
+/// Runs @p bench once on @p cfg (single-program) on @p machine, which is
+/// reset() to a cold state on entry — the MachinePool recycling path.
+/// @p machine must have been built from opt.machine_params() (same
+/// geometry); results are bit-identical to running on a freshly
+/// constructed machine.
 RunResult run_single(sim::Machine& machine, npb::Benchmark bench,
                      const StudyConfig& cfg, const RunOptions& opt,
                      std::uint64_t seed);
@@ -88,21 +101,59 @@ struct PairResult {
   std::array<RunResult, 2> program;  ///< per-program results
 };
 
-/// Runs @p a and @p b co-scheduled on @p cfg, threads split evenly between
-/// the two programs (even list positions to program 0, odd to program 1 —
-/// the spread the 2.6-era Linux balancer converges to).
-PairResult run_pair(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
-                    const RunOptions& opt, std::uint64_t seed);
-
-/// Machine-reusing variant of run_pair (see the run_single overload).
+/// Runs @p a and @p b co-scheduled on @p cfg on @p machine, threads split
+/// evenly between the two programs (even list positions to program 0, odd
+/// to program 1 — the spread the 2.6-era Linux balancer converges to).
 PairResult run_pair(sim::Machine& machine, npb::Benchmark a, npb::Benchmark b,
                     const StudyConfig& cfg, const RunOptions& opt,
                     std::uint64_t seed);
 
-/// Serial-baseline wall times per benchmark, per trial seed (memoised by
-/// the callers; computed with run_single on the Serial config).
-RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
-                     std::uint64_t seed);
+/// Serial-baseline run of @p bench (run_single on the Serial config).
+RunResult run_serial(sim::Machine& machine, npb::Benchmark bench,
+                     const RunOptions& opt, std::uint64_t seed);
+
+/// Outcome of a traced run: the ordinary result plus the trace report.
+struct TraceResult {
+  RunResult run;
+  trace::TraceReport trace;  ///< stacks/regions/events per opt.trace_mode
+};
+
+/// run_single with a trace::Tracer attached for the duration of the run.
+/// @p machine must have been built from opt.machine_params() with
+/// opt.trace_mode != kOff and opt.check_mode == kOff (the machine carries
+/// one sink).  The virtual-time trajectory is identical to an untraced
+/// reference-path run; every context stack in the report sums exactly to
+/// run.wall_cycles.
+TraceResult run_traced(sim::Machine& machine, npb::Benchmark bench,
+                       const StudyConfig& cfg, const RunOptions& opt,
+                       std::uint64_t seed);
+
+// ---- deprecated machine-less wrappers --------------------------------------
+// Construct a throwaway machine per call.  Kept for source compatibility;
+// new code should use ExperimentEngine (pooled + memoized) or pass a
+// machine explicitly.
+
+[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
+inline RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
+                            const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_single(machine, bench, cfg, opt, seed);
+}
+
+[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
+inline PairResult run_pair(npb::Benchmark a, npb::Benchmark b,
+                           const StudyConfig& cfg, const RunOptions& opt,
+                           std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_pair(machine, a, b, cfg, opt, seed);
+}
+
+[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
+inline RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
+                            std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_serial(machine, bench, opt, seed);
+}
 
 /// Outcome of a profiled serial run — paxmodel's input.
 struct ProfiledRun {

@@ -1,0 +1,275 @@
+// paxsim/report/json.cpp
+#include "report/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace paxsim::report {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+Json& Json::begin_document(std::string_view kind) {
+  assert(stack_.empty() && "begin_document must be the first call");
+  object();
+  field("schema_version", kSchemaVersion);
+  field("kind", kind);
+  return *this;
+}
+
+void Json::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the comma and the colon follows it
+  }
+  if (!stack_.empty()) {
+    assert(stack_.back().kind == '[' && "object members need a key first");
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+  }
+}
+
+Json& Json::object() {
+  separate();
+  os_ << '{';
+  stack_.push_back(Scope{'{', true});
+  return *this;
+}
+
+Json& Json::array() {
+  separate();
+  os_ << '[';
+  stack_.push_back(Scope{'[', true});
+  return *this;
+}
+
+Json& Json::end() {
+  assert(!stack_.empty() && "end() without an open scope");
+  assert(!pending_key_ && "dangling key");
+  os_ << (stack_.back().kind == '{' ? '}' : ']');
+  stack_.pop_back();
+  return *this;
+}
+
+Json& Json::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().kind == '{' &&
+         "key() outside an object");
+  assert(!pending_key_ && "two keys in a row");
+  if (!stack_.back().first) os_ << ',';
+  stack_.back().first = false;
+  write_json_string(os_, k);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+Json& Json::value(std::string_view v) {
+  separate();
+  write_json_string(os_, v);
+  return *this;
+}
+
+Json& Json::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Json& Json::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  // Shortest representation that still distinguishes report-scale values;
+  // %g keeps integers integral ("12" not "12.000000").
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os_ << buf;
+  return *this;
+}
+
+Json& Json::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+Json& Json::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+void Json::finish() {
+  assert(!pending_key_ && "dangling key at finish()");
+  while (!stack_.empty()) end();
+  os_ << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// validate_json: a tiny recursive-descent parser.  Not a conformance
+// checker — it accepts a superset on numbers — but it rejects every
+// structural mistake an emitter bug could produce (unbalanced scopes,
+// missing commas/colons, bad escapes, trailing garbage).
+// ---------------------------------------------------------------------------
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : s_(text) {}
+
+  bool run(std::string* error) {
+    const bool ok = skip_ws() && parse_value() && at_end();
+    if (!ok && error != nullptr) {
+      *error = "JSON parse error at offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ == s_.size();
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+    return true;
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    bool digits = false;
+    const auto digit_run = [&] {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (consume('.')) digit_run();
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '-' || peek() == '+') ++pos_;
+      digit_run();
+    }
+    return digits && pos_ > start;
+  }
+
+  bool parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (consume('}')) return true;
+        do {
+          skip_ws();
+          if (!parse_string()) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          if (!parse_value()) return false;
+          skip_ws();
+        } while (consume(','));
+        return consume('}');
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (consume(']')) return true;
+        do {
+          if (!parse_value()) return false;
+          skip_ws();
+        } while (consume(','));
+        return consume(']');
+      }
+      case '"':
+        return parse_string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  return Validator(text).run(error);
+}
+
+}  // namespace paxsim::report

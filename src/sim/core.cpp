@@ -18,11 +18,13 @@ void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
   ++acc_itlb_refs_;
   last_block_ = block;
   const Addr code_addr = code_base_ + static_cast<Addr>(block) * p.code_block_bytes;
+  double itlb_walk = 0;
   if (!core_->itlb_.access(code_addr)) {
     counters_->add(Event::kItlbMisses, 1);
     const double walk = static_cast<double>(p.tlb_walk_penalty);
     now_ += walk;
     stall_tlb_ += walk;
+    itlb_walk = walk;
   }
   // NetBurst statically splits the trace cache between contexts in MT mode.
   const int partition =
@@ -32,10 +34,11 @@ void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
   const TraceFetch tf =
       core_->trace_cache_.fetch(code_base_, block, uops, partition);
   acc_tc_refs_ += tf.lines_referenced;
+  double decode = 0;
   if (tf.lines_missed != 0) {
     counters_->add(Event::kTraceCacheMisses, tf.lines_missed);
-    const double decode =
-        static_cast<double>(tf.lines_missed) * static_cast<double>(p.trace_miss_penalty);
+    decode = static_cast<double>(tf.lines_missed) *
+             static_cast<double>(p.trace_miss_penalty);
     now_ += decode;
     stall_fe_ += decode;
   }
@@ -59,14 +62,21 @@ void HwContext::exec_block_slow(BlockId block, std::uint32_t uops) noexcept {
       fb.itlb_clock = core_->itlb_.lru_clock();
     }
   }
-  if (TraceSink* sink = core_->machine_->trace_sink()) {
+  if (TraceSink* sink = core_->sink_) {
     sink->on_fetch(*this, code_addr, uops);
+    sink->on_fetch_stall(*this, itlb_walk, decode);
   }
 }
 
 void HwContext::flush_accumulators() noexcept {
   flush_event_counts();
   if (counters_ == nullptr) return;
+  if (TraceSink* sink = core_->sink_) {
+    // Hand the unrounded deltas to the tracer before they are folded away;
+    // region attribution follows the flush boundaries (every barrier).
+    sink->on_flush(*this, busy_, busy_stretch_, stall_mem_, stall_branch_,
+                   stall_tlb_, stall_fe_);
+  }
   const double total = busy_ + stall_mem_ + stall_branch_ + stall_tlb_ + stall_fe_;
   executed_total_ += total;
   counters_->add(Event::kCycles, static_cast<std::uint64_t>(std::llround(total)));
@@ -79,11 +89,13 @@ void HwContext::flush_accumulators() noexcept {
   counters_->add(Event::kStallCyclesFrontend,
                  static_cast<std::uint64_t>(std::llround(stall_fe_)));
   busy_ = stall_mem_ = stall_branch_ = stall_tlb_ = stall_fe_ = 0;
+  busy_stretch_ = 0;
 }
 
 void HwContext::reset() noexcept {
   now_ = 0;
   busy_ = stall_mem_ = stall_branch_ = stall_tlb_ = stall_fe_ = 0;
+  busy_stretch_ = 0;
   executed_total_ = 0;
   acc_instructions_ = acc_mem_accesses_ = 0;
   acc_itlb_refs_ = acc_tc_refs_ = acc_branch_ops_ = 0;
@@ -110,11 +122,11 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
       predictor_(),
       prefetcher_(p),
-      // Any analysis or profiling mode needs the complete access stream,
-      // which only the reference path reports; its state trajectory is
-      // bit-identical.
+      // Any analysis, profiling or tracing mode needs the complete access
+      // stream, which only the reference path reports; its state trajectory
+      // is bit-identical.
       fast_path_(p.fast_path && p.check_mode == CheckMode::kOff &&
-                 !p.profile) {
+                 !p.profile && p.trace_mode == TraceMode::kOff) {
   refresh_issue_cost();
   for (int i = 0; i < 2; ++i) {
     contexts_[i].core_ = this;
@@ -134,12 +146,14 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
   // --- DTLB ------------------------------------------------------------------
   // (The reference count was already batched by the inlined load()/store().)
   double stall = 0;
+  double dtlb_walk = 0;
   if (!dtlb_.access(addr)) {
     c.add(is_store ? Event::kDtlbStoreMisses : Event::kDtlbLoadMisses, 1);
     // Page walks are charged to the TLB stall class directly on the context.
     const double walk = static_cast<double>(p.tlb_walk_penalty);
     ctx.now_ += walk;
     ctx.stall_tlb_ += walk;
+    dtlb_walk = walk;
   }
   // Whether hit or walked-in fill, the DTLB's last-touched entry is now the
   // page of @p addr — capture the handle for the fast-path registration
@@ -151,6 +165,8 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
   const ProbeResult l1 = l1d_.probe(addr, is_store);
   double latency = 0;    // load-to-use latency of the level that served us
   double hard_wait = 0;  // in-flight fill arrival wait (not overlappable)
+  double queue_wait = 0; // FSB + memory-controller backlog share of latency
+  MemLevel level = MemLevel::kL1;
   if (l1.hit) {
     latency = static_cast<double>(p.l1_latency);
     if (is_store && l1d_.needs_upgrade(addr)) {
@@ -164,6 +180,7 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     // --- L2 -------------------------------------------------------------------
     c.add(Event::kL2References, 1);
     const ProbeResult l2 = l2_.probe(addr, is_store);
+    level = MemLevel::kL2;
     if (l2.hit) {
       if (l2.prefetched) {
         c.add(Event::kPrefetchesUseful, 1);
@@ -185,7 +202,11 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
       }
     } else {
       c.add(Event::kL2Misses, 1);
+      level = MemLevel::kMem;
       latency = resolve_l2_miss(ctx, line, is_store);
+      // Everything the bus path charged beyond the raw DRAM latency is
+      // backlog behind other transfers.
+      queue_wait = latency - static_cast<double>(p.mem_latency);
     }
     // Fill L1 (evictions write through to the L2, on-chip, no bus traffic).
     // The L1 state must mirror the L2's sharing: caching a remotely-shared
@@ -248,9 +269,13 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
   }
 
   // Analysis hook: all cache/TLB/coherence state effects are committed, so
-  // an attached sink observes the access exactly as it retired.
-  if (TraceSink* sink = machine_->trace_sink()) {
+  // an attached sink observes the access exactly as it retired.  The wait on
+  // an in-flight fill is queueing (the data is crossing the bus) on top of
+  // whatever backlog the bus path itself charged.
+  if (TraceSink* sink = sink_) {
     sink->on_access(ctx, addr, is_store, dep);
+    sink->on_access_stall(ctx, level, dtlb_walk, stall, queue_wait + hard_wait,
+                          latency + hard_wait);
   }
   return stall;
 }

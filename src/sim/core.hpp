@@ -54,6 +54,7 @@ namespace paxsim::sim {
 
 class Core;
 class Machine;
+class TraceSink;
 
 /// One SMT hardware context (a "logical processor" in the paper's Figure 1).
 /// This is the handle instrumented kernels execute against.
@@ -243,6 +244,13 @@ class HwContext {
     busy_ += c;
   }
 
+  /// Issue of @p uops uops at the core's current per-uop cost.  Alongside
+  /// the busy time it tracks how much of that time is SMT stretch (the
+  /// surcharge over the single-context cost) — a plain accumulator that
+  /// never feeds back into timing, so it is bit-identity free; the tracer
+  /// reads it at flush to split busy into issue + contention.
+  void advance_issue(double uops) noexcept;
+
   Core* core_ = nullptr;
   LogicalCpu id_{};
   perf::CounterSet* counters_ = nullptr;
@@ -252,6 +260,7 @@ class HwContext {
 
   double now_ = 0;
   double busy_ = 0;
+  double busy_stretch_ = 0;  ///< SMT issue-stretch share of busy_
   double stall_mem_ = 0;
   double stall_branch_ = 0;
   double stall_tlb_ = 0;
@@ -314,8 +323,15 @@ class Core {
   bool downgrade_line(Addr line_addr) noexcept;
 
   /// Cold restart (new trial): clears caches, TLBs, predictor, prefetcher
-  /// and both contexts.
+  /// and both contexts.  The attached sink survives a reset, mirroring
+  /// Machine::reset (attachment lifetime is the caller's concern).
   void reset() noexcept;
+
+  /// Machine-wide event sink, cached per core so reference-path call sites
+  /// skip the Machine indirection.  Set by Machine::set_trace_sink; never
+  /// attach directly.
+  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] TraceSink* trace_sink() const noexcept { return sink_; }
 
   // Introspection for tests and the invariant checker.
   [[nodiscard]] const SetAssocCache& l1d() const noexcept { return l1d_; }
@@ -355,6 +371,9 @@ class Core {
                       : params_->cycles_per_uop;
     chained_l1_stall_ =
         std::max(0.0, static_cast<double>(params_->l1_latency) - issue_cost_);
+    // Per-uop SMT surcharge over the single-context cost; exactly 0 when
+    // this core runs one context, so busy_stretch_ accumulates nothing.
+    issue_stretch_extra_ = issue_cost_ - params_->cycles_per_uop;
   }
   void clear_fast_entries() noexcept {
     contexts_[0].clear_fast_entries();
@@ -380,6 +399,8 @@ class Core {
   bool fast_path_ = true;          ///< MachineParams::fast_path
   double issue_cost_ = 0;          ///< cached issue_cycles_per_uop()
   double chained_l1_stall_ = 0;    ///< max(0, l1_latency - issue_cost_)
+  double issue_stretch_extra_ = 0; ///< issue_cost_ - cycles_per_uop
+  TraceSink* sink_ = nullptr;      ///< Machine's sink, cached per core
 };
 
 // ---------------------------------------------------------------------------
@@ -401,8 +422,13 @@ class Core {
 // validity differs.
 // ---------------------------------------------------------------------------
 
+inline void HwContext::advance_issue(double uops) noexcept {
+  advance_busy(uops * core_->issue_cost_);
+  busy_stretch_ += uops * core_->issue_stretch_extra_;
+}
+
 inline void HwContext::alu(std::uint32_t uops) noexcept {
-  advance_busy(static_cast<double>(uops) * core_->issue_cost_);
+  advance_issue(static_cast<double>(uops));
   acc_instructions_ += uops;
 }
 
@@ -419,7 +445,7 @@ inline void HwContext::fast_hit(FastEntry& fe, Dep dep,
 }
 
 inline void HwContext::load(Addr addr, Dep dep) noexcept {
-  advance_busy(core_->issue_cost_);
+  advance_issue(1.0);
   ++acc_mem_accesses_;
   const Addr line = addr & fast_line_mask_;
   FastEntry& fe = fast_entry(line);
@@ -448,7 +474,7 @@ inline void HwContext::load(Addr addr, Dep dep) noexcept {
 }
 
 inline void HwContext::store(Addr addr, Dep dep) noexcept {
-  advance_busy(core_->issue_cost_);
+  advance_issue(1.0);
   ++acc_mem_accesses_;
   const Addr line = addr & fast_line_mask_;
   FastEntry& fe = fast_entry(line);
@@ -504,7 +530,7 @@ inline void HwContext::exec_block(BlockId block, std::uint32_t uops) noexcept {
 }
 
 inline void HwContext::branch(std::uint32_t site, bool taken) noexcept {
-  advance_busy(core_->issue_cost_);
+  advance_issue(1.0);
   ++acc_branch_ops_;
   const bool correct =
       core_->predictor_.predict_and_update(site, taken, history_);

@@ -22,6 +22,9 @@ namespace paxsim::sim {
 
 class HwContext;
 
+/// Memory-hierarchy level that served a data access.
+enum class MemLevel : std::uint8_t { kL1, kL2, kMem };
+
 /// Receiver of the simulated machine's event stream.  Attach with
 /// Machine::set_trace_sink(); the xomp runtime discovers it through the
 /// machine and adds the synchronization vocabulary.
@@ -82,6 +85,48 @@ class TraceSink {
   /// Thread migration (Team::repin): the logical thread running on @p from
   /// continues on @p to, carrying its happens-before history with it.
   virtual void on_thread_moved(const HwContext& from, const HwContext& to) = 0;
+
+  // ---- stall-attribution vocabulary (src/trace/) --------------------------
+  // Default no-ops so sinks that only need the access stream (the checker,
+  // the reuse profiler) stay untouched.  All values are fractional cycles.
+
+  /// Stall decomposition of the access that on_access() is about to report:
+  /// @p level is the hierarchy level that served it, @p dtlb_walk the page
+  /// walk charged directly to the context's TLB stall class (0 on a DTLB
+  /// hit), @p stall the exposed memory-stall cycles the access returned to
+  /// the context, @p queue_wait the queueing component of the load-to-use
+  /// latency (FSB + memory-controller backlog plus any in-flight-fill
+  /// arrival wait), and @p total_wait the full latency + arrival wait.  The
+  /// exposed stall splits proportionally: stall * queue_wait / total_wait
+  /// of it was spent queueing, the rest being served.
+  virtual void on_access_stall(const HwContext& ctx, MemLevel level,
+                               double dtlb_walk, double stall,
+                               double queue_wait, double total_wait) {
+    (void)ctx; (void)level; (void)dtlb_walk;
+    (void)stall; (void)queue_wait; (void)total_wait;
+  }
+
+  /// Front-end cost of the fetch that on_fetch() is about to report:
+  /// @p itlb_walk is the ITLB page-walk stall (0 on a hit) and @p decode
+  /// the trace-cache rebuild stall (0 when every line hit).
+  virtual void on_fetch_stall(const HwContext& ctx, double itlb_walk,
+                              double decode) {
+    (void)ctx; (void)itlb_walk; (void)decode;
+  }
+
+  /// Accumulator flush (barrier, region boundary, completion): the cycle
+  /// deltas @p ctx is about to fold into its counter set, before rounding.
+  /// @p busy is issue/execute time (of which @p smt_stretch is the extra
+  /// cost of sharing the core's issue width with the sibling context); the
+  /// stall_* terms are the four stall classes.  Everything is a delta since
+  /// the previous flush; the stack accountant attributes each delta to the
+  /// context's current parallel region.
+  virtual void on_flush(const HwContext& ctx, double busy, double smt_stretch,
+                        double stall_mem, double stall_branch,
+                        double stall_tlb, double stall_fe) {
+    (void)ctx; (void)busy; (void)smt_stretch; (void)stall_mem;
+    (void)stall_branch; (void)stall_tlb; (void)stall_fe;
+  }
 };
 
 }  // namespace paxsim::sim

@@ -123,8 +123,12 @@ class Machine {
   // ---- analysis hooks (src/check/) ----------------------------------------
   /// Attaches/detaches the event-stream observer.  Only reference-path code
   /// consults it (see sim/hooks.hpp); pass nullptr to detach.  The sink is
-  /// not owned and must outlive its attachment.
-  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  /// not owned and must outlive its attachment.  Each core caches the
+  /// pointer so per-access call sites skip the machine indirection.
+  void set_trace_sink(TraceSink* sink) noexcept {
+    sink_ = sink;
+    for (auto& c : cores_) c->set_trace_sink(sink);
+  }
   [[nodiscard]] TraceSink* trace_sink() const noexcept { return sink_; }
 
  private:

@@ -27,6 +27,27 @@ bool parse_check_mode(const char* s, CheckMode& out) noexcept {
   return false;
 }
 
+const char* trace_mode_name(TraceMode m) noexcept {
+  switch (m) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kStacks: return "stacks";
+    case TraceMode::kEvents: return "events";
+    case TraceMode::kFull: return "full";
+  }
+  return "?";
+}
+
+bool parse_trace_mode(const char* s, TraceMode& out) noexcept {
+  for (const TraceMode m : {TraceMode::kOff, TraceMode::kStacks,
+                            TraceMode::kEvents, TraceMode::kFull}) {
+    if (std::strcmp(s, trace_mode_name(m)) == 0) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 std::size_t scale_down(std::size_t v, double factor, std::size_t floor_v) {

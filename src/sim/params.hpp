@@ -38,6 +38,24 @@ enum class CheckMode : std::uint8_t {
 /// Parses a check-mode name; returns true on success.
 bool parse_check_mode(const char* s, CheckMode& out) noexcept;
 
+/// Which tracing layers (src/trace/) observe a run.  Any mode other than
+/// kOff routes every memory access through the reference (out-of-line) path
+/// so the attached tracer sees the complete event stream; kOff leaves the
+/// inlined fast path untouched and costs nothing (bit-identical,
+/// test-enforced, like CheckMode::kOff).
+enum class TraceMode : std::uint8_t {
+  kOff,     ///< no tracing; the default
+  kStacks,  ///< CPI stall-attribution stacks only
+  kEvents,  ///< ring-buffered event recording only
+  kFull,    ///< both
+};
+
+/// Stable lowercase name ("off", "stacks", "events", "full").
+[[nodiscard]] const char* trace_mode_name(TraceMode m) noexcept;
+
+/// Parses a trace-mode name; returns true on success.
+bool parse_trace_mode(const char* s, TraceMode& out) noexcept;
+
 /// Geometry of one set-associative structure.
 struct CacheGeometry {
   std::size_t size_bytes = 0;  ///< total capacity
@@ -176,6 +194,13 @@ struct MachineParams {
   /// trajectory — and therefore every counter — is bit-identical to an
   /// unprofiled run (test-enforced).  Off by default and free when off.
   bool profile = false;
+
+  /// Opt-in execution tracing (src/trace/).  Like check_mode, any mode but
+  /// kOff routes the machine through the reference path so the attached
+  /// trace::Tracer observes every access, fetch and accumulator flush.  The
+  /// virtual-time trajectory is unchanged; --trace=off stays bit-identical
+  /// to a build without the tracing subsystem (test-enforced).
+  TraceMode trace_mode = TraceMode::kOff;
 
   /// Returns a copy with all capacity-like quantities divided by @p factor
   /// (latencies, bandwidth-per-cycle and issue parameters untouched).

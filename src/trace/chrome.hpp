@@ -1,0 +1,23 @@
+// paxsim/trace/chrome.hpp
+//
+// Chrome tracing / Perfetto JSON exporter for TraceReport event streams:
+// one track (tid) per hardware context, duration slices for parallel
+// regions and critical sections, instants for barriers, and counter tracks
+// fed by the accumulator-flush samples.  Load the output at ui.perfetto.dev
+// or chrome://tracing.  Timestamps are virtual core cycles presented as
+// microseconds (the viewers require a time unit; cycles are what the
+// simulator has).
+#pragma once
+
+#include <iosfwd>
+
+namespace paxsim::trace {
+
+struct TraceReport;
+
+/// Writes @p report's retained events as a Chrome "JSON object format"
+/// trace ({"traceEvents": [...], ...}).  Valid JSON for any report,
+/// including one with no events (stacks-only or off).
+void write_chrome_trace(std::ostream& os, const TraceReport& report);
+
+}  // namespace paxsim::trace

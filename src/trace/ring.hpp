@@ -1,0 +1,66 @@
+// paxsim/trace/ring.hpp
+//
+// Fixed-capacity ring buffer for per-hardware-context event recording.  A
+// traced run can emit far more events than anyone wants to export; the ring
+// keeps the most recent `capacity` of them and counts what it overwrote, so
+// the exporter can state its coverage honestly instead of silently
+// truncating.  Plain value semantics, no allocation after construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paxsim::trace {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity = 0) : buf_(capacity) {}
+
+  /// Appends @p v, overwriting the oldest element when full (the overwrite
+  /// is counted in dropped()).
+  void push(const T& v) {
+    ++total_;
+    if (buf_.empty()) {
+      ++dropped_;
+      return;
+    }
+    if (size_ < buf_.size()) {
+      buf_[(head_ + size_) % buf_.size()] = v;
+      ++size_;
+      return;
+    }
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+    ++dropped_;
+  }
+
+  /// Element @p i, oldest first (@p i in [0, size())).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Everything ever pushed, retained or not.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Pushes that fell off the front (or were refused by a zero-capacity
+  /// ring).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear() noexcept {
+    head_ = size_ = 0;
+    total_ = dropped_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace paxsim::trace

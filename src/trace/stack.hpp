@@ -1,0 +1,143 @@
+// paxsim/trace/stack.hpp
+//
+// The CPI stall stack: an additive decomposition of a hardware context's
+// wall cycles into the categories the paper's VTune methodology attributes
+// slowdowns to.  The defining invariant is that a closed stack sums
+// *exactly* (bitwise, not within a tolerance) to the wall cycles it
+// decomposes — close() constructs the idle residual so that holds, and the
+// integration tests enforce it for every kernel x configuration.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace paxsim::trace {
+
+/// One additive category of a context's wall cycles.
+enum class StackCat : std::uint8_t {
+  kIssue,        ///< issue/execute at the single-context cost (incl. OS work)
+  kSmtStretch,   ///< extra issue cycles from sharing the core's issue width
+  kL1Serve,      ///< exposed latency of accesses served by the L1D
+  kL2Serve,      ///< exposed latency of L1D misses served by the L2
+  kMemServe,     ///< exposed DRAM latency of L2 misses
+  kBusQueue,     ///< FSB + memory-controller queueing share of exposed stalls
+  kDtlbWalk,     ///< data-TLB page walks
+  kItlbWalk,     ///< instruction-TLB page walks
+  kTcRebuild,    ///< trace-cache rebuild (decode) stalls
+  kBranchFlush,  ///< branch-mispredict pipeline flushes
+  kIdle,         ///< barrier / serial-section / not-yet-started idle wait
+};
+
+inline constexpr std::size_t kStackCatCount = 11;
+
+/// Stable lowercase name ("issue", "smt_stretch", ...), used by the report
+/// tables and the JSON schema.
+[[nodiscard]] constexpr const char* stack_cat_name(StackCat c) noexcept {
+  switch (c) {
+    case StackCat::kIssue: return "issue";
+    case StackCat::kSmtStretch: return "smt_stretch";
+    case StackCat::kL1Serve: return "l1_serve";
+    case StackCat::kL2Serve: return "l2_serve";
+    case StackCat::kMemServe: return "mem_serve";
+    case StackCat::kBusQueue: return "bus_queue";
+    case StackCat::kDtlbWalk: return "dtlb_walk";
+    case StackCat::kItlbWalk: return "itlb_walk";
+    case StackCat::kTcRebuild: return "tc_rebuild";
+    case StackCat::kBranchFlush: return "branch_flush";
+    case StackCat::kIdle: return "idle";
+  }
+  return "?";
+}
+
+/// The additive stack itself (fractional cycles per category).
+struct CpiStack {
+  std::array<double, kStackCatCount> cycles{};
+
+  [[nodiscard]] double& operator[](StackCat c) noexcept {
+    return cycles[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double operator[](StackCat c) const noexcept {
+    return cycles[static_cast<std::size_t>(c)];
+  }
+
+  /// Left-to-right sum in category order (kIdle last), so close() can reason
+  /// about the exact floating-point total.
+  [[nodiscard]] double sum() const noexcept {
+    double s = 0;
+    for (const double c : cycles) s += c;
+    return s;
+  }
+
+  /// Executed (non-idle) cycles.
+  [[nodiscard]] double executed() const noexcept {
+    double s = 0;
+    for (std::size_t i = 0; i + 1 < kStackCatCount; ++i) s += cycles[i];
+    return s;
+  }
+
+  void add(const CpiStack& o) noexcept {
+    for (std::size_t i = 0; i < kStackCatCount; ++i) cycles[i] += o.cycles[i];
+  }
+
+  /// One idle-steering pass toward sum() == @p wall_cycles.  Idle is the
+  /// LAST term of sum(), so the sum is `fl(partial + idle)` — one rounding,
+  /// monotone in idle.  Coarse `idle += wall - sum()` corrections converge
+  /// when idle's grid is finer than the sum's (each correction is exactly
+  /// representable in idle); when the grids coincide those corrections can
+  /// two-cycle across an ulp, and the trailing ulp walk lands instead.
+  void steer_idle(double wall_cycles) noexcept {
+    (*this)[StackCat::kIdle] = 0;
+    (*this)[StackCat::kIdle] = wall_cycles - sum();
+    for (int i = 0; i < 32 && sum() != wall_cycles; ++i) {
+      (*this)[StackCat::kIdle] += wall_cycles - sum();
+    }
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 8; ++i) {
+      const double s = sum();
+      if (s == wall_cycles) return;
+      double& idle = (*this)[StackCat::kIdle];
+      idle = std::nextafter(idle, s < wall_cycles ? kInf : -kInf);
+    }
+  }
+
+  /// Closes the stack against @p wall_cycles: constructs the kIdle residual
+  /// so that sum() == wall_cycles *bitwise*.  Steering idle alone almost
+  /// always suffices, with one genuine impossibility: when the idle-free
+  /// partial sum sits in a lower binade than the wall, the exact sum can
+  /// land exactly halfway between representable doubles for EVERY candidate
+  /// idle, and round-to-even then skips odd-mantissa walls forever.
+  /// Breaking that tie costs one ulp *of the partial sum* on one stall term
+  /// (relative error 2^-52 of the stack, far below anything the tables
+  /// print); that granularity matters — a one-ulp nudge of a small category
+  /// is absorbed by the running sum's rounding, while a partial-sum ulp is
+  /// a multiple of every intermediate rounding grid and propagates exactly.
+  /// Returns the uncorrected residual — callers sanity-check it against the
+  /// context's executed-cycle total.
+  double close(double wall_cycles) noexcept {
+    (*this)[StackCat::kIdle] = 0;
+    const double residual = wall_cycles - sum();
+    steer_idle(wall_cycles);
+    if (sum() == wall_cycles) return residual;
+    (*this)[StackCat::kIdle] = 0;
+    const double partial = sum();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double delta = std::nextafter(partial, kInf) - partial;
+    for (std::size_t j = 0; j + 1 < kStackCatCount; ++j) {
+      if (cycles[j] == 0) continue;
+      for (const double dir : {delta, -delta}) {
+        const double saved = cycles[j];
+        cycles[j] = saved + dir;
+        steer_idle(wall_cycles);
+        if (sum() == wall_cycles) return residual;
+        cycles[j] = saved;
+      }
+    }
+    steer_idle(wall_cycles);  // best-effort idle after restoring every nudge
+    return residual;
+  }
+};
+
+}  // namespace paxsim::trace

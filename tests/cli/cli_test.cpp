@@ -217,7 +217,9 @@ TEST(CliExecTest, PredictCsvEmitsJson) {
                      "--class=S", "--csv"},
                     out),
             0);
-  EXPECT_NE(out.find("{\"bench\":\"EP\""), std::string::npos);
+  EXPECT_NE(out.find("{\"schema_version\":1,\"kind\":\"predict\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"bench\":\"EP\""), std::string::npos);
   EXPECT_NE(out.find("\"speedup\":"), std::string::npos);
 }
 
@@ -247,6 +249,51 @@ TEST(CliExecTest, RunProfilePrintsSummaryAndRequiresSerial) {
                     err_out),
             1);
   EXPECT_NE(err_out.find("--profile"), std::string::npos);
+}
+
+TEST(CliParseTest, TraceParsesFlagsAndValidates) {
+  const auto r = P({"trace", "--bench=CG", "--config=HT on -8-2",
+                    "--class=S", "--trace=full", "--trace-out=/tmp/t.json",
+                    "--regions"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Command& c = *r.command;
+  EXPECT_EQ(c.kind, Command::Kind::kTrace);
+  EXPECT_EQ(c.options.trace_mode, sim::TraceMode::kFull);
+  EXPECT_EQ(c.trace_out, "/tmp/t.json");
+  EXPECT_TRUE(c.regions);
+  EXPECT_FALSE(c.stacks);
+
+  EXPECT_FALSE(P({"trace", "--config=Serial"}).ok());
+  EXPECT_FALSE(P({"trace", "--bench=CG"}).ok());
+  EXPECT_FALSE(P({"trace", "--bench=CG", "--config=Serial",
+                  "--trace=bogus"}).ok());
+  // One sink per machine: tracing and checking are mutually exclusive.
+  EXPECT_FALSE(P({"trace", "--bench=CG", "--config=Serial",
+                  "--check=full"}).ok());
+}
+
+TEST(CliExecTest, TraceReportsStacks) {
+  std::string out;
+  EXPECT_EQ(run_cli({"trace", "--bench=EP", "--config=HT off -2-1",
+                     "--class=S"},
+                    out),
+            0);
+  EXPECT_NE(out.find("trace: mode=stacks"), std::string::npos);
+  EXPECT_NE(out.find("per-context CPI stack"), std::string::npos);
+  EXPECT_NE(out.find("per-region CPI stack"), std::string::npos);
+  EXPECT_NE(out.find("smt_stretch"), std::string::npos);
+}
+
+TEST(CliExecTest, TraceCsvEmitsJson) {
+  std::string out;
+  EXPECT_EQ(run_cli({"trace", "--bench=EP", "--config=Serial", "--class=S",
+                     "--csv"},
+                    out),
+            0);
+  EXPECT_NE(out.find("{\"schema_version\":1,\"kind\":\"trace\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"contexts\":"), std::string::npos);
+  EXPECT_NE(out.find("\"regions\":"), std::string::npos);
 }
 
 TEST(CliExecTest, HelpPrintsUsage) {

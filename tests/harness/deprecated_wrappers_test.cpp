@@ -1,0 +1,67 @@
+// Equivalence tests for the deprecated machine-less runner wrappers: they
+// must keep producing bit-identical results to the machine-reusing
+// primaries they forward to, for as long as they exist.  This file is the
+// one place in the tree allowed to call them, so it silences the
+// deprecation diagnostics locally.
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/config.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace paxsim::harness {
+namespace {
+
+RunOptions quick_options() {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.trials = 1;
+  return opt;
+}
+
+bool same_result(const RunResult& x, const RunResult& y) {
+  return x.wall_cycles == y.wall_cycles && x.verified == y.verified &&
+         x.counters == y.counters;
+}
+
+TEST(DeprecatedWrapperTest, RunSingleMatchesPrimary) {
+  const RunOptions opt = quick_options();
+  const StudyConfig* cfg = find_config("HT off -2-1");
+  ASSERT_NE(cfg, nullptr);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const RunResult legacy = run_single(npb::Benchmark::kCG, *cfg, opt, seed);
+  sim::Machine machine(opt.machine_params());
+  const RunResult primary =
+      run_single(machine, npb::Benchmark::kCG, *cfg, opt, seed);
+  EXPECT_TRUE(same_result(legacy, primary));
+}
+
+TEST(DeprecatedWrapperTest, RunSerialMatchesPrimary) {
+  const RunOptions opt = quick_options();
+  const std::uint64_t seed = opt.trial_seed(0);
+  const RunResult legacy = run_serial(npb::Benchmark::kEP, opt, seed);
+  sim::Machine machine(opt.machine_params());
+  const RunResult primary = run_serial(machine, npb::Benchmark::kEP, opt, seed);
+  EXPECT_TRUE(same_result(legacy, primary));
+}
+
+TEST(DeprecatedWrapperTest, RunPairMatchesPrimary) {
+  const RunOptions opt = quick_options();
+  const StudyConfig* cfg = find_config("HT on -4-1");
+  ASSERT_NE(cfg, nullptr);
+  const std::uint64_t seed = opt.trial_seed(0);
+  const PairResult legacy =
+      run_pair(npb::Benchmark::kCG, npb::Benchmark::kFT, *cfg, opt, seed);
+  sim::Machine machine(opt.machine_params());
+  const PairResult primary = run_pair(machine, npb::Benchmark::kCG,
+                                      npb::Benchmark::kFT, *cfg, opt, seed);
+  EXPECT_TRUE(same_result(legacy.program[0], primary.program[0]));
+  EXPECT_TRUE(same_result(legacy.program[1], primary.program[1]));
+}
+
+}  // namespace
+}  // namespace paxsim::harness

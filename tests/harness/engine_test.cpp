@@ -62,8 +62,9 @@ TEST(MachinePoolTest, RecycledMachineRunsBitIdentical) {
   const StudyConfig* cfg = find_config("HT on -4-1");
   const std::uint64_t seed = opt.trial_seed(0);
 
+  sim::Machine fresh_machine(opt.machine_params());
   const RunResult fresh =
-      run_single(npb::Benchmark::kCG, *cfg, opt, seed);
+      run_single(fresh_machine, npb::Benchmark::kCG, *cfg, opt, seed);
 
   MachinePool pool(opt.machine_params());
   {
@@ -77,6 +78,47 @@ TEST(MachinePoolTest, RecycledMachineRunsBitIdentical) {
   EXPECT_EQ(pool.created(), 1u);
   EXPECT_TRUE(same_result(fresh, recycled))
       << "reset()-recycled machine diverged from a fresh construction";
+}
+
+TEST(CellKeyTest, FactoryProjectsEveryResultRelevantOption) {
+  const StudyConfig* cfg = find_config("HT on -2-1");
+  const RunOptions opt = quick_options();
+  const std::uint64_t seed = opt.trial_seed(0);
+  const CellKey base = CellKey::from(npb::Benchmark::kCG, *cfg, opt, seed);
+  EXPECT_EQ(base, CellKey::from(npb::Benchmark::kCG, *cfg, opt, seed));
+  EXPECT_EQ(base.kind, CellKey::Kind::kSingle);
+  EXPECT_EQ(base.b, base.a);
+
+  RunOptions traced = opt;
+  traced.trace_mode = sim::TraceMode::kStacks;
+  EXPECT_NE(base, CellKey::from(npb::Benchmark::kCG, *cfg, traced, seed))
+      << "traced cells must never alias untraced ones";
+
+  RunOptions checked = opt;
+  checked.check_mode = sim::CheckMode::kFull;
+  EXPECT_NE(base, CellKey::from(npb::Benchmark::kCG, *cfg, checked, seed));
+
+  RunOptions coarse = opt;
+  coarse.grain = opt.grain * 2;
+  EXPECT_NE(base, CellKey::from(npb::Benchmark::kCG, *cfg, coarse, seed));
+
+  const CellKey pair = CellKey::from(CellKey::Kind::kPair, npb::Benchmark::kCG,
+                                     npb::Benchmark::kFT, *cfg, opt, seed);
+  EXPECT_NE(base, pair);
+  EXPECT_EQ(pair.b, npb::Benchmark::kFT);
+}
+
+TEST(CellKeyTest, TraceModesHashToDistinctCells) {
+  const StudyConfig* cfg = find_config("HT on -2-1");
+  const RunOptions opt = quick_options();
+  const std::uint64_t seed = opt.trial_seed(0);
+  RunOptions traced = opt;
+  traced.trace_mode = sim::TraceMode::kFull;
+  const CellKeyHash h;
+  // Hash inequality is not a contract in general, but the trace bits are
+  // mixed in deliberately; a collision here means the mixing regressed.
+  EXPECT_NE(h(CellKey::from(npb::Benchmark::kCG, *cfg, opt, seed)),
+            h(CellKey::from(npb::Benchmark::kCG, *cfg, traced, seed)));
 }
 
 TEST(ExperimentEngineTest, MemoizesRepeatedCells) {

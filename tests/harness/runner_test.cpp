@@ -17,9 +17,29 @@ RunOptions quick() {
   return opt;
 }
 
+// Local machine-constructing shims over the machine-reusing runners (the
+// machine-less wrappers are deprecated).
+RunResult single_run(npb::Benchmark bench, const StudyConfig& cfg,
+                     const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_single(machine, bench, cfg, opt, seed);
+}
+
+RunResult serial_run(npb::Benchmark bench, const RunOptions& opt,
+                     std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_serial(machine, bench, opt, seed);
+}
+
+PairResult pair_run(npb::Benchmark a, npb::Benchmark b, const StudyConfig& cfg,
+                    const RunOptions& opt, std::uint64_t seed) {
+  sim::Machine machine(opt.machine_params());
+  return run_pair(machine, a, b, cfg, opt, seed);
+}
+
 TEST(RunnerTest, SerialRunProducesCountersAndVerifies) {
   const RunOptions opt = quick();
-  const RunResult r = run_serial(npb::Benchmark::kCG, opt, opt.trial_seed(0));
+  const RunResult r = serial_run(npb::Benchmark::kCG, opt, opt.trial_seed(0));
   EXPECT_TRUE(r.verified);
   EXPECT_GT(r.wall_cycles, 0.0);
   EXPECT_GT(r.counters.get(perf::Event::kInstructions), 0u);
@@ -31,25 +51,25 @@ TEST(RunnerTest, SerialRunProducesCountersAndVerifies) {
 TEST(RunnerTest, RunIsDeterministicForSameSeed) {
   const RunOptions opt = quick();
   const auto* cfg = find_config("HT off -2-1");
-  const RunResult a = run_single(npb::Benchmark::kMG, *cfg, opt, 5);
-  const RunResult b = run_single(npb::Benchmark::kMG, *cfg, opt, 5);
+  const RunResult a = single_run(npb::Benchmark::kMG, *cfg, opt, 5);
+  const RunResult b = single_run(npb::Benchmark::kMG, *cfg, opt, 5);
   EXPECT_DOUBLE_EQ(a.wall_cycles, b.wall_cycles);
   EXPECT_EQ(a.counters, b.counters);
 }
 
 TEST(RunnerTest, DifferentSeedsDiffer) {
   const RunOptions opt = quick();
-  const RunResult a = run_serial(npb::Benchmark::kCG, opt, 5);
-  const RunResult b = run_serial(npb::Benchmark::kCG, opt, 6);
+  const RunResult a = serial_run(npb::Benchmark::kCG, opt, 5);
+  const RunResult b = serial_run(npb::Benchmark::kCG, opt, 6);
   EXPECT_NE(a.wall_cycles, b.wall_cycles);
 }
 
 TEST(RunnerTest, ParallelBeatsSerialOnFourCores) {
   const RunOptions opt = quick();
   const std::uint64_t seed = opt.trial_seed(0);
-  const RunResult serial = run_serial(npb::Benchmark::kBT, opt, seed);
+  const RunResult serial = serial_run(npb::Benchmark::kBT, opt, seed);
   const RunResult par =
-      run_single(npb::Benchmark::kBT, *find_config("HT off -4-2"), opt, seed);
+      single_run(npb::Benchmark::kBT, *find_config("HT off -4-2"), opt, seed);
   EXPECT_LT(par.wall_cycles, serial.wall_cycles)
       << "four cores must beat one on a class-S compute kernel";
 }
@@ -67,7 +87,7 @@ TEST(RunnerTest, SpeedupOverTrialsAggregates) {
 
 TEST(RunnerTest, PairRunsBothProgramsToCompletion) {
   const RunOptions opt = quick();
-  const PairResult r = run_pair(npb::Benchmark::kCG, npb::Benchmark::kFT,
+  const PairResult r = pair_run(npb::Benchmark::kCG, npb::Benchmark::kFT,
                                 *find_config("HT off -4-2"), opt, 7);
   for (int p = 0; p < 2; ++p) {
     EXPECT_TRUE(r.program[p].verified);
@@ -80,7 +100,7 @@ TEST(RunnerTest, PairCountersAreSeparated) {
   const RunOptions opt = quick();
   // EP does almost no memory traffic; CG is memory-heavy.  If attribution
   // leaked, EP's bus counters would be polluted by CG's.
-  const PairResult r = run_pair(npb::Benchmark::kCG, npb::Benchmark::kEP,
+  const PairResult r = pair_run(npb::Benchmark::kCG, npb::Benchmark::kEP,
                                 *find_config("HT off -2-1"), opt, 3);
   const auto cg_bus = r.program[0].counters.get(perf::Event::kBusTransactions);
   const auto ep_bus = r.program[1].counters.get(perf::Event::kBusTransactions);
@@ -92,9 +112,9 @@ TEST(RunnerTest, CoschedulingSlowsBothVsRunningAlone) {
   const std::uint64_t seed = opt.trial_seed(0);
   const auto* cfg = find_config("HT off -2-1");
   // Alone on one core of the pairing (approximate: serial baseline).
-  const RunResult alone = run_serial(npb::Benchmark::kCG, opt, seed);
+  const RunResult alone = serial_run(npb::Benchmark::kCG, opt, seed);
   const PairResult pair =
-      run_pair(npb::Benchmark::kCG, npb::Benchmark::kCG, *cfg, opt, seed);
+      pair_run(npb::Benchmark::kCG, npb::Benchmark::kCG, *cfg, opt, seed);
   // Each program has one core; sharing the bus with its twin must not make
   // it *faster* than the serial baseline on the same machine.
   EXPECT_GE(pair.program[0].wall_cycles, alone.wall_cycles * 0.95);
@@ -104,7 +124,7 @@ TEST(RunnerTest, PairSplitsThreadsEvenly) {
   const RunOptions opt = quick();
   // On the 8-context config each program gets 4 threads; both finish and
   // both make progress through distinct counter sets.
-  const PairResult r = run_pair(npb::Benchmark::kFT, npb::Benchmark::kFT,
+  const PairResult r = pair_run(npb::Benchmark::kFT, npb::Benchmark::kFT,
                                 *find_config("HT on -8-2"), opt, 9);
   EXPECT_TRUE(r.program[0].verified);
   EXPECT_TRUE(r.program[1].verified);

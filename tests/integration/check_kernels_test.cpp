@@ -24,7 +24,8 @@ RunResult run_checked(npb::Benchmark b, const char* config,
   const StudyConfig* cfg = find_config(config);
   EXPECT_NE(cfg, nullptr) << config;
   const RunOptions opt = checked_options(mode);
-  return run_single(b, *cfg, opt, opt.trial_seed(0));
+  sim::Machine machine(opt.machine_params());
+  return run_single(machine, b, *cfg, opt, opt.trial_seed(0));
 }
 
 TEST(CheckKernelsTest, RacyHistogramIsFlaggedWriteWrite) {
@@ -108,12 +109,14 @@ TEST(CheckKernelsTest, CheckOffIsBitIdenticalToUncheckedRun) {
   const StudyConfig* cfg = find_config("HT off -4-2");
   ASSERT_NE(cfg, nullptr);
   RunOptions off = checked_options(sim::CheckMode::kOff);
-  const RunResult a = run_single(npb::Benchmark::kCG, *cfg, off,
+  sim::Machine off_machine(off.machine_params());
+  const RunResult a = run_single(off_machine, npb::Benchmark::kCG, *cfg, off,
                                  off.trial_seed(0));
   RunOptions plain;
   plain.cls = npb::ProblemClass::kClassS;
-  const RunResult b = run_single(npb::Benchmark::kCG, *cfg, plain,
-                                 plain.trial_seed(0));
+  sim::Machine plain_machine(plain.machine_params());
+  const RunResult b = run_single(plain_machine, npb::Benchmark::kCG, *cfg,
+                                 plain, plain.trial_seed(0));
   EXPECT_EQ(a.wall_cycles, b.wall_cycles);
   EXPECT_EQ(a.metrics.cpi, b.metrics.cpi);
   EXPECT_EQ(a.check.accesses, 0u);
@@ -135,8 +138,10 @@ TEST(CheckKernelsTest, PairRunSharesOneMachineWideReport) {
   const StudyConfig* cfg = find_config("HT off -4-2");
   ASSERT_NE(cfg, nullptr);
   const RunOptions opt = checked_options(sim::CheckMode::kFull);
-  const PairResult pr = run_pair(npb::Benchmark::kEP, npb::Benchmark::kIS,
-                                 *cfg, opt, opt.trial_seed(0));
+  sim::Machine machine(opt.machine_params());
+  const PairResult pr = run_pair(machine, npb::Benchmark::kEP,
+                                 npb::Benchmark::kIS, *cfg, opt,
+                                 opt.trial_seed(0));
   EXPECT_TRUE(pr.program[0].check.clean());
   EXPECT_EQ(pr.program[0].check.accesses, pr.program[1].check.accesses);
   EXPECT_EQ(pr.program[0].check.races_total, pr.program[1].check.races_total);

@@ -18,9 +18,10 @@ TEST(ProfileIdentityTest, ProfiledSerialRunIsBitIdentical) {
   opt.cls = npb::ProblemClass::kClassS;
   opt.verify = false;
 
+  sim::Machine machine(opt.machine_params());
   for (const npb::Benchmark bench : npb::kAllBenchmarks) {
     const std::uint64_t seed = opt.trial_seed(0);
-    const RunResult plain = run_serial(bench, opt, seed);
+    const RunResult plain = run_serial(machine, bench, opt, seed);
     const ProfiledRun profiled = run_profiled_serial(bench, opt, seed);
 
     EXPECT_EQ(plain.counters, profiled.result.counters)
@@ -48,13 +49,14 @@ TEST(ProfileIdentityTest, ProfileFlagAloneDoesNotPerturb) {
   sim::MachineParams profiled_params = opt.machine_params();
   profiled_params.profile = true;
   sim::Machine profiled_machine(profiled_params);
+  sim::Machine plain_machine(opt.machine_params());
 
   const StudyConfig* serial_cfg = find_config("Serial");
   ASSERT_NE(serial_cfg, nullptr);
   const std::uint64_t seed = opt.trial_seed(0);
   for (const npb::Benchmark bench :
        {npb::Benchmark::kCG, npb::Benchmark::kIS, npb::Benchmark::kLU}) {
-    const RunResult plain = run_serial(bench, opt, seed);
+    const RunResult plain = run_serial(plain_machine, bench, opt, seed);
     const RunResult hooked =
         run_single(profiled_machine, bench, *serial_cfg, opt, seed);
     EXPECT_EQ(plain.counters, hooked.counters) << npb::benchmark_name(bench);

@@ -7,7 +7,7 @@
 #include <map>
 
 #include "harness/config.hpp"
-#include "harness/runner.hpp"
+#include "harness/engine.hpp"
 #include "perf/metrics.hpp"
 
 namespace paxsim::harness {
@@ -20,13 +20,20 @@ RunOptions options(npb::ProblemClass cls) {
   return opt;
 }
 
+// One memoized engine for the whole file: several tests share the same
+// (benchmark, config, class, seed) cells, so repeats are free.
+ExperimentEngine& engine() {
+  static ExperimentEngine e;
+  return e;
+}
+
 TEST(StudyIntegrationTest, AllConfigsRunAllStudyBenchmarksClassS) {
   const RunOptions opt = options(npb::ProblemClass::kClassS);
   const std::uint64_t seed = opt.trial_seed(0);
   for (const npb::Benchmark b :
        {npb::Benchmark::kCG, npb::Benchmark::kFT, npb::Benchmark::kLU}) {
     for (const auto& cfg : all_configs()) {
-      const RunResult r = run_single(b, cfg, opt, seed);
+      const RunResult r = engine().single(b, cfg, opt, seed);
       EXPECT_TRUE(r.verified) << npb::benchmark_name(b) << " on " << cfg.name;
       EXPECT_GT(r.wall_cycles, 0.0);
     }
@@ -39,10 +46,10 @@ TEST(StudyIntegrationTest, MoreResourcesNeverCatastrophic) {
   const RunOptions opt = options(npb::ProblemClass::kClassW);
   const std::uint64_t seed = opt.trial_seed(0);
   const double serial =
-      run_serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
+      engine().serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
   for (const auto& cfg : parallel_configs()) {
     const double wall =
-        run_single(npb::Benchmark::kCG, cfg, opt, seed).wall_cycles;
+        engine().single(npb::Benchmark::kCG, cfg, opt, seed).wall_cycles;
     const double speedup = serial / wall;
     EXPECT_GT(speedup, 0.4) << cfg.name;
     EXPECT_LT(speedup, cfg.threads * 1.5) << cfg.name;
@@ -52,12 +59,12 @@ TEST(StudyIntegrationTest, MoreResourcesNeverCatastrophic) {
 TEST(StudyIntegrationTest, FullMachineBeatsSmallConfigsOnComputeBound) {
   const RunOptions opt = options(npb::ProblemClass::kClassW);
   const std::uint64_t seed = opt.trial_seed(0);
-  const double serial = run_serial(npb::Benchmark::kFT, opt, seed).wall_cycles;
+  const double serial = engine().serial(npb::Benchmark::kFT, opt, seed).wall_cycles;
   const double smt =
-      run_single(npb::Benchmark::kFT, *find_config("HT on -2-1"), opt, seed)
+      engine().single(npb::Benchmark::kFT, *find_config("HT on -2-1"), opt, seed)
           .wall_cycles;
   const double cmp_smp =
-      run_single(npb::Benchmark::kFT, *find_config("HT off -4-2"), opt, seed)
+      engine().single(npb::Benchmark::kFT, *find_config("HT off -4-2"), opt, seed)
           .wall_cycles;
   EXPECT_LT(cmp_smp, smt) << "four cores beat one HT core on FT";
   EXPECT_LT(cmp_smp, serial);
@@ -68,9 +75,9 @@ TEST(StudyIntegrationTest, HyperThreadingHelpsLatencyBoundCg) {
   // the second context plenty of stall cycles to absorb.
   const RunOptions opt = options(npb::ProblemClass::kClassW);
   const std::uint64_t seed = opt.trial_seed(0);
-  const double serial = run_serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
+  const double serial = engine().serial(npb::Benchmark::kCG, opt, seed).wall_cycles;
   const double smt =
-      run_single(npb::Benchmark::kCG, *find_config("HT on -2-1"), opt, seed)
+      engine().single(npb::Benchmark::kCG, *find_config("HT on -2-1"), opt, seed)
           .wall_cycles;
   EXPECT_LT(smt, serial) << "SMT must speed up memory-latency-bound CG";
 }
@@ -81,9 +88,9 @@ TEST(StudyIntegrationTest, SmtStallFractionExceedsCmp) {
   const RunOptions opt = options(npb::ProblemClass::kClassW);
   const std::uint64_t seed = opt.trial_seed(0);
   const auto smt =
-      run_single(npb::Benchmark::kSP, *find_config("HT on -2-1"), opt, seed);
+      engine().single(npb::Benchmark::kSP, *find_config("HT on -2-1"), opt, seed);
   const auto cmp =
-      run_single(npb::Benchmark::kSP, *find_config("HT off -2-1"), opt, seed);
+      engine().single(npb::Benchmark::kSP, *find_config("HT off -2-1"), opt, seed);
   EXPECT_GT(smt.metrics.stalled_fraction, cmp.metrics.stalled_fraction * 0.95);
 }
 
@@ -94,7 +101,7 @@ TEST(StudyIntegrationTest, L1MissRateFlatAcrossConfigs) {
   double lo = 1.0, hi = 0.0;
   for (const auto& cfg : all_configs()) {
     const double r =
-        run_single(npb::Benchmark::kMG, cfg, opt, seed).metrics.l1d_miss_rate;
+        engine().single(npb::Benchmark::kMG, cfg, opt, seed).metrics.l1d_miss_rate;
     lo = std::min(lo, r);
     hi = std::max(hi, r);
   }
@@ -106,7 +113,7 @@ TEST(StudyIntegrationTest, PrefetchShareVisibleWhenBandwidthSpare) {
   const RunOptions opt = options(npb::ProblemClass::kClassW);
   const std::uint64_t seed = opt.trial_seed(0);
   const auto r =
-      run_single(npb::Benchmark::kMG, *find_config("HT off -2-2"), opt, seed);
+      engine().single(npb::Benchmark::kMG, *find_config("HT off -2-2"), opt, seed);
   EXPECT_GT(r.metrics.prefetch_bus_fraction, 0.05)
       << "streaming MG with two whole buses must show prefetch traffic";
 }
@@ -118,9 +125,9 @@ TEST(StudyIntegrationTest, ComplementaryPairBeatsIdenticalPairs) {
   const std::uint64_t seed = opt.trial_seed(0);
   const auto* cfg = find_config("HT off -4-2");
   const PairResult mixed =
-      run_pair(npb::Benchmark::kCG, npb::Benchmark::kFT, *cfg, opt, seed);
+      engine().pair(npb::Benchmark::kCG, npb::Benchmark::kFT, *cfg, opt, seed);
   const PairResult twin_cg =
-      run_pair(npb::Benchmark::kCG, npb::Benchmark::kCG, *cfg, opt, seed);
+      engine().pair(npb::Benchmark::kCG, npb::Benchmark::kCG, *cfg, opt, seed);
   // CG paired with FT must do at least as well as CG paired with CG.
   EXPECT_LE(mixed.program[0].wall_cycles, twin_cg.program[0].wall_cycles * 1.05);
 }
@@ -130,7 +137,7 @@ TEST(StudyIntegrationTest, MetricsAreWithinPhysicalBounds) {
   const std::uint64_t seed = opt.trial_seed(0);
   for (const npb::Benchmark b : npb::kAllBenchmarks) {
     const RunResult r =
-        run_single(b, *find_config("HT on -8-2"), opt, seed);
+        engine().single(b, *find_config("HT on -8-2"), opt, seed);
     const perf::Metrics& m = r.metrics;
     EXPECT_GE(m.l1d_miss_rate, 0.0);
     EXPECT_LE(m.l1d_miss_rate, 1.0);

@@ -1,0 +1,139 @@
+// Integration golden tests for paxtrace across the full kernel matrix:
+//
+//   * every active context's CPI stack sums bitwise-exactly to the run's
+//     wall cycles, for all 8 kernels on Serial / HT off -4-2 / HT on -8-2;
+//   * tracing never perturbs virtual time (traced wall == untraced
+//     reference-path wall);
+//   * --trace=off is bit-identical to a plain run (wall and counters);
+//   * the Chrome tracing export is well-formed JSON.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "report/json.hpp"
+#include "trace/chrome.hpp"
+
+namespace paxsim {
+namespace {
+
+const std::vector<const harness::StudyConfig*>& matrix_configs() {
+  static const std::vector<const harness::StudyConfig*> v = [] {
+    std::vector<const harness::StudyConfig*> configs;
+    for (const char* name : {"Serial", "HT off -4-2", "HT on -8-2"}) {
+      const harness::StudyConfig* cfg = harness::find_config(name);
+      EXPECT_NE(cfg, nullptr) << name;
+      configs.push_back(cfg);
+    }
+    return configs;
+  }();
+  return v;
+}
+
+harness::RunOptions small_options() {
+  harness::RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.trials = 1;
+  return opt;
+}
+
+TEST(TraceKernelsTest, StacksSumExactlyToWallAcrossMatrix) {
+  harness::RunOptions opt = small_options();
+  opt.trace_mode = sim::TraceMode::kStacks;
+  for (const harness::StudyConfig* cfg : matrix_configs()) {
+    sim::Machine machine(opt.machine_params());
+    for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+      const harness::TraceResult tr = harness::run_traced(
+          machine, bench, *cfg, opt, opt.trial_seed(0));
+      const trace::TraceReport& t = tr.trace;
+      ASSERT_GT(t.wall_cycles, 0.0)
+          << npb::benchmark_name(bench) << " @ " << cfg->name;
+      int active = 0;
+      for (const trace::ContextStack& c : t.contexts) {
+        if (!c.active) continue;
+        ++active;
+        // Bitwise equality is the contract, not a tolerance.
+        EXPECT_EQ(c.stack.sum(), t.wall_cycles)
+            << npb::benchmark_name(bench) << " @ " << cfg->name << " cpu"
+            << static_cast<int>(c.cpu.flat());
+      }
+      EXPECT_EQ(active, cfg->threads)
+          << npb::benchmark_name(bench) << " @ " << cfg->name;
+    }
+  }
+}
+
+TEST(TraceKernelsTest, TracingDoesNotPerturbVirtualTime) {
+  // The tracer forces the reference path, so the like-for-like untraced
+  // baseline is a machine with the fast path disabled.
+  harness::RunOptions ref_opt = small_options();
+  sim::MachineParams ref_params = ref_opt.machine_params();
+  ref_params.fast_path = false;
+  harness::RunOptions traced_opt = small_options();
+  traced_opt.trace_mode = sim::TraceMode::kStacks;
+
+  for (const harness::StudyConfig* cfg : matrix_configs()) {
+    sim::Machine ref_machine(ref_params);
+    sim::Machine traced_machine(traced_opt.machine_params());
+    for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+      const harness::RunResult ref = harness::run_single(
+          ref_machine, bench, *cfg, ref_opt, ref_opt.trial_seed(0));
+      const harness::TraceResult tr = harness::run_traced(
+          traced_machine, bench, *cfg, traced_opt, traced_opt.trial_seed(0));
+      EXPECT_EQ(tr.run.wall_cycles, ref.wall_cycles)
+          << npb::benchmark_name(bench) << " @ " << cfg->name;
+    }
+  }
+}
+
+TEST(TraceKernelsTest, TraceOffIsBitIdentical) {
+  // trace_mode = kOff must leave the machine untouched: same wall cycles
+  // AND same raw counters as a run that never heard of tracing.
+  const harness::RunOptions plain_opt = small_options();
+  harness::RunOptions off_opt = small_options();
+  off_opt.trace_mode = sim::TraceMode::kOff;
+
+  for (const harness::StudyConfig* cfg : matrix_configs()) {
+    sim::Machine plain_machine(plain_opt.machine_params());
+    sim::Machine off_machine(off_opt.machine_params());
+    for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+      const harness::RunResult plain = harness::run_single(
+          plain_machine, bench, *cfg, plain_opt, plain_opt.trial_seed(0));
+      const harness::RunResult off = harness::run_single(
+          off_machine, bench, *cfg, off_opt, off_opt.trial_seed(0));
+      EXPECT_EQ(off.wall_cycles, plain.wall_cycles)
+          << npb::benchmark_name(bench) << " @ " << cfg->name;
+      EXPECT_EQ(off.counters, plain.counters)
+          << npb::benchmark_name(bench) << " @ " << cfg->name;
+    }
+  }
+}
+
+TEST(TraceKernelsTest, ChromeExportIsWellFormedJson) {
+  harness::RunOptions opt = small_options();
+  opt.trace_mode = sim::TraceMode::kFull;
+  for (const harness::StudyConfig* cfg : matrix_configs()) {
+    sim::Machine machine(opt.machine_params());
+    const harness::TraceResult tr = harness::run_traced(
+        machine, npb::Benchmark::kCG, *cfg, opt, opt.trial_seed(0));
+    std::ostringstream os;
+    trace::write_chrome_trace(os, tr.trace);
+    std::string error;
+    EXPECT_TRUE(report::validate_json(os.str(), &error))
+        << cfg->name << ": " << error;
+  }
+}
+
+TEST(TraceKernelsTest, ChromeExportValidForEmptyReport) {
+  const trace::TraceReport empty;
+  std::ostringstream os;
+  trace::write_chrome_trace(os, empty);
+  std::string error;
+  EXPECT_TRUE(report::validate_json(os.str(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace paxsim

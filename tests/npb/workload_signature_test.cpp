@@ -25,7 +25,8 @@ harness::RunOptions quick(ProblemClass cls = ProblemClass::kClassW) {
 harness::RunResult serial_run(Benchmark b,
                               ProblemClass cls = ProblemClass::kClassW) {
   const auto opt = quick(cls);
-  return harness::run_serial(b, opt, opt.trial_seed(0));
+  sim::Machine machine(opt.machine_params());
+  return harness::run_serial(machine, b, opt, opt.trial_seed(0));
 }
 
 double per_instr(const harness::RunResult& r, Event e) {

@@ -170,8 +170,9 @@ TEST(SchedRunnerTest, SingleProgramMatchesPinnedBaseline) {
   EXPECT_EQ(r.migrations, 0);
   // Must equal the unscheduled runner bit-for-bit (same placement, no
   // migrations, same seed).
-  const auto base = harness::run_single(npb::Benchmark::kBT, *cfg, opt,
-                                        opt.trial_seed(0));
+  sim::Machine machine(opt.machine_params());
+  const auto base = harness::run_single(machine, npb::Benchmark::kBT, *cfg,
+                                        opt, opt.trial_seed(0));
   EXPECT_DOUBLE_EQ(r.program[0].wall_cycles, base.wall_cycles);
 }
 

@@ -1,0 +1,78 @@
+// Unit tests for the per-context trace ring buffer: bounded capacity,
+// oldest-first iteration, overwrite-and-count-drops semantics.
+#include "trace/ring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paxsim::trace {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> r(4);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.capacity(), 4u);
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.dropped(), 0u);
+}
+
+TEST(RingBufferTest, PushesUpToCapacity) {
+  RingBuffer<int> r(3);
+  r.push(1);
+  r.push(2);
+  r.push(3);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 2);
+  EXPECT_EQ(r[2], 3);
+}
+
+TEST(RingBufferTest, OverwritesOldestAndCountsDrops) {
+  RingBuffer<int> r(3);
+  for (int i = 1; i <= 5; ++i) r.push(i);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.total(), 5u);
+  EXPECT_EQ(r.dropped(), 2u);
+  // Oldest-first: 3, 4, 5 survive.
+  EXPECT_EQ(r[0], 3);
+  EXPECT_EQ(r[1], 4);
+  EXPECT_EQ(r[2], 5);
+}
+
+TEST(RingBufferTest, ZeroCapacityDropsEverything) {
+  RingBuffer<int> r(0);
+  r.push(1);
+  r.push(2);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.total(), 2u);
+  EXPECT_EQ(r.dropped(), 2u);
+}
+
+TEST(RingBufferTest, ClearResetsContentsButKeepsCapacity) {
+  RingBuffer<int> r(2);
+  r.push(1);
+  r.push(2);
+  r.push(3);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), 2u);
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.dropped(), 0u);
+  r.push(9);
+  EXPECT_EQ(r[0], 9);
+}
+
+TEST(RingBufferTest, WrapsManyTimes) {
+  RingBuffer<int> r(4);
+  for (int i = 0; i < 103; ++i) r.push(i);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.total(), 103u);
+  EXPECT_EQ(r.dropped(), 99u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r[i], 99 + static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::trace

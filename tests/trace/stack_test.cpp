@@ -1,0 +1,79 @@
+// Unit tests for the CPI stall stack: category accounting and the bitwise
+// close() invariant (sum == wall exactly, not within a tolerance).
+#include "trace/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace paxsim::trace {
+namespace {
+
+TEST(CpiStackTest, NamesAreStableAndDistinct) {
+  for (std::size_t a = 0; a < kStackCatCount; ++a) {
+    const char* na = stack_cat_name(static_cast<StackCat>(a));
+    EXPECT_STRNE(na, "?");
+    for (std::size_t b = a + 1; b < kStackCatCount; ++b) {
+      EXPECT_STRNE(na, stack_cat_name(static_cast<StackCat>(b)));
+    }
+  }
+}
+
+TEST(CpiStackTest, SumAndExecuted) {
+  CpiStack s;
+  s[StackCat::kIssue] = 10;
+  s[StackCat::kL2Serve] = 5;
+  s[StackCat::kIdle] = 3;
+  EXPECT_DOUBLE_EQ(s.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(s.executed(), 15.0);  // idle excluded
+}
+
+TEST(CpiStackTest, AddIsElementwise) {
+  CpiStack a, b;
+  a[StackCat::kIssue] = 1;
+  b[StackCat::kIssue] = 2;
+  b[StackCat::kBusQueue] = 7;
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a[StackCat::kIssue], 3.0);
+  EXPECT_DOUBLE_EQ(a[StackCat::kBusQueue], 7.0);
+}
+
+TEST(CpiStackTest, CloseMakesSumBitwiseEqualToWall) {
+  CpiStack s;
+  s[StackCat::kIssue] = 0.1;
+  s[StackCat::kL1Serve] = 0.2;
+  s[StackCat::kMemServe] = 1e9 + 0.3;
+  const double wall = 2e9 + 1.0 / 3.0;
+  s.close(wall);
+  EXPECT_EQ(s.sum(), wall);  // bitwise, not near
+}
+
+TEST(CpiStackTest, CloseIsExactForAdversarialMagnitudes) {
+  // Mixed magnitudes are where a one-step residual can be an ulp off; the
+  // fixpoint loop must still land exactly on wall for all of them.
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> mag(-9.0, 9.0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    CpiStack s;
+    for (std::size_t c = 0; c + 1 < kStackCatCount; ++c) {
+      s.cycles[c] = std::pow(10.0, mag(rng));
+    }
+    const double wall = s.executed() * (1.0 + std::pow(10.0, mag(rng) / 4));
+    s.close(wall);
+    EXPECT_EQ(s.sum(), wall) << "trial " << trial;
+  }
+}
+
+TEST(CpiStackTest, CloseReturnsResidual) {
+  CpiStack s;
+  s[StackCat::kIssue] = 30;
+  s[StackCat::kIdle] = 999;  // stale idle must be discarded, not kept
+  const double residual = s.close(100);
+  EXPECT_DOUBLE_EQ(residual, 70.0);
+  EXPECT_DOUBLE_EQ(s[StackCat::kIdle], 70.0);
+  EXPECT_EQ(s.sum(), 100.0);
+}
+
+}  // namespace
+}  // namespace paxsim::trace
