@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,8 @@ struct BenchOptions {
 };
 
 /// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --grain=N,
-/// --scale=F, --csv, --no-verify.  Returns false (after printing usage) on
-/// an unknown flag.
+/// --scale=F, --machine=SPEC, --csv, --no-verify.  Returns false (after
+/// printing usage) on an unknown flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -49,6 +50,14 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a.rfind("--scale=", 0) == 0) {
       const double s = std::atof(a.c_str() + 8);
       if (s >= 1.0) opt.run.machine_scale = s;
+    } else if (a.rfind("--machine=", 0) == 0) {
+      sim::Topology topo;
+      std::string why;
+      if (!sim::Topology::resolve(a.substr(10), &topo, &why)) {
+        std::fprintf(stderr, "bad --machine: %s\n", why.c_str());
+        return false;
+      }
+      opt.run.topology = std::make_shared<const sim::Topology>(std::move(topo));
     } else if (a == "--csv") {
       opt.csv = true;
     } else if (a.rfind("--plot=", 0) == 0) {
@@ -58,7 +67,8 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
-          "[--grain=N] [--scale=F] [--csv] [--plot=DIR] [--no-verify]\n",
+          "[--grain=N] [--scale=F] [--machine=PRESET|FILE.json] [--csv] "
+          "[--plot=DIR] [--no-verify]\n",
           argv[0]);
       return false;
     } else {
@@ -98,6 +108,19 @@ inline void print_study_header(const char* artifact,
   std::printf(
       "machine: 2 chips x 2 cores x 2 HT contexts (capacity scale 1/%g)\n\n",
       machine_scale);
+}
+
+/// Topology-aware header variant for the artifacts that honour --machine:
+/// the shape line is derived from the Topology accessors, not hard-coded.
+inline void print_study_header(const char* artifact, const sim::Topology& topo,
+                               double machine_scale = 16.0) {
+  std::printf("paxsim reproduction of Grant & Afsahi, IPPS 2007 — %s\n",
+              artifact);
+  std::printf(
+      "machine: %s — %d chips x %d cores x %d contexts "
+      "(capacity scale 1/%g)\n\n",
+      topo.name.c_str(), topo.packages, topo.cores_per_package,
+      topo.smt_per_core, machine_scale);
 }
 
 }  // namespace paxsim::bench

@@ -1,9 +1,12 @@
 // bench/ext_thread_scaling.cpp — EXTENSION artifact: speedup-vs-threads
 // curves, the `maxcpus=` methodology of the paper's Section 3 taken to its
 // natural presentation.  For each benchmark, threads are added in the
-// Figure-1 enumeration order (A0, A1, ..., A7), so the curve passes through
-// the interesting topology boundaries: +SMT sibling, +second core, +second
-// package.
+// machine's flat enumeration order (A0, A1, ..., A7 on the default
+// Paxville), so the curve passes through the interesting topology
+// boundaries: +SMT sibling, +second core, +second package.  `--machine=`
+// retargets the ladder at any topology preset or JSON description; the
+// rung count and the boundary notes are derived from the Topology
+// accessors, not hard-coded to the 8-context default.
 #include <iostream>
 
 #include "bench/bench_common.hpp"
@@ -15,12 +18,22 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt;
   opt.run.cls = npb::ProblemClass::kClassA;
   if (!bench::parse_args(argc, argv, opt)) return 1;
-  bench::print_study_header("Extension: speedup vs thread count (A0..A7 order)");
+  const sim::Topology topo = opt.run.topology != nullptr
+                                 ? *opt.run.topology
+                                 : sim::Topology::paxville();
+  bench::print_study_header("Extension: speedup vs thread count (flat order)",
+                            topo, opt.run.machine_scale);
 
-  // Build incremental configs A0..A0..A7 (HT on; Linux enumeration order).
-  const harness::StudyConfig* full = harness::find_config("HT on -8-2");
+  // Build incremental configs by slicing the machine's widest Table-1
+  // configuration, whose cpus are listed in flat enumeration order.
+  const std::vector<harness::StudyConfig> configs = harness::configs_for(topo);
+  const harness::StudyConfig* full = &configs.front();  // Serial fallback
+  for (const harness::StudyConfig& c : configs) {
+    if (static_cast<int>(c.cpus.size()) == topo.total_contexts()) full = &c;
+  }
+  const int total = static_cast<int>(full->cpus.size());
   std::vector<harness::StudyConfig> ladder;
-  for (int n = 1; n <= 8; ++n) {
+  for (int n = 1; n <= total; ++n) {
     harness::StudyConfig c = *full;
     c.threads = n;
     c.cpus.assign(full->cpus.begin(), full->cpus.begin() + n);
@@ -28,11 +41,11 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> cols;
-  for (int n = 1; n <= 8; ++n) cols.push_back(std::to_string(n) + "T");
+  for (int n = 1; n <= total; ++n) cols.push_back(std::to_string(n) + "T");
   harness::Table table("speedup over serial vs maxcpus", cols);
 
-  // The ladder configs all carry the name "HT on -8-2"; the engine keys its
-  // cache on the full context list, so each rung is a distinct cell.
+  // The ladder configs all carry the widest config's name; the engine keys
+  // its cache on the full context list, so each rung is a distinct cell.
   harness::ExperimentEngine engine(opt.jobs);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, ladder)
                                     .add_benchmarks(bench::study_benchmarks())
@@ -47,9 +60,24 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   if (opt.csv) table.print_csv(std::cout);
-  std::printf("Topology boundaries: 1->2 adds the SMT sibling, 2->3 the\n"
-              "second core, 4->5 the second package — each benchmark's curve\n"
-              "bends where its bottleneck resource is replicated.\n");
+
+  // Where each curve may bend: the rungs at which the next thread lands on
+  // a newly replicated resource rather than a shared one.
+  std::printf("Topology boundaries:");
+  if (topo.smt_per_core > 1) {
+    std::printf(" 1->2 adds the SMT sibling;");
+  }
+  if (topo.cores_per_package > 1) {
+    std::printf(" %d->%d the second core;", topo.smt_per_core,
+                topo.smt_per_core + 1);
+  }
+  if (topo.packages > 1) {
+    std::printf(" %d->%d the second package;", topo.contexts_per_chip(),
+                topo.contexts_per_chip() + 1);
+  }
+  std::printf(
+      "\neach benchmark's curve bends where its bottleneck resource is "
+      "replicated.\n");
   bench::print_engine_stats(engine);
   return 0;
 }

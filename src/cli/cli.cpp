@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "paxsim.hpp"
+#include "sim/topology.hpp"
 
 namespace paxsim::cli {
 namespace {
@@ -48,6 +49,29 @@ bool split_flag(const std::string& a, std::string& key, std::string& value) {
   return true;
 }
 
+/// Resolves a --machine spec — a preset name, else a path to a
+/// schema_version'd topology JSON file — into a validated topology.
+/// Returns an empty string on success, the user-facing error otherwise.
+std::string resolve_machine(const std::string& spec,
+                            std::shared_ptr<const sim::Topology>& out) {
+  sim::Topology topo;
+  std::string why;
+  if (!sim::Topology::resolve(spec, &topo, &why)) {
+    return "bad --machine: " + why;
+  }
+  out = std::make_shared<const sim::Topology>(std::move(topo));
+  return {};
+}
+
+/// The configuration table for the command's machine: the Table-1 list for
+/// the default, the topology's analogue ladder otherwise.
+std::vector<harness::StudyConfig> configs_for_command(const Command& cmd) {
+  if (cmd.options.topology != nullptr) {
+    return harness::configs_for(*cmd.options.topology);
+  }
+  return harness::all_configs();
+}
+
 std::unique_ptr<sched::Scheduler> make_policy(const std::string& name,
                                               std::uint64_t seed) {
   if (name == "pinned-spread") return sched::make_pinned_spread();
@@ -78,17 +102,24 @@ void print_result(std::ostream& out, const std::string& label,
       << " prefetch_share=" << r.metrics.prefetch_bus_fraction << '\n';
 }
 
-int do_list(std::ostream& out) {
+int do_list(const Command& cmd, std::ostream& out) {
   out << "benchmarks:";
   for (const npb::Benchmark b : npb::kAllBenchmarks) {
     out << ' ' << npb::benchmark_name(b);
   }
-  out << "\nclasses: S W A B\nconfigurations:\n";
-  for (const auto& c : harness::all_configs()) {
+  out << "\nclasses: S W A B\nconfigurations";
+  if (cmd.options.topology != nullptr) {
+    out << " (machine " << cmd.options.topology->name << ")";
+  }
+  out << ":\n";
+  for (const auto& c : configs_for_command(cmd)) {
     out << "  \"" << c.name << "\"  (" << harness::architecture_name(c.arch)
         << ", " << c.threads << " thread" << (c.threads > 1 ? "s" : "")
         << ", " << c.chips << " chip" << (c.chips > 1 ? "s" : "") << ")\n";
   }
+  out << "machine presets:";
+  for (const std::string& p : sim::Topology::preset_names()) out << ' ' << p;
+  out << " (or --machine=<file.json>)\n";
   out << "scheduler policies: pinned-spread naive-pack random-migrating "
          "ht-aware symbiotic\n";
   return 0;
@@ -126,6 +157,11 @@ std::string usage() {
       "                                            per-region CPI stall stacks\n"
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
+      "              --machine=<preset|file.json> (simulate a different\n"
+      "                         machine: paxville, paxville-noht, woodcrest,\n"
+      "                         numa16, or a topology JSON description;\n"
+      "                         configurations are the machine's analogue of\n"
+      "                         Table 1 — see `paxsim list --machine=...`)\n"
       "              --check=off|race|invariants|full (run/pair: attach the\n"
       "                         src/check analysis sink; prints a check report)\n"
       "              --baseline (also run and report the serial baseline)\n"
@@ -189,6 +225,12 @@ ParseResult parse(const std::vector<std::string>& args) {
       }
     } else if (key == "config") {
       cmd.config_name = value;
+    } else if (key == "machine") {
+      if (value.empty()) {
+        res.error = "bad --machine (need a preset name or a JSON file)";
+        return res;
+      }
+      cmd.machine = value;
     } else if (key == "class") {
       if (!parse_class(value, cmd.options.cls)) {
         res.error = "bad --class '" + value + "' (use S, W, A or B)";
@@ -296,10 +338,17 @@ ParseResult parse(const std::vector<std::string>& args) {
       break;
   }
   if (!res.error.empty()) return res;
+  if (!cmd.machine.empty()) {
+    res.error = resolve_machine(cmd.machine, cmd.options.topology);
+    if (!res.error.empty()) return res;
+  }
   if (!cmd.config_name.empty() &&
-      harness::find_config(cmd.config_name) == nullptr) {
+      harness::find_config_index(configs_for_command(cmd), cmd.config_name) <
+          0) {
     res.error = "unknown configuration '" + cmd.config_name +
-                "' (see `paxsim list`)";
+                "' (see `paxsim list" +
+                (cmd.machine.empty() ? "" : " --machine=" + cmd.machine) +
+                "`)";
     return res;
   }
   res.command = std::move(cmd);
@@ -307,17 +356,25 @@ ParseResult parse(const std::vector<std::string>& args) {
 }
 
 int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
+  // The configuration table for this command's machine; the per-case
+  // `cfg` pointers below point into this list.
+  const std::vector<harness::StudyConfig> configs = configs_for_command(cmd);
+  const auto find_cfg =
+      [&configs](const std::string& name) -> const harness::StudyConfig* {
+    const int i = harness::find_config_index(configs, name);
+    return i < 0 ? nullptr : &configs[static_cast<std::size_t>(i)];
+  };
   try {
     switch (cmd.kind) {
       case Command::Kind::kHelp:
         out << usage();
         return 0;
       case Command::Kind::kList:
-        return do_list(out);
+        return do_list(cmd, out);
       case Command::Kind::kLmbench:
         return do_lmbench(out);
       case Command::Kind::kPredict: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         harness::ExperimentEngine engine(cmd.jobs);
         const auto seed = cmd.options.trial_seed(0);
         const auto pr =
@@ -359,7 +416,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kRun: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         if (cmd.profile) {
           if (!cfg->is_serial()) {
             err << "error: --profile=on requires --config=\"Serial\" (the "
@@ -427,7 +484,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kPair: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
         const auto r = engine.pair(cmd.benches[0], cmd.benches[1], *cfg,
@@ -450,7 +507,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kTimeline: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
         const auto tl = engine.timeline(cmd.benches[0], *cfg, cmd.options,
@@ -473,7 +530,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kTrace: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         harness::RunOptions opt = cmd.options;
         // The Chrome export needs the event stream; the stack tables need
         // only the accountant.  engine.trace() substitutes kStacks for kOff.
@@ -520,7 +577,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kSched: {
-        const auto* cfg = harness::find_config(cmd.config_name);
+        const auto* cfg = find_cfg(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
         auto policy = make_policy(cmd.policy, seed);

@@ -34,6 +34,10 @@ struct Command {
   Kind kind = Kind::kHelp;
   std::vector<npb::Benchmark> benches;  ///< 1 for run/predict, 2 for pair/sched
   std::string config_name;              ///< Table-1 configuration
+  /// --machine spec: a topology preset name ("paxville", "woodcrest", ...)
+  /// or a path to a schema_version'd topology JSON file.  Empty runs the
+  /// default machine; parse() resolves it into options.topology.
+  std::string machine;
   std::string policy = "pinned-spread"; ///< sched subcommand policy
   harness::RunOptions options;
   int jobs = 1;                         ///< host worker threads (--jobs=N)

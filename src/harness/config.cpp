@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "sim/topology.hpp"
+
 namespace paxsim::harness {
 namespace {
 
@@ -11,6 +13,15 @@ constexpr LogicalCpu cpu(int chip, int core, int ctx) {
   return LogicalCpu{static_cast<std::uint8_t>(chip),
                     static_cast<std::uint8_t>(core),
                     static_cast<std::uint8_t>(ctx)};
+}
+
+/// "HT on -8-2"-style name from the HT state, thread count and chip count.
+std::string config_name(bool ht_on, int threads, int chips) {
+  std::string s = ht_on ? "HT on -" : "HT off -";
+  s += std::to_string(threads);
+  s += '-';
+  s += std::to_string(chips);
+  return s;
 }
 
 std::vector<StudyConfig> build_configs() {
@@ -84,11 +95,97 @@ const StudyConfig* find_config(std::string_view name) {
   return nullptr;
 }
 
-std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on) {
-  if (ht_on) {
-    return "A" + std::to_string(cpu_.flat());
+std::vector<StudyConfig> configs_for(const sim::Topology& topo) {
+  const int P = topo.packages;
+  const int C = topo.cores_per_package;
+  const int S = topo.smt_per_core;
+  std::vector<StudyConfig> v;
+
+  const auto add = [&v](Architecture arch, bool ht_on, int chips,
+                        std::vector<LogicalCpu> cpus) {
+    const int threads = static_cast<int>(cpus.size());
+    v.push_back({config_name(ht_on, threads, chips), arch, ht_on, threads,
+                 chips, std::move(cpus)});
+  };
+
+  // Serial baseline: context 0 of core 0 of package 0.
+  v.push_back(
+      {"Serial", Architecture::kSerial, false, 1, 1, {cpu(0, 0, 0)}});
+
+  // Group 1: the SMT pair (two contexts of one core).
+  if (S > 1) {
+    add(Architecture::kSMT, true, 1, {cpu(0, 0, 0), cpu(0, 0, 1)});
   }
-  return "B" + std::to_string(cpu_.chip * 2 + cpu_.core);
+  // Group 2: one chip.  The CMP pair, then — when the chip has more than
+  // two cores — every core of the chip, then the chip with HT on.
+  if (C > 1) {
+    add(Architecture::kCMP, false, 1, {cpu(0, 0, 0), cpu(0, 1, 0)});
+    if (C > 2) {
+      std::vector<LogicalCpu> cpus;
+      for (int c = 0; c < C; ++c) cpus.push_back(cpu(0, c, 0));
+      add(Architecture::kCMP, false, 1, std::move(cpus));
+    }
+    if (S > 1) {
+      std::vector<LogicalCpu> cpus;
+      for (int c = 0; c < C; ++c) {
+        for (int s = 0; s < S; ++s) cpus.push_back(cpu(0, c, s));
+      }
+      add(Architecture::kCMT, true, 1, std::move(cpus));
+    }
+  }
+  // Group 3: both-chips-at-half-use (one core per chip, HT off then on).
+  if (P > 1) {
+    std::vector<LogicalCpu> one_core;
+    for (int p = 0; p < P; ++p) one_core.push_back(cpu(p, 0, 0));
+    add(Architecture::kSMP, false, P, std::move(one_core));
+    if (S > 1) {
+      std::vector<LogicalCpu> cpus;
+      for (int p = 0; p < P; ++p) {
+        for (int s = 0; s < S; ++s) cpus.push_back(cpu(p, 0, s));
+      }
+      add(Architecture::kSmtSmp, true, P, std::move(cpus));
+    }
+  }
+  // Group 4: everything.
+  if (P > 1 && C > 1) {
+    std::vector<LogicalCpu> cpus;
+    for (int p = 0; p < P; ++p) {
+      for (int c = 0; c < C; ++c) cpus.push_back(cpu(p, c, 0));
+    }
+    add(Architecture::kCmpSmp, false, P, std::move(cpus));
+    if (S > 1) {
+      std::vector<LogicalCpu> all;
+      for (int p = 0; p < P; ++p) {
+        for (int c = 0; c < C; ++c) {
+          for (int s = 0; s < S; ++s) all.push_back(cpu(p, c, s));
+        }
+      }
+      add(Architecture::kCmtSmp, true, P, std::move(all));
+    }
+  }
+  return v;
+}
+
+int find_config_index(const std::vector<StudyConfig>& configs,
+                      std::string_view name) {
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on) {
+  // The Paxville-shaped default; Figure 1's A0..A7 / B0..B3 labelling.
+  static const sim::Topology paxville = sim::Topology::paxville();
+  return cpu_label(cpu_, ht_on, paxville);
+}
+
+std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on,
+                      const sim::Topology& topo) {
+  if (ht_on) {
+    return "A" + std::to_string(topo.flat(cpu_));
+  }
+  return "B" + std::to_string(topo.core_id(cpu_.chip, cpu_.core));
 }
 
 }  // namespace paxsim::harness

@@ -12,6 +12,10 @@
 
 #include "sim/types.hpp"
 
+namespace paxsim::sim {
+struct Topology;
+}
+
 namespace paxsim::harness {
 
 /// The multithreaded architecture each configuration realises (Table 1's
@@ -31,7 +35,7 @@ enum class Architecture {
 
 /// One row of Table 1.
 struct StudyConfig {
-  std::string_view name;   ///< paper terminology, e.g. "HT on -4-1"
+  std::string name;        ///< paper terminology, e.g. "HT on -4-1"
   Architecture arch = Architecture::kSerial;
   bool ht_on = false;      ///< Hyper-Threading state
   int threads = 1;         ///< application threads
@@ -58,8 +62,26 @@ struct StudyConfig {
 /// Finds a configuration by its paper name ("HT on -4-1"); nullptr if absent.
 [[nodiscard]] const StudyConfig* find_config(std::string_view name);
 
+/// The Table-1 analogue for an arbitrary topology: Serial first, then the
+/// same HT-pair / one-chip / one-core-per-chip / everything ladder the paper
+/// enumerates, with each rung present only when the topology has the
+/// hardware for it (SMT rungs need smt_per_core > 1, multi-chip rungs need
+/// more than one package).  For the default Paxville shape this reproduces
+/// all_configs() exactly, names included (test-enforced).
+[[nodiscard]] std::vector<StudyConfig> configs_for(const sim::Topology& topo);
+
+/// Finds a configuration of @p topo by name; nullopt-style nullptr-free
+/// lookup is not needed here — returns the config list position or -1.
+[[nodiscard]] int find_config_index(const std::vector<StudyConfig>& configs,
+                                    std::string_view name);
+
 /// Figure-1 label of a hardware context under the given HT state:
-/// "A0".."A7" when HT is on, "B0".."B3" when it is off.
+/// "A0".."A7" when HT is on, "B0".."B3" when it is off (Paxville shape).
 [[nodiscard]] std::string cpu_label(sim::LogicalCpu cpu, bool ht_on);
+
+/// Topology-aware variant: the A-label numbers contexts by the topology's
+/// dense flat() index, the B-label numbers physical cores by its core_id().
+[[nodiscard]] std::string cpu_label(sim::LogicalCpu cpu, bool ht_on,
+                                    const sim::Topology& topo);
 
 }  // namespace paxsim::harness

@@ -40,6 +40,8 @@ std::string params_pool_key(const sim::MachineParams& p) {
   app(p.profile ? 1u : 0u);
   // And for traced machines (trace::Tracer attachment + region flushes).
   app(static_cast<std::uint64_t>(p.trace_mode));
+  // Machines built from different topologies are never interchangeable.
+  if (p.topology != nullptr) s += p.topology->fingerprint();
   return s;
 }
 
@@ -69,7 +71,7 @@ std::string profile_key(npb::Benchmark b, const RunOptions& opt,
 // justify its exclusion, and (b) this expected size is updated.  (Guarded to
 // the common LP64 layout; other ABIs rely on the audit having happened.)
 #if defined(__x86_64__) && defined(__LP64__)
-static_assert(sizeof(RunOptions) == 56,
+static_assert(sizeof(RunOptions) == 72,
               "RunOptions changed: audit CellKey::from for the new field, "
               "then update this expected size");
 #endif
@@ -89,6 +91,7 @@ CellKey CellKey::from(Kind kind, npb::Benchmark a, npb::Benchmark b,
   k.grain = opt.grain;
   k.check = opt.check_mode;
   k.trace = opt.trace_mode;
+  if (opt.topology != nullptr) k.machine = opt.topology->fingerprint();
   return k;
 }
 
@@ -100,9 +103,15 @@ std::string config_fingerprint(const StudyConfig& cfg) {
   s += std::to_string(cfg.threads);
   s += '/';
   s += std::to_string(cfg.chips);
+  // Spell out chip.core.context rather than LogicalCpu::flat(): flat() is
+  // Paxville-shaped and aliases distinct contexts on wider topologies.
   for (const sim::LogicalCpu c : cfg.cpus) {
     s += ':';
-    s += std::to_string(c.flat());
+    s += std::to_string(c.chip);
+    s += '.';
+    s += std::to_string(c.core);
+    s += '.';
+    s += std::to_string(c.context);
   }
   return s;
 }
@@ -126,6 +135,7 @@ std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   mix(static_cast<std::uint64_t>(k.grain));
   mix(static_cast<std::uint64_t>(k.check));
   mix(static_cast<std::uint64_t>(k.trace));
+  mix(static_cast<std::uint64_t>(std::hash<std::string>{}(k.machine)));
   return h;
 }
 
@@ -392,17 +402,27 @@ StudyResult ExperimentEngine::run(const ExperimentPlan& plan) {
 }
 
 model::Placement placement_for(const StudyConfig& cfg) {
+  static const sim::Topology paxville = sim::Topology::paxville();
+  return placement_for(cfg, paxville);
+}
+
+model::Placement placement_for(const StudyConfig& cfg,
+                               const sim::Topology& topo) {
   model::Placement pl;
   const std::size_t n = cfg.cpus.size();
   pl.threads = n == 0 ? 1 : static_cast<int>(n);
-  std::array<int, 16> per_core{};
-  std::array<bool, 8> chip_used{};
+  std::vector<int> per_core(
+      static_cast<std::size_t>(std::max(1, topo.total_cores())), 0);
+  std::vector<int> per_chip(
+      static_cast<std::size_t>(std::max(1, topo.packages)), 0);
   for (std::size_t r = 0; r < n && r < pl.rank_core.size(); ++r) {
     const sim::LogicalCpu c = cfg.cpus[r];
-    const int core_id = c.chip * 2 + c.core;
+    const int core_id = topo.core_id(c.chip, c.core);
     pl.rank_core[r] = static_cast<std::uint8_t>(core_id);
-    ++per_core[static_cast<std::size_t>(core_id)];
-    chip_used[c.chip] = true;
+    if (core_id >= 0 && static_cast<std::size_t>(core_id) < per_core.size()) {
+      ++per_core[static_cast<std::size_t>(core_id)];
+    }
+    if (c.chip < per_chip.size()) ++per_chip[c.chip];
   }
   int cores = 0;
   int share = 1;
@@ -411,10 +431,15 @@ model::Placement placement_for(const StudyConfig& cfg) {
     share = std::max(share, occ);
   }
   int chips = 0;
-  for (const bool used : chip_used) chips += used ? 1 : 0;
+  int chip_share = 1;
+  for (const int occ : per_chip) {
+    if (occ > 0) ++chips;
+    chip_share = std::max(chip_share, occ);
+  }
   pl.cores_used = std::max(1, cores);
   pl.chips_used = std::max(1, chips);
   pl.contexts_per_core = share;
+  pl.contexts_per_chip = chip_share;
   return pl;
 }
 
@@ -454,8 +479,9 @@ PredictionResult ExperimentEngine::predict(npb::Benchmark b,
     out.profile_host_sec = profile_host_sec_[key];
   }
   const auto t0 = std::chrono::steady_clock::now();
+  const sim::MachineParams mp = opt.machine_params();
   out.prediction =
-      model::predict(*prof, opt.machine_params(), placement_for(cfg));
+      model::predict(*prof, mp, placement_for(cfg, mp.resolved_topology()));
   const auto t1 = std::chrono::steady_clock::now();
   out.predict_host_sec = std::chrono::duration<double>(t1 - t0).count();
   return out;

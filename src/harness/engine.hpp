@@ -133,6 +133,10 @@ struct CellKey {
   /// and flush at region boundaries (different counter rounding), so they
   /// never alias untraced ones.
   sim::TraceMode trace = sim::TraceMode::kOff;
+  /// RunOptions::topology projected through Topology::fingerprint(): cells
+  /// simulated on different machines never alias.  Empty for the default
+  /// (null-topology) Paxville machine.
+  std::string machine;
 
   /// The one place RunOptions is projected onto a cell identity.  Every
   /// result-relevant RunOptions field must flow through here (trials and
@@ -268,6 +272,11 @@ class StudyResult {
 /// size, distinct cores/chips occupied, the worst-case SMT sharing degree
 /// and each rank's physical core.
 [[nodiscard]] model::Placement placement_for(const StudyConfig& cfg);
+
+/// Topology-aware variant: core identities and per-chip occupancy come from
+/// @p topo's accessors instead of the Paxville 2-cores-per-chip arithmetic.
+[[nodiscard]] model::Placement placement_for(const StudyConfig& cfg,
+                                             const sim::Topology& topo);
 
 /// Outcome of ExperimentEngine::predict(): the analytical prediction plus
 /// the host-time split that backs the "N x faster than simulation" claim.

@@ -286,11 +286,14 @@ std::string region_label(const trace::RegionStats& r) {
 
 Table trace_context_table(const trace::TraceReport& t) {
   Table tab("per-context CPI stack (cycles)", stack_columns({"wall"}));
-  for (const trace::ContextStack& c : t.contexts) {
+  // Rows are labelled by the dense context slot (the list is in slot
+  // order); LogicalCpu::flat() would alias slots on non-Paxville shapes.
+  for (std::size_t i = 0; i < t.contexts.size(); ++i) {
+    const trace::ContextStack& c = t.contexts[i];
     if (!c.active) continue;
     std::vector<double> row = {c.stack.sum()};
     append_stack(row, c.stack);
-    tab.add_row("cpu" + std::to_string(c.cpu.flat()), std::move(row));
+    tab.add_row("cpu" + std::to_string(i), std::move(row));
   }
   return tab;
 }
@@ -346,9 +349,10 @@ void print_trace_report_json(std::ostream& os, const std::string& bench,
       .field("events_recorded", t.events_recorded)
       .field("events_dropped", t.events_dropped);
   j.key("contexts").array();
-  for (const trace::ContextStack& c : t.contexts) {
+  for (std::size_t i = 0; i < t.contexts.size(); ++i) {
+    const trace::ContextStack& c = t.contexts[i];
     j.object()
-        .field("cpu", static_cast<int>(c.cpu.flat()))
+        .field("cpu", static_cast<int>(i))  // dense slot; flat() can alias
         .field("active", c.active)
         .field("wall_cycles", c.stack.sum())
         .field("executed", c.executed);

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "check/report.hpp"
@@ -58,9 +59,16 @@ struct RunOptions {
   /// trace::Tracer.  Mutually exclusive with check_mode in a traced run:
   /// the machine carries one sink.
   sim::TraceMode trace_mode = sim::TraceMode::kOff;
+  /// The machine to simulate (sim/topology.hpp).  Null means the calibrated
+  /// default Paxville — bit-identical to the pre-topology harness
+  /// (test-enforced).  Set from a preset name or a JSON description via the
+  /// CLI's --machine flag; shared because every cell of a plan runs on it.
+  std::shared_ptr<const sim::Topology> topology;
 
   [[nodiscard]] sim::MachineParams machine_params() const {
-    sim::MachineParams p = sim::MachineParams{}.scaled(machine_scale);
+    sim::MachineParams base{};
+    if (topology != nullptr) base.set_topology(topology);
+    sim::MachineParams p = base.scaled(machine_scale);
     p.check_mode = check_mode;
     p.trace_mode = trace_mode;
     return p;

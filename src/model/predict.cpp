@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/topology.hpp"
+
 namespace paxsim::model {
 namespace {
 
@@ -50,6 +52,36 @@ struct Raw {
   double mc_busy = 0;
 };
 
+/// Sharing facts the model needs from the machine's topology, resolved once
+/// per predict() call.  A default-constructed Hierarchy (no attached
+/// topology) reproduces the pre-topology model arithmetic exactly: the L2
+/// contends between SMT siblings and there is no L3 stage.
+struct Hierarchy {
+  bool l2_per_chip = false;  ///< level-1 cache shared by a package's cores
+  bool has_l3 = false;       ///< three-level hierarchy with a shared L3
+  std::size_t l3_sets = 1;
+  std::size_t l3_ways = 1;
+  double l3_latency = 0;
+  bool l3_per_chip = true;
+};
+
+Hierarchy resolve_hierarchy(const sim::MachineParams& m) {
+  Hierarchy h;
+  if (m.topology == nullptr) return h;  // default machine: seed arithmetic
+  const sim::Topology& t = *m.topology;
+  h.l2_per_chip = t.levels.size() >= 2 &&
+                  t.levels[1].scope == sim::SharingScope::kPerChip;
+  if (t.levels.size() >= 3) {
+    const sim::TopoCacheLevel& l3 = t.levels[2];
+    h.has_l3 = true;
+    h.l3_sets = std::max<std::size_t>(1, l3.geometry.sets());
+    h.l3_ways = std::max<std::size_t>(1, l3.geometry.ways);
+    h.l3_latency = static_cast<double>(l3.latency);
+    h.l3_per_chip = l3.scope == sim::SharingScope::kPerChip;
+  }
+  return h;
+}
+
 double ratio_or(double num, double den, double fallback) {
   if (den <= 1e-9 || num <= 0) return fallback;
   return num / den;
@@ -81,13 +113,18 @@ struct Correction {
 /// @p corr, when present, rescales the capacity estimates to the profiling
 /// run's measured serial counters before derived costs are computed.
 Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
-            const Placement& pl, const Raw* serial_base,
+            const Placement& pl, const Hierarchy& hier, const Raw* serial_base,
             const Correction* corr) {
   Raw r;
   const std::size_t k = thread_count_index(pl.threads);
   const double T = static_cast<double>(pl.threads);
   const int share = std::max(1, pl.contexts_per_core);
   const bool mt = share > 1;
+  // Contexts competing for one instance of the level-1 cache: SMT siblings
+  // when it is core-private (Paxville), the package's whole team share when
+  // it is chip-shared (Woodcrest).
+  const int l2_share =
+      hier.l2_per_chip ? std::max(1, pl.contexts_per_chip) : share;
 
   r.accesses = static_cast<double>(p.loads + p.stores);
   const double loads = static_cast<double>(p.loads);
@@ -99,7 +136,7 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
   const std::size_t l1_sets = std::max<std::size_t>(1, m.l1d.sets());
   const std::size_t l1_ways = std::max<std::size_t>(1, m.l1d.ways / share);
   const std::size_t l2_sets = std::max<std::size_t>(1, m.l2.sets());
-  const std::size_t l2_ways = std::max<std::size_t>(1, m.l2.ways / share);
+  const std::size_t l2_ways = std::max<std::size_t>(1, m.l2.ways / l2_share);
   const std::size_t dtlb_sets =
       std::max<std::size_t>(1, m.dtlb_entries / m.dtlb_ways);
   const std::size_t dtlb_ways = std::max<std::size_t>(1, m.dtlb_ways / share);
@@ -135,6 +172,25 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
     l2_resident = std::clamp(r.accesses - memc, l1_hits, r.accesses);
   }
 
+  // ---- chip-shared L3 (three-level topologies only) ------------------------
+  // The same reuse histogram integrated against the L3's geometry, with the
+  // package's whole team competing for its ways.  Lines resident in the L3
+  // but not the mid-level L2 are served at the L3 latency instead of DRAM.
+  double l3_resident = l2_resident;
+  if (hier.has_l3) {
+    const int l3_share =
+        hier.l3_per_chip ? std::max(1, pl.contexts_per_chip) : share;
+    const std::size_t l3_ways =
+        std::max<std::size_t>(1, hier.l3_ways / l3_share);
+    l3_resident =
+        std::max(l2_resident, lineh.expected_hits(hier.l3_sets, l3_ways));
+    if (corr != nullptr) {
+      const double memc =
+          std::max(0.0, r.accesses - l3_resident) * corr->l2_miss;
+      l3_resident = std::clamp(r.accesses - memc, l2_resident, r.accesses);
+    }
+  }
+
   // ---- coherence -----------------------------------------------------------
   // Cross-owner transitions on written lines become cache-to-cache misses
   // when the owners run on different physical cores.
@@ -159,6 +215,12 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
   l2_resident = std::max(l1_hits, l2_resident - r.coherence);
 
   double mem_level = std::max(0.0, r.accesses - l2_resident);
+  double l3_level = 0;  // L2 misses the chip-shared L3 absorbs
+  if (hier.has_l3) {
+    l3_resident = std::max(l2_resident, l3_resident - r.coherence);
+    l3_level = std::max(0.0, l3_resident - l2_resident);
+    mem_level = std::max(0.0, mem_level - l3_level);
+  }
 
   // ---- prefetch rescue -----------------------------------------------------
   const double stream_frac =
@@ -171,7 +233,7 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
   r.l1_hits = l1_hits;
   r.l1_misses = r.accesses - l1_hits;
   r.l2_refs = r.l1_misses;
-  r.l2_misses = mem_level;
+  r.l2_misses = mem_level + l3_level;
   r.l2_demand_hits = std::max(0.0, r.l2_refs - r.l2_misses);
   // Application accesses, before structural runtime/gather traffic is
   // layered on below — the DTLB stream the profile's page histograms
@@ -190,8 +252,10 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
   double rt_cross = 0;
   if (pl.threads > 1) {
     double cross = 0;
-    for (int rank = 0; rank < pl.threads && rank < 8; ++rank) {
-      const int prev = (rank + pl.threads - 1) % pl.threads;
+    const int nranks =
+        std::min(pl.threads, static_cast<int>(Placement::kMaxRanks));
+    for (int rank = 0; rank < nranks; ++rank) {
+      const int prev = (rank + nranks - 1) % nranks;
       if (pl.rank_core[static_cast<std::size_t>(rank)] !=
           pl.rank_core[static_cast<std::size_t>(prev)]) {
         cross += 1;
@@ -329,6 +393,14 @@ Raw analyze(const KernelProfile& p, const sim::MachineParams& m,
     stall += l2_loads * (fc * std::max(0.0, l2_lat - issue_per_uop) +
                          (1.0 - fc) * l2_lat * l2ov);
     stall += l2_stores * l2_lat * stov;
+    if (hier.has_l3) {
+      // L2 misses the L3 absorbs: exposed like L2 hits, at the L3 latency.
+      const double l3_loads = l3_level * (1.0 - store_share_mem);
+      stall +=
+          l3_loads * (fc * std::max(0.0, hier.l3_latency - issue_per_uop) +
+                      (1.0 - fc) * hier.l3_latency * l2ov);
+      stall += (l3_level - l3_loads) * hier.l3_latency * stov;
+    }
     stall += mem_loads * (fc * mem_lat + (1.0 - fc) * mem_lat * memov);
     stall += mem_stores * mem_lat * stov;
     stall += rt_cross * mem_lat;  // barrier RMWs are chained: full exposure
@@ -401,8 +473,9 @@ Prediction predict(const KernelProfile& profile,
   // serial analysis with those corrections so the base reproduces the
   // anchor; the target placement then extrapolates from that calibrated
   // footing, with coherence/runtime traffic added unscaled on top.
+  const Hierarchy hier = resolve_hierarchy(params);
   const Raw base0 =
-      analyze(profile, params, Placement::serial(), nullptr, nullptr);
+      analyze(profile, params, Placement::serial(), hier, nullptr, nullptr);
   Correction c;
   if (a.valid) {
     c.l1_miss = anchor_ratio(a.l1d_misses, base0.l1_misses);
@@ -413,10 +486,11 @@ Prediction predict(const KernelProfile& profile,
     c.itlb = anchor_ratio(a.itlb_misses, base0.itlb_misses);
     c.bus_writes = anchor_ratio(a.bus_writes, base0.bus_writes);
   }
-  const Raw base = analyze(profile, params, Placement::serial(), nullptr, &c);
+  const Raw base =
+      analyze(profile, params, Placement::serial(), hier, nullptr, &c);
   const Raw raw = place.threads <= 1 && place.contexts_per_core <= 1
                       ? base
-                      : analyze(profile, params, place, &base, &c);
+                      : analyze(profile, params, place, hier, &base, &c);
 
   const double r_cyc = a.valid ? anchor_ratio(a.cycles, base.cycles) : 1.0;
   const double r_wall = a.valid ? anchor_ratio(a.wall_cycles, base.wall) : 1.0;

@@ -45,13 +45,18 @@ namespace paxsim::model {
 /// model needs from a harness StudyConfig (kept free of harness types so
 /// the dependency points harness -> model only).
 struct Placement {
+  /// Upper bound on team size the model resolves core placement for; wide
+  /// enough for every topology the simulator accepts (numa16 is 16 ranks).
+  static constexpr std::size_t kMaxRanks = 32;
+
   int threads = 1;             ///< team size
   int cores_used = 1;          ///< distinct physical cores occupied
   int chips_used = 1;          ///< distinct packages occupied
   int contexts_per_core = 1;   ///< max team contexts sharing one core
+  int contexts_per_chip = 1;   ///< max team contexts sharing one package
   /// Global physical-core index (chip * cores_per_chip + core) of each
   /// thread rank; only the first `threads` entries are meaningful.
-  std::array<std::uint8_t, 8> rank_core{};
+  std::array<std::uint8_t, kMaxRanks> rank_core{};
 
   [[nodiscard]] static Placement serial() noexcept { return Placement{}; }
 };

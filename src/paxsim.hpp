@@ -45,6 +45,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/machine.hpp"
 #include "sim/params.hpp"
+#include "sim/topology.hpp"
 #include "trace/chrome.hpp"
 #include "trace/report.hpp"
 #include "trace/ring.hpp"

@@ -32,6 +32,8 @@ std::string_view event_name(Event e) noexcept {
     case Event::kPrefetchesIssued: return "prefetches_issued";
     case Event::kPrefetchesUseful: return "prefetches_useful";
     case Event::kL2Invalidations: return "l2_invalidations";
+    case Event::kL3References: return "l3_references";
+    case Event::kL3Misses: return "l3_misses";
     case Event::kCount: break;
   }
   return "unknown";

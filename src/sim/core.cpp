@@ -116,7 +116,8 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       chip_idx_(chip_idx),
       core_idx_(core_idx),
       l1d_(p.l1d),
-      l2_(p.l2),
+      l2_own_(std::make_unique<SetAssocCache>(p.l2)),
+      l2_(l2_own_.get()),
       trace_cache_(p.trace_cache_uops, p.trace_uops_per_line, p.trace_cache_ways),
       itlb_(p.itlb_entries, p.itlb_ways, p.page_bytes),
       dtlb_(p.dtlb_entries, p.dtlb_ways, p.page_bytes),
@@ -128,13 +129,16 @@ Core::Core(const MachineParams& p, Machine* machine, int chip_idx, int core_idx)
       fast_path_(p.fast_path && p.check_mode == CheckMode::kOff &&
                  !p.profile && p.trace_mode == TraceMode::kOff) {
   refresh_issue_cost();
-  for (int i = 0; i < 2; ++i) {
-    contexts_[i].core_ = this;
-    contexts_[i].id_ = LogicalCpu{static_cast<std::uint8_t>(chip_idx),
-                                  static_cast<std::uint8_t>(core_idx),
-                                  static_cast<std::uint8_t>(i)};
-    contexts_[i].fast_line_mask_ = ~static_cast<Addr>(p.l1d.line_bytes - 1);
-    contexts_[i].fast_line_shift_ = log2_exact(p.l1d.line_bytes);
+  const int smt = std::max(1, p.contexts_per_core);
+  contexts_.resize(static_cast<std::size_t>(smt));
+  for (int i = 0; i < smt; ++i) {
+    HwContext& ctx = contexts_[static_cast<std::size_t>(i)];
+    ctx.core_ = this;
+    ctx.id_ = LogicalCpu{static_cast<std::uint8_t>(chip_idx),
+                         static_cast<std::uint8_t>(core_idx),
+                         static_cast<std::uint8_t>(i)};
+    ctx.fast_line_mask_ = ~static_cast<Addr>(p.l1d.line_bytes - 1);
+    ctx.fast_line_shift_ = log2_exact(p.l1d.line_bytes);
   }
 }
 
@@ -172,14 +176,15 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     if (is_store && l1d_.needs_upgrade(addr)) {
       machine_->store_upgrade(global_id(), line, ctx);
       l1d_.upgrade_to_modified(addr);
-      l2_.upgrade_to_modified(addr);
+      l2_->upgrade_to_modified(addr);
+      if (l3_ != nullptr) l3_->upgrade_to_modified(addr);
       latency += static_cast<double>(p.l2_latency);  // snoop round-trip
     }
   } else {
     c.add(Event::kL1dMisses, 1);
     // --- L2 -------------------------------------------------------------------
     c.add(Event::kL2References, 1);
-    const ProbeResult l2 = l2_.probe(addr, is_store);
+    const ProbeResult l2 = l2_->probe(addr, is_store);
     level = MemLevel::kL2;
     if (l2.hit) {
       if (l2.prefetched) {
@@ -187,7 +192,7 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
         // A demand hit on a prefetched line confirms the stream: keep it
         // running (real stream engines advance on prefetch hits, otherwise
         // a perfectly covered stream would starve its own detector).
-        issue_prefetches(ctx, l2_.line_of(addr));
+        issue_prefetches(ctx, l2_->line_of(addr));
       }
       latency = static_cast<double>(p.l2_latency);
       // A hit on an in-flight fill waits for the data to land.  The wait is
@@ -195,18 +200,66 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
       // overlap factor — which is what throttles an eager prefetcher to the
       // memory controller's service rate instead of conjuring bandwidth.
       if (l2.ready_at > ctx.now_) hard_wait = l2.ready_at - ctx.now_;
-      if (is_store && l2_.needs_upgrade(addr)) {
+      if (is_store && l2_->needs_upgrade(addr)) {
         machine_->store_upgrade(global_id(), line, ctx);
-        l2_.upgrade_to_modified(addr);
+        l2_->upgrade_to_modified(addr);
+        if (l3_ != nullptr) l3_->upgrade_to_modified(addr);
         latency += static_cast<double>(p.l2_latency);
       }
-    } else {
+    } else if (l3_ == nullptr) {
       c.add(Event::kL2Misses, 1);
       level = MemLevel::kMem;
       latency = resolve_l2_miss(ctx, line, is_store);
       // Everything the bus path charged beyond the raw DRAM latency is
       // backlog behind other transfers.
-      queue_wait = latency - static_cast<double>(p.mem_latency);
+      queue_wait = latency - machine_->memory_base_latency(chip_idx_, line);
+    } else {
+      c.add(Event::kL2Misses, 1);
+      // --- L3 (chip-shared last level, three-level topologies) --------------
+      c.add(Event::kL3References, 1);
+      const ProbeResult l3 = l3_->probe(addr, is_store);
+      level = MemLevel::kL3;
+      if (l3.hit) {
+        if (l3.prefetched) {
+          c.add(Event::kPrefetchesUseful, 1);
+          issue_prefetches(ctx, l3_->line_of(addr));
+        }
+        latency = l3_latency_;
+        if (l3.ready_at > ctx.now_) hard_wait = l3.ready_at - ctx.now_;
+        if (is_store && l3_->needs_upgrade(addr)) {
+          machine_->store_upgrade(global_id(), line, ctx);
+          l3_->upgrade_to_modified(addr);
+          latency += l3_latency_;
+        }
+      } else {
+        c.add(Event::kL3Misses, 1);
+        level = MemLevel::kMem;
+        latency = resolve_l2_miss(ctx, line, is_store);
+        queue_wait = latency - machine_->memory_base_latency(chip_idx_, line);
+      }
+      // Refill the private mid-level L2 from the L3.  Its state mirrors the
+      // L3's sharing; a dirty mid-level victim folds back into the L3 (or
+      // back through the coherent fill path if the L3 already evicted it).
+      const LineState mid_state =
+          is_store ? LineState::kModified
+                   : (l3_->state_of(addr) == LineState::kShared
+                          ? LineState::kShared
+                          : LineState::kExclusive);
+      if (auto ev = l2_->fill(addr, mid_state, false); ev && ev->dirty) {
+        if (l3_->contains(ev->line_addr)) {
+          l3_->upgrade_to_modified(ev->line_addr);
+        } else {
+          fill_l2(ctx, ev->line_addr, /*is_store=*/true, /*prefetched=*/false);
+        }
+      }
+    }
+    // Under a shared outer cache, other cores of the domain may hold inner
+    // copies of this line: a store kills them, a load downgrades them (and
+    // forces our own L1 copy to Shared).  The sibling list is empty on
+    // private-outer topologies, so the default machine never enters here.
+    bool sibling_had_copy = false;
+    for (Core* sib : domain_siblings_) {
+      sibling_had_copy |= sib->snoop_inner(line, is_store);
     }
     // Fill L1 (evictions write through to the L2, on-chip, no bus traffic).
     // The L1 state must mirror the L2's sharing: caching a remotely-shared
@@ -214,12 +267,12 @@ double Core::access_memory(HwContext& ctx, Addr addr, bool is_store,
     // invalidation (caught by the coherence fuzz suite).
     const LineState l1_state =
         is_store ? LineState::kModified
-                 : (l2_.state_of(addr) == LineState::kShared
+                 : ((l2_->state_of(addr) == LineState::kShared || sibling_had_copy)
                         ? LineState::kShared
                         : LineState::kExclusive);
     if (auto ev = l1d_.fill(addr, l1_state, false); ev && ev->dirty) {
-      if (l2_.contains(ev->line_addr)) {
-        l2_.upgrade_to_modified(ev->line_addr);
+      if (l2_->contains(ev->line_addr)) {
+        l2_->upgrade_to_modified(ev->line_addr);
       } else {
         fill_l2(ctx, ev->line_addr, /*is_store=*/true, /*prefetched=*/false);
       }
@@ -288,8 +341,8 @@ bool Core::audit_fast_entries(std::string* why) const {
     }
     return false;
   };
-  for (int i = 0; i < 2; ++i) {
-    const HwContext& ctx = contexts_[i];
+  for (int i = 0; i < smt_count(); ++i) {
+    const HwContext& ctx = contexts_[static_cast<std::size_t>(i)];
     for (const HwContext::FastEntry& fe : ctx.fast_) {
       if (fe.line == ~Addr{0}) continue;  // empty register
       if (fe.l1_gen_slot == nullptr) {
@@ -321,7 +374,7 @@ double Core::resolve_l2_miss(HwContext& ctx, Addr line_addr, bool is_store) noex
   perf::CounterSet& c = *ctx.counters_;
   c.add(Event::kBusTransactions, 1);
   c.add(Event::kBusReads, 1);
-  const double latency = machine_->bus(chip_idx_).read(ctx.now_);
+  const double latency = machine_->memory_read(chip_idx_, line_addr, ctx.now_);
   fill_l2(ctx, line_addr, is_store, /*prefetched=*/false, ctx.now_ + latency);
   issue_prefetches(ctx, line_addr);
   return latency;
@@ -331,15 +384,20 @@ void Core::fill_l2(HwContext& ctx, Addr line_addr, bool is_store,
                    bool prefetched, double ready_at) noexcept {
   const LineState st =
       machine_->coherent_fill(global_id(), line_addr, is_store, ctx);
-  if (auto ev = l2_.fill(line_addr, st, prefetched, ready_at)) {
+  SetAssocCache& outer = l3_ != nullptr ? *l3_ : *l2_;
+  if (auto ev = outer.fill(line_addr, st, prefetched, ready_at)) {
     machine_->on_l2_evict(global_id(), ev->line_addr);
-    // Keep L1 inclusive: a line leaving the L2 leaves the L1 too.
+    // Keep the hierarchy inclusive: a line leaving the outermost level
+    // leaves every inner copy too — ours and, under a shared outer cache,
+    // our domain siblings'.
     l1d_.invalidate(ev->line_addr);
+    if (l3_ != nullptr) l2_->invalidate(ev->line_addr);
+    for (Core* sib : domain_siblings_) sib->invalidate_inner(ev->line_addr);
     if (ev->dirty) {
       perf::CounterSet& c = *ctx.counters_;
       c.add(Event::kBusTransactions, 1);
       c.add(Event::kBusWrites, 1);
-      machine_->bus(chip_idx_).write(ctx.now_);
+      machine_->memory_write(chip_idx_, ev->line_addr, ctx.now_);
     }
   }
 }
@@ -348,22 +406,24 @@ void Core::issue_prefetches(HwContext& ctx, Addr line_addr) noexcept {
   const MachineParams& p = *params_;
   prefetch_buffer_.clear();
   prefetcher_.on_demand_miss(line_addr, prefetch_buffer_);
-  // Residency filter first: a window whose every line is already L2-resident
-  // issues nothing, so it should not even consult the bus.  The per-request
-  // check below stays, because an earlier prefetch's fill can evict a later
-  // request's line mid-loop; only the all-resident early-out is hoisted
-  // (utilization() is const, so skipping it cannot change any state).
+  // Residency filter first: a window whose every line is already resident in
+  // the outermost cache issues nothing, so it should not even consult the
+  // bus.  The per-request check below stays, because an earlier prefetch's
+  // fill can evict a later request's line mid-loop; only the all-resident
+  // early-out is hoisted (utilization() is const, so skipping it cannot
+  // change any state).
+  SetAssocCache& outer = l3_ != nullptr ? *l3_ : *l2_;
   const bool any_missing =
       std::any_of(prefetch_buffer_.begin(), prefetch_buffer_.end(),
-                  [this](const PrefetchRequest& req) {
-                    return !l2_.contains(req.line_addr);
+                  [&outer](const PrefetchRequest& req) {
+                    return !outer.contains(req.line_addr);
                   });
   if (!any_missing) return;
   FrontSideBus& bus = machine_->bus(chip_idx_);
   if (bus.utilization(ctx.now_) > p.prefetch_bus_threshold) return;
   perf::CounterSet& c = *ctx.counters_;
   for (const PrefetchRequest& req : prefetch_buffer_) {
-    if (l2_.contains(req.line_addr)) continue;
+    if (outer.contains(req.line_addr)) continue;
     c.add(Event::kPrefetchesIssued, 1);
     c.add(Event::kBusTransactions, 1);
     c.add(Event::kBusPrefetches, 1);
@@ -379,18 +439,51 @@ bool Core::invalidate_line(Addr line_addr) noexcept {
   // that clearing everything keeps the invariant trivially auditable.
   clear_fast_entries();
   l1d_.invalidate(line_addr);
-  return l2_.invalidate(line_addr);
+  if (l3_ != nullptr) {
+    l2_->invalidate(line_addr);
+    return l3_->invalidate(line_addr);
+  }
+  return l2_->invalidate(line_addr);
 }
 
 bool Core::downgrade_line(Addr line_addr) noexcept {
   clear_fast_entries();
   l1d_.downgrade_to_shared(line_addr);
-  return l2_.downgrade_to_shared(line_addr);
+  if (l3_ != nullptr) {
+    l2_->downgrade_to_shared(line_addr);
+    return l3_->downgrade_to_shared(line_addr);
+  }
+  return l2_->downgrade_to_shared(line_addr);
+}
+
+void Core::invalidate_inner(Addr line_addr) noexcept {
+  clear_fast_entries();
+  l1d_.invalidate(line_addr);
+  if (l3_ != nullptr) l2_->invalidate(line_addr);
+}
+
+void Core::downgrade_inner(Addr line_addr) noexcept {
+  clear_fast_entries();
+  l1d_.downgrade_to_shared(line_addr);
+  if (l3_ != nullptr) l2_->downgrade_to_shared(line_addr);
+}
+
+bool Core::snoop_inner(Addr line_addr, bool is_store) noexcept {
+  const bool held = l1d_.contains(line_addr) ||
+                    (l3_ != nullptr && l2_->contains(line_addr));
+  if (!held) return false;
+  if (is_store) {
+    invalidate_inner(line_addr);
+  } else {
+    downgrade_inner(line_addr);
+  }
+  return true;
 }
 
 void Core::reset() noexcept {
   l1d_.reset();
-  l2_.reset();
+  l2_->reset();  // idempotent when chip-shared: each member core resets it
+  if (l3_ != nullptr) l3_->reset();
   trace_cache_.reset();
   itlb_.reset();
   dtlb_.reset();

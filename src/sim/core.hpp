@@ -1,7 +1,9 @@
 // paxsim/sim/core.hpp
 //
-// One physical core of the Paxville package, with its two SMT hardware
-// contexts.  Per-core (shared by both contexts): L1D, private L2, trace
+// One physical core with its SMT hardware contexts (two on the default
+// Paxville machine; the count comes from the topology).  Per-core (shared by
+// the core's contexts): L1D, an L2 that is private by default but may be
+// chip-shared or backed by a chip-shared L3 on other topologies, trace
 // cache, ITLB, DTLB, branch-predictor pattern table, execution units and the
 // stream prefetcher.  Per-context (architectural): the virtual clock, stall
 // accounting, branch history, and the binding to a program's counter set.
@@ -38,6 +40,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -289,10 +292,15 @@ class Core {
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
 
-  /// The hardware context @p i (0 or 1).
-  [[nodiscard]] HwContext& context(int i) noexcept { return contexts_[i]; }
+  /// The hardware context @p i (0 .. smt_count()-1).
+  [[nodiscard]] HwContext& context(int i) noexcept { return contexts_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const HwContext& context(int i) const noexcept {
-    return contexts_[i];
+    return contexts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Number of SMT hardware contexts this core was built with.
+  [[nodiscard]] int smt_count() const noexcept {
+    return static_cast<int>(contexts_.size());
   }
 
   /// Declares how many contexts of this core are actively running threads
@@ -317,10 +325,46 @@ class Core {
   [[nodiscard]] int chip_index() const noexcept { return chip_idx_; }
 
   /// Coherence entry points (called by Machine on behalf of remote cores).
-  /// Invalidates the line from L1 and L2; returns true if L2 copy was dirty.
+  /// Invalidates the line from every level this core reaches (L1, private
+  /// mid-level if any, and its outermost cache); returns true if the
+  /// outermost copy was dirty.
   bool invalidate_line(Addr line_addr) noexcept;
-  /// Downgrades the L2 copy to shared; returns true if it was dirty.
+  /// Downgrades every level's copy to shared; returns true if the outermost
+  /// copy was dirty.
   bool downgrade_line(Addr line_addr) noexcept;
+
+  // ---- topology wiring (called by Machine during construction) -------------
+  /// Replaces this core's private outer cache with the chip-shared one
+  /// (shared-L2 topologies).  The core no longer owns its L2 storage.
+  void attach_shared_l2(SetAssocCache* shared) noexcept {
+    l2_own_.reset();
+    l2_ = shared;
+  }
+  /// Attaches a chip-shared last-level cache behind the private L2
+  /// (three-level topologies).
+  void attach_l3(SetAssocCache* l3, Cycle latency) noexcept {
+    l3_ = l3;
+    l3_latency_ = static_cast<double>(latency);
+  }
+  /// Registers another core of the same coherence domain (it shares this
+  /// core's outermost cache).  Empty on private-outer topologies.
+  void add_domain_sibling(Core* sib) { domain_siblings_.push_back(sib); }
+
+  // ---- intra-domain coherence (cores sharing one outer cache) --------------
+  /// Drops this core's *inner* copies of @p line_addr (L1, and the private
+  /// mid-level cache when an L3 is attached); the shared outer copy is the
+  /// caller's to manage.
+  void invalidate_inner(Addr line_addr) noexcept;
+  /// Downgrades this core's inner copies to shared.
+  void downgrade_inner(Addr line_addr) noexcept;
+  /// If this core holds @p line_addr in an inner level, invalidates
+  /// (@p is_store) or downgrades it and returns true; otherwise returns
+  /// false without touching anything.
+  bool snoop_inner(Addr line_addr, bool is_store) noexcept;
+  /// snoop_inner on every registered domain sibling (no-op when none).
+  void snoop_siblings(Addr line_addr, bool is_store) noexcept {
+    for (Core* sib : domain_siblings_) sib->snoop_inner(line_addr, is_store);
+  }
 
   /// Cold restart (new trial): clears caches, TLBs, predictor, prefetcher
   /// and both contexts.  The attached sink survives a reset, mirroring
@@ -335,9 +379,18 @@ class Core {
 
   // Introspection for tests and the invariant checker.
   [[nodiscard]] const SetAssocCache& l1d() const noexcept { return l1d_; }
-  [[nodiscard]] const SetAssocCache& l2() const noexcept { return l2_; }
+  [[nodiscard]] const SetAssocCache& l2() const noexcept { return *l2_; }
   [[nodiscard]] const Tlb& itlb() const noexcept { return itlb_; }
   [[nodiscard]] const Tlb& dtlb() const noexcept { return dtlb_; }
+  /// Chip-shared last-level cache, or null on two-level topologies.
+  [[nodiscard]] const SetAssocCache* l3() const noexcept { return l3_; }
+  /// True when this core owns its outer cache (no chip-shared L2).
+  [[nodiscard]] bool owns_l2() const noexcept { return l2_own_ != nullptr; }
+  /// The outermost cache this core fills from memory: the L3 when attached,
+  /// otherwise the (private or chip-shared) L2.
+  [[nodiscard]] const SetAssocCache& outer_cache() const noexcept {
+    return l3_ != nullptr ? *l3_ : *l2_;
+  }
 
   /// Audits both contexts' fast-path registers: an entry whose armed
   /// generation sum still matches the live structures must also pass handle
@@ -353,11 +406,11 @@ class Core {
 
   /// Shared load/store path; returns the exposed stall cycles.
   double access_memory(HwContext& ctx, Addr addr, bool is_store, Dep dep) noexcept;
-  /// Resolves an L2 miss: bus read, coherent fill, eviction writeback,
-  /// prefetch issue.  Returns load-to-use latency.
+  /// Resolves a miss in the outermost cache level: bus read, coherent fill,
+  /// eviction writeback, prefetch issue.  Returns load-to-use latency.
   double resolve_l2_miss(HwContext& ctx, Addr line_addr, bool is_store) noexcept;
-  /// Installs @p line_addr into L2 with coherence, handling the eviction.
-  /// @p ready_at is the virtual time the fill data arrives.
+  /// Installs @p line_addr into the outermost cache with coherence, handling
+  /// the eviction.  @p ready_at is the virtual time the fill data arrives.
   void fill_l2(HwContext& ctx, Addr line_addr, bool is_store, bool prefetched,
                double ready_at = 0) noexcept;
   void issue_prefetches(HwContext& ctx, Addr line_addr) noexcept;
@@ -376,8 +429,7 @@ class Core {
     issue_stretch_extra_ = issue_cost_ - params_->cycles_per_uop;
   }
   void clear_fast_entries() noexcept {
-    contexts_[0].clear_fast_entries();
-    contexts_[1].clear_fast_entries();
+    for (HwContext& ctx : contexts_) ctx.clear_fast_entries();
   }
 
   const MachineParams* params_;
@@ -386,14 +438,21 @@ class Core {
   int core_idx_;
 
   SetAssocCache l1d_;
-  SetAssocCache l2_;
+  /// The core's mid/outer cache: owned private storage by default, or the
+  /// chip-shared cache after attach_shared_l2().  On three-level topologies
+  /// this stays the private mid-level and l3_ points at the shared LLC.
+  std::unique_ptr<SetAssocCache> l2_own_;
+  SetAssocCache* l2_ = nullptr;
+  SetAssocCache* l3_ = nullptr;    ///< chip-shared LLC (three-level only)
+  double l3_latency_ = 0;          ///< load-to-use latency of l3_
+  std::vector<Core*> domain_siblings_;  ///< other cores sharing our outer cache
   TraceCache trace_cache_;
   Tlb itlb_;
   Tlb dtlb_;
   BranchPredictor predictor_;
   StreamPrefetcher prefetcher_;
   std::vector<PrefetchRequest> prefetch_buffer_;
-  std::array<HwContext, 2> contexts_;
+  std::vector<HwContext> contexts_;
   int active_contexts_ = 1;
 
   bool fast_path_ = true;          ///< MachineParams::fast_path

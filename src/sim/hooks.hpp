@@ -22,8 +22,9 @@ namespace paxsim::sim {
 
 class HwContext;
 
-/// Memory-hierarchy level that served a data access.
-enum class MemLevel : std::uint8_t { kL1, kL2, kMem };
+/// Memory-hierarchy level that served a data access.  kL3 occurs only on
+/// three-level topologies (sim/topology.hpp).
+enum class MemLevel : std::uint8_t { kL1, kL2, kL3, kMem };
 
 /// Receiver of the simulated machine's event stream.  Attach with
 /// Machine::set_trace_sink(); the xomp runtime discovers it through the

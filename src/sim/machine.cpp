@@ -1,18 +1,96 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace paxsim::sim {
 
 using perf::Event;
 
-Machine::Machine(const MachineParams& p) : params_(p), mc_(p) {
+Machine::Machine(const MachineParams& p)
+    : params_(p), topo_(p.resolved_topology()) {
+  std::string why;
+  if (!topo_.validate_for_sim(&why)) {
+    throw std::invalid_argument("paxsim: unsupported machine topology (" +
+                                topo_.name + "): " + why);
+  }
+  remote_extra_ = static_cast<double>(topo_.remote_node_extra_latency);
+
+  // One memory controller per NUMA node (the default topology's single node
+  // is the calibrated shared north bridge).
+  mcs_.reserve(topo_.nodes.size());
+  for (const MemNode& n : topo_.nodes) {
+    mcs_.emplace_back(n.read_occupancy, n.write_occupancy);
+  }
+  home_node_.assign(static_cast<std::size_t>(topo_.packages), 0);
+  for (std::size_t n = 0; n < topo_.nodes.size(); ++n) {
+    for (const int pkg : topo_.nodes[n].home_packages) {
+      home_node_[static_cast<std::size_t>(pkg)] = static_cast<int>(n);
+    }
+  }
+
+  // One link per package, bound to its local node for the plain
+  // read()/write() compatibility path.
   buses_.reserve(static_cast<std::size_t>(p.chips));
-  for (int c = 0; c < p.chips; ++c) buses_.emplace_back(params_, &mc_);
+  for (int c = 0; c < p.chips; ++c) {
+    const std::size_t node = static_cast<std::size_t>(home_node_[static_cast<std::size_t>(c)]);
+    buses_.emplace_back(topo_.link_read_occupancy, topo_.link_write_occupancy,
+                        &mcs_[node],
+                        static_cast<double>(topo_.nodes[node].latency));
+  }
+
+  // Chip-shared outermost caches when the outer level's sharing scope is
+  // per-chip; otherwise every core owns its outer level (the default).
+  const TopoCacheLevel& outer_level = topo_.levels.back();
+  chip_domains_ = outer_level.scope == SharingScope::kPerChip;
+  if (chip_domains_) {
+    chip_caches_.reserve(static_cast<std::size_t>(p.chips));
+    for (int c = 0; c < p.chips; ++c) {
+      chip_caches_.push_back(
+          std::make_unique<SetAssocCache>(outer_level.geometry));
+    }
+  }
+
   cores_.reserve(static_cast<std::size_t>(p.total_cores()));
   for (int chip = 0; chip < p.chips; ++chip) {
     for (int core = 0; core < p.cores_per_chip; ++core) {
       cores_.push_back(std::make_unique<Core>(params_, this, chip, core));
+    }
+  }
+  if (chip_domains_) {
+    const bool three_level = topo_.levels.size() == 3;
+    for (auto& cp : cores_) {
+      SetAssocCache* shared =
+          chip_caches_[static_cast<std::size_t>(cp->chip_index())].get();
+      if (three_level) {
+        cp->attach_l3(shared, topo_.levels[2].latency);
+      } else {
+        cp->attach_shared_l2(shared);
+      }
+    }
+  }
+
+  // Coherence domains: one per outermost cache instance.
+  domain_count_ = chip_domains_ ? p.chips : p.total_cores();
+  domain_of_core_.resize(cores_.size());
+  domain_cores_.assign(static_cast<std::size_t>(domain_count_), {});
+  domain_chip_.assign(static_cast<std::size_t>(domain_count_), 0);
+  for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
+    const int d = chip_domains_ ? cores_[static_cast<std::size_t>(c)]->chip_index() : c;
+    domain_of_core_[static_cast<std::size_t>(c)] = d;
+    domain_cores_[static_cast<std::size_t>(d)].push_back(c);
+    domain_chip_[static_cast<std::size_t>(d)] =
+        cores_[static_cast<std::size_t>(c)]->chip_index();
+  }
+  if (chip_domains_) {
+    for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
+      for (const int o : domain_cores_[static_cast<std::size_t>(domain_of_core_[static_cast<std::size_t>(c)])]) {
+        if (o != c) {
+          cores_[static_cast<std::size_t>(c)]->add_domain_sibling(
+              cores_[static_cast<std::size_t>(o)].get());
+        }
+      }
     }
   }
 }
@@ -21,7 +99,7 @@ double Machine::wall_time() const noexcept {
   double t = 0;
   for (const auto& c : cores_) {
     const Core& core_ref = *c;
-    for (int i = 0; i < 2; ++i) {
+    for (int i = 0; i < core_ref.smt_count(); ++i) {
       t = std::max(t, core_ref.context(i).now());
     }
   }
@@ -29,43 +107,68 @@ double Machine::wall_time() const noexcept {
 }
 
 void Machine::reset() noexcept {
-  mc_.reset();
+  for (auto& mc : mcs_) mc.reset();
   for (auto& b : buses_) b.reset();
   for (auto& c : cores_) c->reset();
   directory_.clear();
 }
 
+bool Machine::invalidate_domain(int d, Addr line_addr) noexcept {
+  if (!chip_domains_) {
+    // Private-outer topologies: the domain is exactly one core, and this is
+    // the seed machine's remote-invalidate path, unchanged.
+    return cores_[static_cast<std::size_t>(d)]->invalidate_line(line_addr);
+  }
+  for (const int c : domain_cores_[static_cast<std::size_t>(d)]) {
+    cores_[static_cast<std::size_t>(c)]->invalidate_inner(line_addr);
+  }
+  return chip_caches_[static_cast<std::size_t>(d)]->invalidate(line_addr);
+}
+
+bool Machine::downgrade_domain(int d, Addr line_addr) noexcept {
+  if (!chip_domains_) {
+    return cores_[static_cast<std::size_t>(d)]->downgrade_line(line_addr);
+  }
+  for (const int c : domain_cores_[static_cast<std::size_t>(d)]) {
+    cores_[static_cast<std::size_t>(c)]->downgrade_inner(line_addr);
+  }
+  return chip_caches_[static_cast<std::size_t>(d)]->downgrade_to_shared(line_addr);
+}
+
 LineState Machine::coherent_fill(int filler_core, Addr line_addr, bool is_store,
                                  HwContext& ctx) noexcept {
-  std::uint8_t& holders = directory_[line_addr];
-  const std::uint8_t self = static_cast<std::uint8_t>(1u << filler_core);
-  const std::uint8_t others = static_cast<std::uint8_t>(holders & ~self);
+  const int self_d = domain_of_core_[static_cast<std::size_t>(filler_core)];
+  std::uint32_t& holders = directory_[line_addr];
+  const std::uint32_t self = 1u << self_d;
+  const std::uint32_t others = holders & ~self;
   LineState st;
   if (is_store) {
     // Read-for-ownership: every remote copy dies.
-    for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
-      if ((others & (1u << c)) == 0) continue;
+    for (int d = 0; d < domain_count_; ++d) {
+      if ((others & (1u << d)) == 0) continue;
       ctx.counters_->add(Event::kL2Invalidations, 1);
-      if (cores_[c]->invalidate_line(line_addr)) {
+      if (invalidate_domain(d, line_addr)) {
         // Dirty remote copy: implicit writeback on the remote package's bus.
         ctx.counters_->add(Event::kBusTransactions, 1);
         ctx.counters_->add(Event::kBusWrites, 1);
-        buses_[cores_[c]->chip_index()].write(ctx.now());
+        memory_write(domain_chip_[static_cast<std::size_t>(d)], line_addr,
+                     ctx.now());
       }
     }
     holders = self;
     st = LineState::kModified;
   } else {
-    for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
-      if ((others & (1u << c)) == 0) continue;
-      if (cores_[c]->downgrade_line(line_addr)) {
+    for (int d = 0; d < domain_count_; ++d) {
+      if ((others & (1u << d)) == 0) continue;
+      if (downgrade_domain(d, line_addr)) {
         ctx.counters_->add(Event::kBusTransactions, 1);
         ctx.counters_->add(Event::kBusWrites, 1);
-        buses_[cores_[c]->chip_index()].write(ctx.now());
+        memory_write(domain_chip_[static_cast<std::size_t>(d)], line_addr,
+                     ctx.now());
       }
     }
     st = others != 0 ? LineState::kShared : LineState::kExclusive;
-    holders = static_cast<std::uint8_t>(holders | self);
+    holders |= self;
   }
   return st;
 }
@@ -73,23 +176,29 @@ LineState Machine::coherent_fill(int filler_core, Addr line_addr, bool is_store,
 void Machine::on_l2_evict(int core_id, Addr line_addr) noexcept {
   auto it = directory_.find(line_addr);
   if (it == directory_.end()) return;
-  it->second = static_cast<std::uint8_t>(it->second & ~(1u << core_id));
+  it->second &= ~(1u << domain_of_core_[static_cast<std::size_t>(core_id)]);
   if (it->second == 0) directory_.erase(it);
 }
 
 void Machine::store_upgrade(int core_id, Addr line_addr, HwContext& ctx) noexcept {
-  std::uint8_t& holders = directory_[line_addr];
-  const std::uint8_t self = static_cast<std::uint8_t>(1u << core_id);
-  for (int c = 0; c < static_cast<int>(cores_.size()); ++c) {
-    if (c == core_id || (holders & (1u << c)) == 0) continue;
+  const int self_d = domain_of_core_[static_cast<std::size_t>(core_id)];
+  std::uint32_t& holders = directory_[line_addr];
+  for (int d = 0; d < domain_count_; ++d) {
+    if (d == self_d || (holders & (1u << d)) == 0) continue;
     ctx.counters_->add(Event::kL2Invalidations, 1);
-    if (cores_[c]->invalidate_line(line_addr)) {
+    if (invalidate_domain(d, line_addr)) {
       ctx.counters_->add(Event::kBusTransactions, 1);
       ctx.counters_->add(Event::kBusWrites, 1);
-      buses_[cores_[c]->chip_index()].write(ctx.now());
+      memory_write(domain_chip_[static_cast<std::size_t>(d)], line_addr,
+                   ctx.now());
     }
   }
-  holders = self;
+  holders = 1u << self_d;
+  // Intra-domain: sibling cores sharing the writer's outer cache drop their
+  // inner copies so the writer becomes the sole holder (no-op by
+  // construction on private-outer topologies).
+  cores_[static_cast<std::size_t>(core_id)]->snoop_siblings(line_addr,
+                                                            /*is_store=*/true);
 }
 
 unsigned Machine::holders_of(Addr line_addr) const noexcept {

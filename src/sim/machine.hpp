@@ -1,8 +1,14 @@
 // paxsim/sim/machine.hpp
 //
-// The whole platform: two packages ("chips"), each with two cores and its
-// own front-side bus, behind one shared memory controller; plus the
-// coherence directory that keeps the four private L2s consistent.
+// The whole platform, built from a Topology description (sim/topology.hpp):
+// packages ("chips") with cores and SMT contexts, a per-package link
+// (front-side bus or point-to-point), one memory controller per NUMA node,
+// and the coherence directory.  The directory tracks *coherence domains* —
+// one per owner of an outermost cache instance: every core on the default
+// private-L2 Paxville machine, every chip when the outermost level is
+// chip-shared (shared-L2 or L3 topologies).  `MachineParams{}` (no topology
+// attached) builds the calibrated Paxville machine, bit-identical to the
+// pre-topology simulator (test-enforced).
 //
 // The Machine is constructed from MachineParams and is reusable across
 // trials via reset(): a reset machine is bit-identical, in every observable
@@ -25,6 +31,7 @@
 #include "sim/hooks.hpp"
 #include "sim/memsys.hpp"
 #include "sim/params.hpp"
+#include "sim/topology.hpp"
 #include "sim/types.hpp"
 
 namespace paxsim::sim {
@@ -63,9 +70,12 @@ class AddressSpace {
   Addr next_;
 };
 
-/// The two-package dual-core Hyper-Threaded SMP.
+/// The simulated SMP, shaped by `MachineParams::resolved_topology()`.
 class Machine {
  public:
+  /// Builds the machine.  Throws std::invalid_argument when the resolved
+  /// topology fails Topology::validate_for_sim (the CLI validates earlier
+  /// and reports the reason; this is the last line of defence).
   explicit Machine(const MachineParams& p);
 
   Machine(const Machine&) = delete;
@@ -90,9 +100,52 @@ class Machine {
   }
 
   [[nodiscard]] FrontSideBus& bus(int chip_idx) noexcept {
-    return buses_[chip_idx];
+    return buses_[static_cast<std::size_t>(chip_idx)];
   }
-  [[nodiscard]] MemoryController& controller() noexcept { return mc_; }
+  /// Memory controller of node 0 (the only one on single-node topologies).
+  [[nodiscard]] MemoryController& controller() noexcept { return mcs_[0]; }
+  /// Memory controller of NUMA node @p node.
+  [[nodiscard]] MemoryController& controller(int node) noexcept {
+    return mcs_[static_cast<std::size_t>(node)];
+  }
+
+  /// The topology this machine was built from.
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  // ---- memory path (called by Core) ----------------------------------------
+  /// Line read from @p chip_idx at time @p t: link backlog + the home
+  /// node's controller backlog + that node's (possibly remote) latency.
+  [[nodiscard]] double memory_read(int chip_idx, Addr line_addr,
+                                   double t) noexcept {
+    const int node = node_of_line(line_addr);
+    return buses_[static_cast<std::size_t>(chip_idx)].read_via(
+        t, mcs_[static_cast<std::size_t>(node)],
+        memory_base_latency(chip_idx, line_addr));
+  }
+  /// Asynchronous line writeback from @p chip_idx at time @p t.
+  void memory_write(int chip_idx, Addr line_addr, double t) noexcept {
+    buses_[static_cast<std::size_t>(chip_idx)].write_via(
+        t, mcs_[static_cast<std::size_t>(node_of_line(line_addr))]);
+  }
+  /// Uncontended load-to-use latency of @p line_addr's home node as seen
+  /// from @p chip_idx (node latency, plus the remote surcharge when the
+  /// node is not local to the chip).
+  [[nodiscard]] double memory_base_latency(int chip_idx,
+                                           Addr line_addr) const noexcept {
+    const int node = node_of_line(line_addr);
+    double base =
+        static_cast<double>(topo_.nodes[static_cast<std::size_t>(node)].latency);
+    if (home_node_[static_cast<std::size_t>(chip_idx)] != node) {
+      base += remote_extra_;
+    }
+    return base;
+  }
+  /// Home NUMA node of @p line_addr: node 0 on single-node machines,
+  /// page-interleaved (4 KiB granules) across nodes otherwise.
+  [[nodiscard]] int node_of_line(Addr line_addr) const noexcept {
+    const std::size_t n = mcs_.size();
+    return n == 1 ? 0 : static_cast<int>((line_addr >> 12) % n);
+  }
 
   /// Wall-clock virtual time: max clock over all contexts.
   [[nodiscard]] double wall_time() const noexcept;
@@ -107,16 +160,40 @@ class Machine {
   /// (events such as remote writebacks are charged to it).
   LineState coherent_fill(int filler_core, Addr line_addr, bool is_store,
                           HwContext& ctx) noexcept;
-  /// Records that @p core_id no longer holds @p line_addr in its L2.
+  /// Records that @p core_id's domain no longer holds @p line_addr in its
+  /// outermost cache.
   void on_l2_evict(int core_id, Addr line_addr) noexcept;
   /// Store hit on a Shared line: invalidate all remote copies.
   void store_upgrade(int core_id, Addr line_addr, HwContext& ctx) noexcept;
 
-  /// Directory introspection (tests): bitmask of cores holding @p line.
+  // ---- coherence domains ----------------------------------------------------
+  /// One domain per owner of an outermost cache instance: per core on
+  /// private-outer topologies (the default), per chip when the outermost
+  /// level is chip-shared.
+  [[nodiscard]] int domain_count() const noexcept { return domain_count_; }
+  [[nodiscard]] int domain_of_core(int core_id) const noexcept {
+    return domain_of_core_[static_cast<std::size_t>(core_id)];
+  }
+  /// Global core ids belonging to domain @p d.
+  [[nodiscard]] const std::vector<int>& domain_cores(int d) const noexcept {
+    return domain_cores_[static_cast<std::size_t>(d)];
+  }
+  /// The outermost cache instance owned by domain @p d.
+  [[nodiscard]] const SetAssocCache& domain_outer_cache(int d) const noexcept {
+    return chip_domains_
+               ? *chip_caches_[static_cast<std::size_t>(d)]
+               : cores_[static_cast<std::size_t>(d)]->outer_cache();
+  }
+  /// True when domains are per-chip (shared outermost level).
+  [[nodiscard]] bool chip_domains() const noexcept { return chip_domains_; }
+
+  /// Directory introspection (tests): bitmask of *domains* holding @p line
+  /// (domain == core on the default private-L2 machine).
   [[nodiscard]] unsigned holders_of(Addr line_addr) const noexcept;
 
   /// Full directory content, one (line address, holder bitmask) pair per
-  /// tracked line — the invariant checker cross-audits it against the L2s.
+  /// tracked line — the invariant checker cross-audits it against the
+  /// outermost caches.
   [[nodiscard]] std::vector<std::pair<Addr, unsigned>> directory_snapshot()
       const;
 
@@ -132,11 +209,31 @@ class Machine {
   [[nodiscard]] TraceSink* trace_sink() const noexcept { return sink_; }
 
  private:
+  /// Invalidates @p line_addr everywhere inside domain @p d; returns true
+  /// when the outermost copy was dirty (implicit writeback needed).
+  bool invalidate_domain(int d, Addr line_addr) noexcept;
+  /// Downgrades @p line_addr to Shared inside domain @p d; returns true
+  /// when the outermost copy was dirty.
+  bool downgrade_domain(int d, Addr line_addr) noexcept;
+
   MachineParams params_;
-  MemoryController mc_;
-  std::vector<FrontSideBus> buses_;
+  Topology topo_;
+  std::vector<MemoryController> mcs_;  ///< one per NUMA node
+  std::vector<int> home_node_;         ///< package -> local node index
+  double remote_extra_ = 0;            ///< Topology::remote_node_extra_latency
+  std::vector<FrontSideBus> buses_;    ///< one per package
+  /// Chip-shared outermost caches (shared-L2 or L3 topologies); empty when
+  /// every core owns its outer level.
+  std::vector<std::unique_ptr<SetAssocCache>> chip_caches_;
   std::vector<std::unique_ptr<Core>> cores_;
-  std::unordered_map<Addr, std::uint8_t> directory_;
+
+  bool chip_domains_ = false;
+  int domain_count_ = 0;
+  std::vector<int> domain_of_core_;
+  std::vector<std::vector<int>> domain_cores_;
+  std::vector<int> domain_chip_;
+
+  std::unordered_map<Addr, std::uint32_t> directory_;
   TraceSink* sink_ = nullptr;
 };
 

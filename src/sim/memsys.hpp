@@ -103,6 +103,9 @@ class MemoryController {
  public:
   explicit MemoryController(const MachineParams& p)
       : read_occ_(p.mem_read_occupancy), write_occ_(p.mem_write_occupancy) {}
+  /// Controller of one explicit memory node (NUMA topologies).
+  MemoryController(double read_occupancy, double write_occupancy)
+      : read_occ_(read_occupancy), write_occ_(write_occupancy) {}
 
   /// Reserves the controller for one line transfer arriving at @p t;
   /// returns the backlog delay.
@@ -139,22 +142,40 @@ class FrontSideBus {
         mem_latency_(static_cast<double>(p.mem_latency)),
         mc_(mc) {}
 
+  /// A link with explicit occupancies, bound to the home node's controller
+  /// and uncontended latency (topology-driven construction).
+  FrontSideBus(double read_occupancy, double write_occupancy,
+               MemoryController* mc, double mem_latency)
+      : read_occ_(read_occupancy),
+        write_occ_(write_occupancy),
+        mem_latency_(mem_latency),
+        mc_(mc) {}
+
   /// Issues a demand or prefetch line read at time @p t.  Returns the
   /// load-to-use latency: bus backlog + controller backlog + DRAM latency.
-  double read(double t) noexcept {
-    const double bus_delay = server_.reserve(t, read_occ_);
-    window_.account(t, read_occ_);
-    const double mc_delay = mc_->reserve(t + bus_delay, /*is_write=*/false);
-    return bus_delay + mc_delay + mem_latency_;
-  }
+  double read(double t) noexcept { return read_via(t, *mc_, mem_latency_); }
 
   /// Posts a writeback at time @p t.  Writebacks drain asynchronously and do
   /// not stall the core, but they consume bus and controller capacity and
   /// therefore delay later reads in the same windows.
-  void write(double t) noexcept {
+  void write(double t) noexcept { return write_via(t, *mc_); }
+
+  /// read() against an explicit target controller/latency — the same link
+  /// capacity serves every node reachable from this package, but the far
+  /// end (which controller queues the request, and the uncontended latency)
+  /// depends on the line's home node.
+  double read_via(double t, MemoryController& mc, double mem_latency) noexcept {
+    const double bus_delay = server_.reserve(t, read_occ_);
+    window_.account(t, read_occ_);
+    const double mc_delay = mc.reserve(t + bus_delay, /*is_write=*/false);
+    return bus_delay + mc_delay + mem_latency;
+  }
+
+  /// write() against an explicit target controller.
+  void write_via(double t, MemoryController& mc) noexcept {
     const double bus_delay = server_.reserve(t, write_occ_);
     window_.account(t, write_occ_);
-    mc_->reserve(t + bus_delay, /*is_write=*/true);
+    mc.reserve(t + bus_delay, /*is_write=*/true);
   }
 
   /// Recent utilisation of this bus, evaluated at @p now.  Gates the

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "sim/topology.hpp"
+
 namespace paxsim::sim {
 
 const char* check_mode_name(CheckMode m) noexcept {
@@ -68,7 +70,65 @@ MachineParams MachineParams::scaled(double factor) const {
                                   trace_uops_per_line * trace_cache_ways);
   p.itlb_entries = scale_down(itlb_entries, factor, itlb_ways);
   p.dtlb_entries = scale_down(dtlb_entries, factor, dtlb_ways);
+  if (topology != nullptr) {
+    auto scaled_topo = std::make_shared<Topology>(*topology);
+    for (TopoCacheLevel& lv : scaled_topo->levels) {
+      lv.geometry.size_bytes =
+          scale_down(lv.geometry.size_bytes, factor,
+                     lv.geometry.line_bytes * lv.geometry.ways);
+    }
+    p.set_topology(std::move(scaled_topo));
+  }
   return p;
+}
+
+MachineParams& MachineParams::set_topology(std::shared_ptr<const Topology> topo) {
+  topology = std::move(topo);
+  if (topology == nullptr) return *this;
+  const Topology& t = *topology;
+  chips = t.packages;
+  cores_per_chip = t.cores_per_package;
+  contexts_per_core = t.smt_per_core;
+  bus_read_occupancy = t.link_read_occupancy;
+  bus_write_occupancy = t.link_write_occupancy;
+  if (!t.levels.empty()) {
+    l1d = t.levels[0].geometry;
+    l1_latency = t.levels[0].latency;
+  }
+  if (t.levels.size() > 1) {
+    l2 = t.levels[1].geometry;
+    l2_latency = t.levels[1].latency;
+  }
+  if (!t.nodes.empty()) {
+    mem_latency = t.nodes[0].latency;
+    mem_read_occupancy = t.nodes[0].read_occupancy;
+    mem_write_occupancy = t.nodes[0].write_occupancy;
+  }
+  return *this;
+}
+
+Topology MachineParams::resolved_topology() const {
+  if (topology != nullptr) return *topology;
+  Topology t;
+  t.name = "default";
+  t.packages = chips;
+  t.cores_per_package = cores_per_chip;
+  t.smt_per_core = contexts_per_core;
+  t.interconnect = Interconnect::kSharedFsb;
+  t.link_read_occupancy = bus_read_occupancy;
+  t.link_write_occupancy = bus_write_occupancy;
+  t.remote_node_extra_latency = 0;
+  t.levels = {
+      {"L1D", l1d, SharingScope::kPerCore, l1_latency},
+      {"L2", l2, SharingScope::kPerCore, l2_latency},
+  };
+  MemNode node;
+  node.latency = mem_latency;
+  node.read_occupancy = mem_read_occupancy;
+  node.write_occupancy = mem_write_occupancy;
+  for (int p2 = 0; p2 < chips; ++p2) node.home_packages.push_back(p2);
+  t.nodes = {std::move(node)};
+  return t;
 }
 
 }  // namespace paxsim::sim

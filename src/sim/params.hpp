@@ -16,10 +16,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "sim/types.hpp"
 
 namespace paxsim::sim {
+
+struct Topology;  // sim/topology.hpp
 
 /// Which runtime analyses (src/check/) observe a run.  Any mode other than
 /// kOff routes every memory access through the reference (out-of-line) path
@@ -202,10 +205,28 @@ struct MachineParams {
   /// to a build without the tracing subsystem (test-enforced).
   TraceMode trace_mode = TraceMode::kOff;
 
+  /// Optional first-class machine description (sim/topology.hpp).  Null
+  /// means "the calibrated Paxville shape described by the scalar fields
+  /// above" — the seed machine, bit-identical to the pre-topology
+  /// simulator.  When set (via set_topology), the topology is authoritative
+  /// for structure (counts, cache levels, nodes, links) and the mirror
+  /// scalars above are kept in sync so existing readers stay correct.
+  std::shared_ptr<const Topology> topology;
+
+  /// Installs @p topo and syncs the mirror scalars (chips/cores/contexts,
+  /// l1d/l2 geometry + latencies, bus/memory occupancies, mem_latency) from
+  /// it.  Returns *this for chaining.
+  MachineParams& set_topology(std::shared_ptr<const Topology> topo);
+
+  /// The topology this machine is built from: `*topology` when set,
+  /// otherwise the Paxville-shaped description of the scalar fields.
+  [[nodiscard]] Topology resolved_topology() const;
+
   /// Returns a copy with all capacity-like quantities divided by @p factor
   /// (latencies, bandwidth-per-cycle and issue parameters untouched).
   /// Associativities are preserved; entry counts are floored at the
-  /// associativity so structures stay well-formed.
+  /// associativity so structures stay well-formed.  An attached topology's
+  /// cache levels scale identically.
   [[nodiscard]] MachineParams scaled(double factor) const;
 
   /// Total logical processors when HT is enabled.

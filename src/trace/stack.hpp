@@ -22,7 +22,8 @@ enum class StackCat : std::uint8_t {
   kSmtStretch,   ///< extra issue cycles from sharing the core's issue width
   kL1Serve,      ///< exposed latency of accesses served by the L1D
   kL2Serve,      ///< exposed latency of L1D misses served by the L2
-  kMemServe,     ///< exposed DRAM latency of L2 misses
+  kL3Serve,      ///< exposed latency of L2 misses served by a chip-shared L3
+  kMemServe,     ///< exposed DRAM latency of last-level misses
   kBusQueue,     ///< FSB + memory-controller queueing share of exposed stalls
   kDtlbWalk,     ///< data-TLB page walks
   kItlbWalk,     ///< instruction-TLB page walks
@@ -31,7 +32,7 @@ enum class StackCat : std::uint8_t {
   kIdle,         ///< barrier / serial-section / not-yet-started idle wait
 };
 
-inline constexpr std::size_t kStackCatCount = 11;
+inline constexpr std::size_t kStackCatCount = 12;
 
 /// Stable lowercase name ("issue", "smt_stretch", ...), used by the report
 /// tables and the JSON schema.
@@ -41,6 +42,7 @@ inline constexpr std::size_t kStackCatCount = 11;
     case StackCat::kSmtStretch: return "smt_stretch";
     case StackCat::kL1Serve: return "l1_serve";
     case StackCat::kL2Serve: return "l2_serve";
+    case StackCat::kL3Serve: return "l3_serve";
     case StackCat::kMemServe: return "mem_serve";
     case StackCat::kBusQueue: return "bus_queue";
     case StackCat::kDtlbWalk: return "dtlb_walk";

@@ -14,13 +14,14 @@ Tracer::Tracer(sim::Machine& machine, sim::TraceMode mode,
     : machine_(machine),
       mode_(mode),
       events_(mode == sim::TraceMode::kEvents ||
-              mode == sim::TraceMode::kFull) {
+              mode == sim::TraceMode::kFull),
+      cores_per_chip_(machine.params().cores_per_chip),
+      contexts_per_core_(machine.params().contexts_per_core) {
   assert(machine.trace_sink() == nullptr && "machine already has a sink");
-  // LogicalCpu::flat() is chip*4 + core*2 + context, so chips*4 covers every
-  // reachable flat index for the (<=2 core, <=2 context) topologies the
-  // model supports.
+  // One dense slot per hardware context of the machine's topology (see
+  // flat_index()).
   const std::size_t slots =
-      static_cast<std::size_t>(machine.params().chips) * 4;
+      static_cast<std::size_t>(machine.params().total_contexts());
   ctxs_.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i) {
     PerCtx s;
@@ -39,7 +40,7 @@ Tracer::~Tracer() {
 }
 
 Tracer::PerCtx& Tracer::state(const sim::HwContext& ctx) noexcept {
-  return ctxs_[static_cast<std::size_t>(ctx.id().flat())];
+  return ctxs_[static_cast<std::size_t>(flat_index(ctx.id()))];
 }
 
 std::size_t Tracer::region_index(sim::BlockId body) {
@@ -88,7 +89,7 @@ void Tracer::on_loop(const sim::HwContext& ctx, sim::BlockId body,
 
   TraceEvent ev;
   ev.kind = TraceEvent::Kind::kLoop;
-  ev.cpu = static_cast<std::uint8_t>(ctx.id().flat());
+  ev.cpu = static_cast<std::uint8_t>(flat_index(ctx.id()));
   ev.region = lead.cur_region;
   ev.t0 = ev.t1 = ctx.now();
   ev.a = body;
@@ -107,14 +108,14 @@ void Tracer::on_team(TeamEvent ev, const void* team,
       flats.clear();
       for (std::size_t i = 0; i < count; ++i) {
         PerCtx& s = state(*members[i]);
-        flats.push_back(members[i]->id().flat());
+        flats.push_back(flat_index(members[i]->id()));
         s.team = team;
         s.cur_region = region;
         s.cur_body = 0;  // serial until the team dispatches a loop
         s.cur_region_idx = 0;
         TraceEvent e;
         e.kind = TraceEvent::Kind::kFork;
-        e.cpu = static_cast<std::uint8_t>(members[i]->id().flat());
+        e.cpu = static_cast<std::uint8_t>(flat_index(members[i]->id()));
         e.region = region;
         e.t0 = e.t1 = members[i]->now();
         record(s, e);
@@ -129,11 +130,11 @@ void Tracer::on_team(TeamEvent ev, const void* team,
       flats.clear();
       for (std::size_t i = 0; i < count; ++i) {
         PerCtx& s = state(*members[i]);
-        flats.push_back(members[i]->id().flat());
+        flats.push_back(flat_index(members[i]->id()));
         s.team = team;
         TraceEvent e;
         e.kind = TraceEvent::Kind::kBarrier;
-        e.cpu = static_cast<std::uint8_t>(members[i]->id().flat());
+        e.cpu = static_cast<std::uint8_t>(flat_index(members[i]->id()));
         e.region = s.cur_region;
         e.t0 = e.t1 = members[i]->now();
         record(s, e);
@@ -145,7 +146,7 @@ void Tracer::on_team(TeamEvent ev, const void* team,
         PerCtx& s = state(*members[i]);
         TraceEvent e;
         e.kind = TraceEvent::Kind::kJoin;
-        e.cpu = static_cast<std::uint8_t>(members[i]->id().flat());
+        e.cpu = static_cast<std::uint8_t>(flat_index(members[i]->id()));
         e.region = s.cur_region;
         e.t0 = e.t1 = members[i]->now();
         record(s, e);
@@ -169,7 +170,7 @@ void Tracer::on_sync(SyncOp op, const sim::HwContext& ctx, sim::Addr addr) {
   TraceEvent e;
   e.kind = op == SyncOp::kAcquire ? TraceEvent::Kind::kCriticalEnter
                                   : TraceEvent::Kind::kCriticalExit;
-  e.cpu = static_cast<std::uint8_t>(ctx.id().flat());
+  e.cpu = static_cast<std::uint8_t>(flat_index(ctx.id()));
   e.region = s.cur_region;
   e.t0 = e.t1 = ctx.now();
   e.a = addr;
@@ -191,10 +192,10 @@ void Tracer::on_thread_moved(const sim::HwContext& from,
   sf.team = nullptr;
   TraceEvent e;
   e.kind = TraceEvent::Kind::kThreadMoved;
-  e.cpu = static_cast<std::uint8_t>(to.id().flat());
+  e.cpu = static_cast<std::uint8_t>(flat_index(to.id()));
   e.region = st.cur_region;
   e.t0 = e.t1 = to.now();
-  e.a = static_cast<std::uint64_t>(from.id().flat());
+  e.a = static_cast<std::uint64_t>(flat_index(from.id()));
   record(st, e);
 }
 
@@ -204,7 +205,9 @@ void Tracer::on_access_stall(const sim::HwContext& ctx, sim::MemLevel level,
   PerCtx& s = state(ctx);
   RegionStats& r = regions_[s.cur_region_idx];
   if (level != sim::MemLevel::kL1) ++r.l1_misses;
-  if (level == sim::MemLevel::kMem) ++r.l2_misses;
+  if (level == sim::MemLevel::kMem || level == sim::MemLevel::kL3) {
+    ++r.l2_misses;  // an L3-served access missed the L2 on its way there
+  }
 
   s.dtlb += dtlb_walk;
   // Split the exposed stall into its queueing share and its serve share by
@@ -218,13 +221,14 @@ void Tracer::on_access_stall(const sim::HwContext& ctx, sim::MemLevel level,
   switch (level) {
     case sim::MemLevel::kL1: s.l1_serve += serve_part; break;
     case sim::MemLevel::kL2: s.l2_serve += serve_part; break;
+    case sim::MemLevel::kL3: s.l3_serve += serve_part; break;
     case sim::MemLevel::kMem: break;  // kMemServe residual at flush
   }
 
   if (events_ && level == sim::MemLevel::kMem) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kMemMiss;
-    e.cpu = static_cast<std::uint8_t>(ctx.id().flat());
+    e.cpu = static_cast<std::uint8_t>(flat_index(ctx.id()));
     e.region = s.cur_region;
     e.t0 = ctx.now();  // hook fires before the stall advances the clock
     e.t1 = ctx.now() + stall;
@@ -246,8 +250,10 @@ void Tracer::on_flush(const sim::HwContext& ctx, double busy,
   d[StackCat::kSmtStretch] = smt_stretch;
   d[StackCat::kL1Serve] = s.l1_serve;
   d[StackCat::kL2Serve] = s.l2_serve;
+  d[StackCat::kL3Serve] = s.l3_serve;
   d[StackCat::kBusQueue] = s.queue;
-  d[StackCat::kMemServe] = stall_mem - s.l1_serve - s.l2_serve - s.queue;
+  d[StackCat::kMemServe] =
+      stall_mem - s.l1_serve - s.l2_serve - s.l3_serve - s.queue;
   d[StackCat::kDtlbWalk] = s.dtlb;
   // Integer-valued walk penalties make this subtraction exact, and it keeps
   // the TLB split additive even if an itlb accumulation was ever missed
@@ -258,12 +264,12 @@ void Tracer::on_flush(const sim::HwContext& ctx, double busy,
   s.stack.add(d);
   regions_[s.cur_region_idx].stack.add(d);
   s.executed += busy + stall_mem + stall_branch + stall_tlb + stall_fe;
-  s.l1_serve = s.l2_serve = s.queue = s.dtlb = s.itlb = 0;
+  s.l1_serve = s.l2_serve = s.l3_serve = s.queue = s.dtlb = s.itlb = 0;
 
   if (events_) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kSample;
-    e.cpu = static_cast<std::uint8_t>(ctx.id().flat());
+    e.cpu = static_cast<std::uint8_t>(flat_index(ctx.id()));
     e.region = s.cur_region;
     e.t0 = e.t1 = ctx.now();
     e.v0 = busy;
@@ -290,7 +296,7 @@ TraceReport Tracer::finish(double wall_cycles) {
         sim::LogicalCpu cpu{static_cast<std::uint8_t>(chip),
                             static_cast<std::uint8_t>(core),
                             static_cast<std::uint8_t>(c)};
-        PerCtx& s = ctxs_[static_cast<std::size_t>(cpu.flat())];
+        PerCtx& s = ctxs_[static_cast<std::size_t>(flat_index(cpu))];
         ContextStack cs;
         cs.cpu = cpu;
         cs.active = s.executed > 0;

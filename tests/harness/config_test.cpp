@@ -5,6 +5,8 @@
 
 #include <set>
 
+#include "sim/topology.hpp"
+
 namespace paxsim::harness {
 namespace {
 
@@ -101,6 +103,58 @@ TEST(ConfigTest, ArchitectureNames) {
   EXPECT_EQ(architecture_name(Architecture::kCMT), "CMT");
   EXPECT_EQ(architecture_name(Architecture::kCmpSmp), "CMP-based SMP");
   EXPECT_EQ(architecture_name(Architecture::kCmtSmp), "CMT-based SMP");
+}
+
+TEST(ConfigTest, ConfigsForPaxvilleReproducesTableOne) {
+  // The generator, applied to the default machine shape, must reproduce the
+  // hand-written registry exactly — names, architectures, flags and the
+  // ordered context lists.
+  const std::vector<StudyConfig> gen =
+      configs_for(sim::Topology::paxville());
+  const auto& all = all_configs();
+  ASSERT_EQ(gen.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(gen[i].name, all[i].name) << i;
+    EXPECT_EQ(gen[i].arch, all[i].arch) << all[i].name;
+    EXPECT_EQ(gen[i].ht_on, all[i].ht_on) << all[i].name;
+    EXPECT_EQ(gen[i].threads, all[i].threads) << all[i].name;
+    EXPECT_EQ(gen[i].chips, all[i].chips) << all[i].name;
+    ASSERT_EQ(gen[i].cpus.size(), all[i].cpus.size()) << all[i].name;
+    for (std::size_t c = 0; c < all[i].cpus.size(); ++c) {
+      EXPECT_EQ(gen[i].cpus[c].chip, all[i].cpus[c].chip) << all[i].name;
+      EXPECT_EQ(gen[i].cpus[c].core, all[i].cpus[c].core) << all[i].name;
+      EXPECT_EQ(gen[i].cpus[c].context, all[i].cpus[c].context)
+          << all[i].name;
+    }
+  }
+}
+
+TEST(ConfigTest, ConfigsForAdaptsToTheShape) {
+  // No SMT: no "HT on" rows at all.
+  const std::vector<StudyConfig> wc =
+      configs_for(sim::Topology::woodcrest());
+  for (const StudyConfig& c : wc) EXPECT_FALSE(c.ht_on) << c.name;
+  EXPECT_GE(find_config_index(wc, "HT off -4-2"), 0);
+  EXPECT_LT(find_config_index(wc, "HT on -8-2"), 0);
+
+  // 4x4 NUMA: the widest row uses all 16 contexts across 4 chips.
+  const std::vector<StudyConfig> numa =
+      configs_for(sim::Topology::numa16());
+  const int widest = find_config_index(numa, "HT off -16-4");
+  ASSERT_GE(widest, 0);
+  EXPECT_EQ(numa[static_cast<std::size_t>(widest)].cpus.size(), 16u);
+  EXPECT_EQ(numa[static_cast<std::size_t>(widest)].chips, 4);
+}
+
+TEST(ConfigTest, CpuLabelsFollowTheTopology) {
+  // Figure-1 labels on the default shape...
+  EXPECT_EQ(cpu_label(sim::LogicalCpu{1, 0, 1}, true), "A5");
+  EXPECT_EQ(cpu_label(sim::LogicalCpu{1, 1, 0}, false), "B3");
+  // ...and the same scheme stays collision-free on a wider machine, where
+  // LogicalCpu::flat()'s fixed 2x2x2 arithmetic would alias.
+  const sim::Topology numa = sim::Topology::numa16();
+  EXPECT_EQ(cpu_label(sim::LogicalCpu{1, 2, 0}, true, numa), "A6");
+  EXPECT_EQ(cpu_label(sim::LogicalCpu{3, 3, 0}, false, numa), "B15");
 }
 
 }  // namespace

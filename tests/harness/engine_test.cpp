@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "harness/runner.hpp"
 #include "harness/sched_runner.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/topology.hpp"
 
 namespace paxsim::harness {
 namespace {
@@ -106,6 +108,33 @@ TEST(CellKeyTest, FactoryProjectsEveryResultRelevantOption) {
                                      npb::Benchmark::kFT, *cfg, opt, seed);
   EXPECT_NE(base, pair);
   EXPECT_EQ(pair.b, npb::Benchmark::kFT);
+}
+
+TEST(CellKeyTest, TopologiesHashToDistinctCells) {
+  // Cells simulated on different machines must never alias: the key carries
+  // the topology fingerprint (empty for the default machine), and the
+  // calibrated `paxville` preset — though bit-identical in results — is
+  // still a distinct cell from the implicit default.
+  const StudyConfig* cfg = find_config("HT on -2-1");
+  const RunOptions opt = quick_options();
+  const std::uint64_t seed = opt.trial_seed(0);
+  const CellKey base = CellKey::from(npb::Benchmark::kCG, *cfg, opt, seed);
+  EXPECT_TRUE(base.machine.empty());
+
+  RunOptions pax = opt;
+  pax.topology =
+      std::make_shared<const sim::Topology>(sim::Topology::paxville());
+  RunOptions wc = opt;
+  wc.topology =
+      std::make_shared<const sim::Topology>(sim::Topology::woodcrest());
+  const CellKey pax_key = CellKey::from(npb::Benchmark::kCG, *cfg, pax, seed);
+  const CellKey wc_key = CellKey::from(npb::Benchmark::kCG, *cfg, wc, seed);
+  EXPECT_NE(base, pax_key);
+  EXPECT_NE(base, wc_key);
+  EXPECT_NE(pax_key, wc_key);
+
+  const CellKeyHash h;
+  EXPECT_NE(h(base), h(wc_key));
 }
 
 TEST(CellKeyTest, TraceModesHashToDistinctCells) {
