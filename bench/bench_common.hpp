@@ -10,9 +10,19 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "paxsim.hpp"
+
+// Build provenance macros are injected by the root CMakeLists on
+// paxsim_options; default them so out-of-tree compiles still build.
+#ifndef PAXSIM_BUILD_TYPE
+#define PAXSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef PAXSIM_BUILD_NATIVE
+#define PAXSIM_BUILD_NATIVE 0
+#endif
 
 namespace paxsim::bench {
 
@@ -24,9 +34,9 @@ struct BenchOptions {
   std::string plot_dir;   ///< when set, also write gnuplot .dat/.gp files
 };
 
-/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --grain=N,
-/// --scale=F, --machine=SPEC, --csv, --no-verify.  Returns false (after
-/// printing usage) on an unknown flag.
+/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --par=N,
+/// --par-window=F, --grain=N, --scale=F, --machine=SPEC, --csv,
+/// --no-verify.  Returns false (after printing usage) on an unknown flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -44,6 +54,11 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = std::atoi(a.c_str() + 7);
       if (opt.jobs < 1) opt.jobs = 1;
+    } else if (a.rfind("--par=", 0) == 0) {
+      opt.run.par = std::atoi(a.c_str() + 6);
+      if (opt.run.par < 1) opt.run.par = 1;
+    } else if (a.rfind("--par-window=", 0) == 0) {
+      opt.run.par_window = std::atof(a.c_str() + 13);
     } else if (a.rfind("--grain=", 0) == 0) {
       const long g = std::atol(a.c_str() + 8);
       opt.run.grain = g < 1 ? 1 : static_cast<std::size_t>(g);
@@ -67,8 +82,8 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
-          "[--grain=N] [--scale=F] [--machine=PRESET|FILE.json] [--csv] "
-          "[--plot=DIR] [--no-verify]\n",
+          "[--par=N] [--par-window=F] [--grain=N] [--scale=F] "
+          "[--machine=PRESET|FILE.json] [--csv] [--plot=DIR] [--no-verify]\n",
           argv[0]);
       return false;
     } else {
@@ -77,6 +92,49 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
     }
   }
   return true;
+}
+
+/// Host/build provenance as a JSON object fragment, e.g.
+///   "host":{"hardware_concurrency":16,"jobs":2,"par":1,
+///           "compiler":"13.2.0","build_type":"Release","native":false}
+/// Embedded in every bench JSON envelope so throughput trajectories from
+/// different machines, thread budgets and build flavours are never compared
+/// as if they were the same experiment.
+inline std::string host_provenance_json(const BenchOptions& opt) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"host\":{\"hardware_concurrency\":%u,\"jobs\":%d,"
+                "\"par\":%d,\"compiler\":\"%s\",\"build_type\":\"%s\","
+                "\"native\":%s}",
+                std::thread::hardware_concurrency(), opt.jobs, opt.run.par,
+                __VERSION__, PAXSIM_BUILD_TYPE,
+                PAXSIM_BUILD_NATIVE ? "true" : "false");
+  return std::string(buf);
+}
+
+/// Emits a one-line provenance envelope for artifacts whose per-row JSON
+/// lines predate the "host" field: downstream collectors join it on the
+/// artifact name.  New artifacts should inline host_provenance_json() into
+/// their rows instead.
+inline void print_host_provenance(const char* artifact,
+                                  const BenchOptions& opt) {
+  std::printf("{\"artifact\":\"%s\",\"kind\":\"host_provenance\",%s}\n",
+              artifact, host_provenance_json(opt).c_str());
+}
+
+/// Same provenance block for the file-writing artifacts that stream a
+/// schema'd document through report::Json: emits `"host":{...}` into the
+/// currently open object.
+inline void write_host_provenance(report::Json& j, const BenchOptions& opt) {
+  j.key("host").object();
+  j.field("hardware_concurrency",
+          static_cast<unsigned>(std::thread::hardware_concurrency()));
+  j.field("jobs", opt.jobs);
+  j.field("par", opt.run.par);
+  j.field("compiler", __VERSION__);
+  j.field("build_type", PAXSIM_BUILD_TYPE);
+  j.field("native", PAXSIM_BUILD_NATIVE != 0);
+  j.end();
 }
 
 /// One-line engine accounting footer (cache effectiveness + pool reuse).

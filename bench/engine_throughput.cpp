@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   opt.jobs = 4;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("engine throughput: pooling, memoization, --jobs");
+  bench::print_host_provenance("engine_throughput", opt);
 
   const auto plan = harness::ExperimentPlan(opt.run, harness::all_configs())
                         .add_benchmarks(bench::study_benchmarks())

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   opt.run.cls = npb::ProblemClass::kClassA;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Extension: per-step metric timeline");
+  bench::print_host_provenance("ext_phase_timeline", opt);
 
   const harness::StudyConfig* cfg = harness::find_config("HT on -8-2");
   const auto& benches = bench::study_benchmarks();

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header(
       "Extension: OS-scheduler policy study (paper section 5 future work)");
+  bench::print_host_provenance("ext_scheduler_study", opt);
 
   struct Workload {
     const char* label;

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                                  : sim::Topology::paxville();
   bench::print_study_header("Extension: speedup vs thread count (flat order)",
                             topo, opt.run.machine_scale);
+  bench::print_host_provenance("ext_thread_scaling", opt);
 
   // Build incremental configs by slicing the machine's widest Table-1
   // configuration, whose cpus are listed in flat enumeration order.

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Figure 2: architectural metrics, single program");
+  bench::print_host_provenance("fig2_arch_metrics", opt);
 
   const auto& all = harness::all_configs();  // serial + 7 parallel
   std::vector<std::string> cols;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Figure 3: speedup of NAS OpenMP applications");
+  bench::print_host_provenance("fig3_speedup", opt);
 
   const auto configs = harness::parallel_configs();
   std::vector<std::string> cols;

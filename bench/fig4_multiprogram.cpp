@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Figure 4: multi-program workloads (CG/FT, FT/FT, CG/CG)");
+  bench::print_host_provenance("fig4_multiprogram", opt);
 
   const Workload workloads[] = {
       {"CG/FT", npb::Benchmark::kCG, npb::Benchmark::kFT},

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   opt.run.cls = npb::ProblemClass::kClassA;  // cross-product default
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Figure 5: multi-programmed speedup of NAS benchmark pairs");
+  bench::print_host_provenance("fig5_crossproduct", opt);
 
   // The configurations a pair can fully load (>= 2 contexts).
   const char* config_names[] = {"HT on -2-1", "HT off -2-1", "HT on -4-1",

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("hot-path throughput: fast vs reference path",
                             opt.run.machine_scale);
+  bench::print_host_provenance("hotpath_throughput", opt);
 
   const harness::StudyConfig& cfg = harness::serial_config();
   const int repeats = opt.run.trials < 1 ? 1 : opt.run.trials;

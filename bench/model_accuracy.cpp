@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header(
       "model accuracy: analytical prediction vs simulation");
+  bench::print_host_provenance("model_accuracy", opt);
 
   const bool class_s = opt.run.cls == npb::ProblemClass::kClassS;
   const char* config_names[] = {"Serial", "HT off -4-2", "HT on -8-2"};

@@ -1,0 +1,218 @@
+// bench/parallel_sim_throughput.cpp — simulator-engineering artifact for
+// the host-parallel backend (src/par): one simulated machine sharded over
+// host threads, measured against the single-threaded fast path it must be
+// bit-identical to.
+//
+// Each NPB kernel runs on the most parallel configuration of the selected
+// machine (all contexts active) twice per flavour:
+//
+//   serial — the single-threaded fast path (--par=1), the baseline the
+//            whole backend is differential-tested against
+//   par    — the conservative-synchronisation parallel backend with
+//            --par LPs (default: one per coherence domain, capped by the
+//            host), same machine, same seed
+//
+// with cold (first run) and warm (best of the remaining --trials repeats)
+// timings of the simulation loop proper (RunResult::host_sim_sec).
+// Throughput is simulated events per host second over the fast path's
+// high-frequency counters (instructions, L1D refs, DTLB refs, trace-cache
+// refs).  The two flavours' full counter tables and virtual wall time are
+// cross-checked for exact equality — the artifact doubles as a
+// differential test and exits non-zero on any divergence, so the perf CI
+// job gates determinism even though it cannot gate shared-runner timings.
+//
+// Per-kernel sync-overhead accounting comes from the par::Stats delta of
+// the warm run: grains (scheduling epochs), token acquisitions and spins,
+// cooperative yields while blocked, lookahead-window parks, conflicts and
+// serial reruns.  The JSON rows embed the host-provenance envelope
+// (hardware_concurrency, --par, compiler, build flags) so trajectories
+// from different hosts are never conflated.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "paxsim.hpp"
+
+using namespace paxsim;
+
+namespace {
+
+std::uint64_t event_count(const perf::CounterSet& c) {
+  using perf::Event;
+  return c.get(Event::kInstructions) + c.get(Event::kL1dReferences) +
+         c.get(Event::kDtlbReferences) + c.get(Event::kTraceCacheReferences);
+}
+
+struct Timing {
+  double cold_sec = 0;
+  double warm_sec = 0;  // best repeat after the first (cold when trials == 1)
+  harness::RunResult result;
+  par::Stats warm_stats;  // backend stats of the best repeat
+};
+
+Timing time_runs(sim::Machine& machine, npb::Benchmark bench,
+                 const harness::StudyConfig& cfg,
+                 const harness::RunOptions& opt, int repeats) {
+  Timing t;
+  for (int r = 0; r < repeats; ++r) {
+    par::stats_reset();
+    harness::RunResult res =
+        harness::run_single(machine, bench, cfg, opt, opt.trial_seed(0));
+    const par::Stats stats = par::stats_snapshot();
+    const double sec = res.host_sim_sec;
+    if (r == 0) {
+      t.cold_sec = sec;
+      t.warm_sec = sec;
+      t.result = std::move(res);
+      t.warm_stats = stats;
+    } else if (sec < t.warm_sec || r == 1) {
+      t.warm_sec = sec;
+      t.warm_stats = stats;
+    }
+  }
+  return t;
+}
+
+/// The configuration with the most simulated contexts — the regime the
+/// parallel backend targets (every coherence domain populated).
+const harness::StudyConfig& widest_config(
+    const std::vector<harness::StudyConfig>& configs) {
+  const harness::StudyConfig* best = &configs.front();
+  for (const harness::StudyConfig& c : configs) {
+    if (c.cpus.size() > best->cpus.size()) best = &c;
+  }
+  return *best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt;
+  opt.run.cls = npb::ProblemClass::kClassS;  // backend cost, not the model
+  opt.run.verify = false;
+  bool par_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--par=", 0) == 0) par_given = true;
+  }
+  if (!bench::parse_args(argc, argv, opt)) return 1;
+
+  // Default --par to one LP per coherence domain, capped by the host: the
+  // widest decomposition the conservative protocol can actually use.
+  sim::Machine machine(opt.run.machine_params());
+  if (!par_given) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    opt.run.par = std::max(
+        1, std::min(machine.domain_count(), static_cast<int>(hw)));
+  }
+
+  const std::vector<harness::StudyConfig> configs =
+      opt.run.topology != nullptr ? harness::configs_for(*opt.run.topology)
+                                  : harness::all_configs();
+  const harness::StudyConfig& cfg = widest_config(configs);
+  const int repeats = opt.run.trials < 1 ? 1 : opt.run.trials;
+
+  bench::print_study_header("parallel simulation throughput: --par vs serial",
+                            opt.run.machine_scale);
+  bench::print_host_provenance("parallel_sim_throughput", opt);
+  std::printf("configuration: %s (%zu contexts), %d coherence domains, "
+              "--par=%d, window factor %g\n\n",
+              cfg.name.c_str(), cfg.cpus.size(), machine.domain_count(),
+              opt.run.par, opt.run.par_window);
+
+  harness::RunOptions serial_opt = opt.run;
+  serial_opt.par = 1;
+  harness::RunOptions par_opt = opt.run;
+
+  const std::string cls = std::string(npb::class_name(opt.run.cls));
+  std::printf("%-4s %12s %10s %10s %8s %9s %11s %9s\n", "", "events",
+              "serial wm", "par warm", "speedup", "grains", "spins/grain",
+              "yld/grain");
+
+  bool mismatch = false;
+  std::uint64_t total_events = 0;
+  double total_serial = 0, total_par = 0;
+  for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+    const Timing serial = time_runs(machine, bench, cfg, serial_opt, repeats);
+    const Timing par = time_runs(machine, bench, cfg, par_opt, repeats);
+
+    // The hard invariant: the parallel backend is an execution strategy,
+    // not a model change.  Any divergence is a bug, never noise.
+    if (serial.result.counters != par.result.counters ||
+        serial.result.wall_cycles != par.result.wall_cycles) {
+      std::fprintf(stderr, "FAIL: %s diverged between serial and --par=%d\n",
+                   std::string(npb::benchmark_name(bench)).c_str(),
+                   par_opt.par);
+      mismatch = true;
+      continue;
+    }
+    if (par.warm_stats.parallel_regions == 0 && par_opt.par > 1 &&
+        par.warm_stats.serial_regions == 0) {
+      std::fprintf(stderr, "FAIL: %s never engaged the parallel backend\n",
+                   std::string(npb::benchmark_name(bench)).c_str());
+      mismatch = true;
+      continue;
+    }
+
+    const std::uint64_t events = event_count(serial.result.counters);
+    total_events += events;
+    total_serial += serial.warm_sec;
+    total_par += par.warm_sec;
+    const double speedup = serial.warm_sec / par.warm_sec;
+    const par::Stats& ps = par.warm_stats;
+    const double grains = ps.grains > 0 ? static_cast<double>(ps.grains) : 1.0;
+    const std::string name = std::string(npb::benchmark_name(bench));
+    std::printf("%-4s %12llu %9.3fs %9.3fs %7.2fx %9llu %11.2f %9.2f\n",
+                name.c_str(), static_cast<unsigned long long>(events),
+                serial.warm_sec, par.warm_sec, speedup,
+                static_cast<unsigned long long>(ps.grains),
+                static_cast<double>(ps.token_spins) / grains,
+                static_cast<double>(ps.yields) / grains);
+    std::printf(
+        "{\"artifact\":\"parallel_sim_throughput\",\"bench\":\"%s\","
+        "\"class\":\"%s\",\"config\":\"%s\",\"events\":%llu,"
+        "\"serial_cold_sec\":%.4f,\"serial_warm_sec\":%.4f,"
+        "\"par_cold_sec\":%.4f,\"par_warm_sec\":%.4f,"
+        "\"serial_events_per_sec\":%.0f,\"par_events_per_sec\":%.0f,"
+        "\"speedup\":%.3f,\"parallel_regions\":%llu,"
+        "\"serial_regions\":%llu,\"grains\":%llu,\"token_acquires\":%llu,"
+        "\"token_spins\":%llu,\"yields\":%llu,\"window_parks\":%llu,"
+        "\"conflicts\":%llu,\"serial_reruns\":%llu,%s}\n",
+        name.c_str(), cls.c_str(), cfg.name.c_str(),
+        static_cast<unsigned long long>(events), serial.cold_sec,
+        serial.warm_sec, par.cold_sec, par.warm_sec,
+        static_cast<double>(events) / serial.warm_sec,
+        static_cast<double>(events) / par.warm_sec, speedup,
+        static_cast<unsigned long long>(ps.parallel_regions),
+        static_cast<unsigned long long>(ps.serial_regions),
+        static_cast<unsigned long long>(ps.grains),
+        static_cast<unsigned long long>(ps.token_acquires),
+        static_cast<unsigned long long>(ps.token_spins),
+        static_cast<unsigned long long>(ps.yields),
+        static_cast<unsigned long long>(ps.window_parks),
+        static_cast<unsigned long long>(ps.conflicts),
+        static_cast<unsigned long long>(ps.serial_reruns),
+        bench::host_provenance_json(opt).c_str());
+  }
+
+  if (total_par > 0 && total_serial > 0) {
+    const double agg = total_serial / total_par;
+    std::printf("\naggregate: %.2fx (%.0f events/s serial, %.0f events/s "
+                "--par=%d)\n",
+                agg, static_cast<double>(total_events) / total_serial,
+                static_cast<double>(total_events) / total_par, par_opt.par);
+    std::printf(
+        "{\"artifact\":\"parallel_sim_throughput\",\"bench\":\"ALL\","
+        "\"class\":\"%s\",\"config\":\"%s\",\"events\":%llu,"
+        "\"serial_warm_sec\":%.4f,\"par_warm_sec\":%.4f,"
+        "\"serial_events_per_sec\":%.0f,\"par_events_per_sec\":%.0f,"
+        "\"speedup\":%.3f,%s}\n",
+        cls.c_str(), cfg.name.c_str(),
+        static_cast<unsigned long long>(total_events), total_serial, total_par,
+        static_cast<double>(total_events) / total_serial,
+        static_cast<double>(total_events) / total_par, agg,
+        bench::host_provenance_json(opt).c_str());
+  }
+  return mismatch ? 1 : 0;
+}

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::BenchOptions opt;
   if (!bench::parse_args(argc, argv, opt)) return 1;
   bench::print_study_header("Table 2: average speedup per architecture");
+  bench::print_host_provenance("table2_avg_speedup", opt);
 
   const auto configs = harness::parallel_configs();
   std::vector<std::string> cols;

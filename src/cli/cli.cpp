@@ -176,6 +176,12 @@ std::string usage() {
       "              --regions / --stacks (trace: print only the per-region /\n"
       "                         per-context table; default prints both)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
+      "              --par=N (host threads per run: shard one simulated\n"
+      "                         machine across N logical processes;\n"
+      "                         bit-identical to --par=1, composes with\n"
+      "                         --jobs by dividing the host)\n"
+      "              --par-window=F (lookahead window factor, default 64;\n"
+      "                         0 disables the speculation bound)\n"
       "              --grain=N (iterations per scheduling turn; default 1;\n"
       "                         N>1 is faster but changes the interleaving)\n"
       "              --no-verify\n";
@@ -250,6 +256,14 @@ ParseResult parse(const std::vector<std::string>& args) {
         res.error = "bad --jobs";
         return res;
       }
+    } else if (key == "par") {
+      cmd.options.par = std::atoi(value.c_str());
+      if (cmd.options.par < 1) {
+        res.error = "bad --par (need an integer >= 1)";
+        return res;
+      }
+    } else if (key == "par-window") {
+      cmd.options.par_window = std::atof(value.c_str());
     } else if (key == "grain") {
       const long g = std::atol(value.c_str());
       if (g < 1) {

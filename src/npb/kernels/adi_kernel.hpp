@@ -162,31 +162,39 @@ class AdiKernel final : public Kernel {
              std::size_t comp_hi) {
     const std::size_t n = n_;
     const auto ncomp = static_cast<std::uint32_t>(comp_hi - comp_lo);
+    // One scratch set per team rank: bodies run concurrently on host
+    // threads under --par, so shared buffers would race (thomas() keeps
+    // its own temporaries thread_local for the same reason).
+    if (scratch_.size() < static_cast<std::size_t>(team.size())) {
+      scratch_.resize(static_cast<std::size_t>(team.size()));
+    }
     team.parallel_for(
         0, n * n, xomp::Schedule::static_default(), kBlkSweep,
-        [&](std::size_t line, sim::HwContext& ctx, int) {
+        [&](std::size_t line, sim::HwContext& ctx, int rank) {
+          Scratch& sc = scratch_[static_cast<std::size_t>(rank)];
+          std::vector<double>& line_buf = sc.line_buf;
           const std::size_t a = line % n;
           const std::size_t b = line / n;
-          line_buf_.resize(n * (comp_hi - comp_lo));
+          line_buf.resize(n * (comp_hi - comp_lo));
           // Gather: one visit per cell, all requested components ride the
           // same 40-byte cell record.
           for (std::size_t t = 0; t < n; ++t) {
             const std::size_t c = line_cell(dim, a, b, t);
             ctx.load(u_.addr(kComp * c + comp_lo));
             for (std::size_t comp = comp_lo; comp < comp_hi; ++comp) {
-              line_buf_[(comp - comp_lo) * n + t] = u_.host(kComp * c + comp);
+              line_buf[(comp - comp_lo) * n + t] = u_.host(kComp * c + comp);
             }
           }
           // Per-cell arithmetic (5x5 block factorisations for BT, scalar
           // eliminations for SP), then the real Thomas solves.
           ctx.alu(static_cast<std::uint32_t>(n) * Profile.cell_uops * ncomp);
           for (std::size_t comp = comp_lo; comp < comp_hi; ++comp) {
-            comp_view_.assign(
-                line_buf_.begin() + static_cast<std::ptrdiff_t>((comp - comp_lo) * n),
-                line_buf_.begin() + static_cast<std::ptrdiff_t>((comp - comp_lo + 1) * n));
-            thomas(comp_view_);
+            sc.comp_view.assign(
+                line_buf.begin() + static_cast<std::ptrdiff_t>((comp - comp_lo) * n),
+                line_buf.begin() + static_cast<std::ptrdiff_t>((comp - comp_lo + 1) * n));
+            thomas(sc.comp_view);
             for (std::size_t t = 0; t < n; ++t) {
-              line_buf_[(comp - comp_lo) * n + t] = comp_view_[t];
+              line_buf[(comp - comp_lo) * n + t] = sc.comp_view[t];
             }
           }
           // Scatter: again one store per cell visit.
@@ -194,7 +202,7 @@ class AdiKernel final : public Kernel {
             const std::size_t c = line_cell(dim, a, b, t);
             ctx.store(u_.addr(kComp * c + comp_lo));
             for (std::size_t comp = comp_lo; comp < comp_hi; ++comp) {
-              u_.host(kComp * c + comp) = line_buf_[(comp - comp_lo) * n + t];
+              u_.host(kComp * c + comp) = line_buf[(comp - comp_lo) * n + t];
             }
           }
         });
@@ -219,9 +227,13 @@ class AdiKernel final : public Kernel {
   int steps_ = 0;
   double initial_mass_ = 0;
   double initial_energy_ = 0;
+  struct Scratch {
+    std::vector<double> line_buf;
+    std::vector<double> comp_view;
+  };
+
   std::vector<double> energy_history_;
-  std::vector<double> line_buf_;
-  std::vector<double> comp_view_;
+  std::vector<Scratch> scratch_;  // indexed by team rank
   Array<double> u_;
 };
 

@@ -170,26 +170,32 @@ class FtKernel final : public Kernel {
     Array<double>& src = (pass_index % 2 == 0) ? u_ : w_;
     Array<double>& dst = (pass_index % 2 == 0) ? w_ : u_;
 
+    // One scratch pencil per team rank: loop bodies run concurrently on
+    // host threads under --par, so a single shared buffer would race.
+    if (pencils_.size() < static_cast<std::size_t>(team.size())) {
+      pencils_.resize(static_cast<std::size_t>(team.size()));
+    }
     team.parallel_for(
         0, n_pencils, xomp::Schedule::static_default(), kBlkFftPencil,
-        [&](std::size_t p, sim::HwContext& ctx, int) {
-          pencil_.resize(len);
+        [&](std::size_t p, sim::HwContext& ctx, int rank) {
+          std::vector<Cplx>& pencil = pencils_[static_cast<std::size_t>(rank)];
+          pencil.resize(len);
           // Contiguous read of this pencil in the pass's layout.
           for (std::size_t t = 0; t < len; ++t) {
             const std::size_t c = pencil_cell(dim, p, t);
             ctx.load(src.addr(2 * (p * len + t)));
-            pencil_[t] = Cplx(src.host(2 * c), src.host(2 * c + 1));
+            pencil[t] = Cplx(src.host(2 * c), src.host(2 * c + 1));
           }
           // Butterflies: ~16 uops per point per stage (complex mul/add plus
           // addressing), in-register.
           ctx.alu(static_cast<std::uint32_t>(len) * kClassBStages * 16);
-          fft1d(pencil_, inverse);
+          fft1d(pencil, inverse);
           // Contiguous write into the other array's layout.
           for (std::size_t t = 0; t < len; ++t) {
             const std::size_t c = pencil_cell(dim, p, t);
             ctx.store(dst.addr(2 * (p * len + t)));
-            dst.host(2 * c) = pencil_[t].real();
-            dst.host(2 * c + 1) = pencil_[t].imag();
+            dst.host(2 * c) = pencil[t].real();
+            dst.host(2 * c + 1) = pencil[t].imag();
           }
         });
   }
@@ -277,7 +283,7 @@ class FtKernel final : public Kernel {
   Array<double> u_, w_;
   std::vector<Cplx> orig_;
   std::vector<Cplx> checksums_;
-  std::vector<Cplx> pencil_;
+  std::vector<std::vector<Cplx>> pencils_;  // indexed by team rank
 };
 
 }  // namespace

@@ -1,0 +1,81 @@
+#include "par/crew.hpp"
+
+namespace paxsim::par {
+
+Crew::Crew(int n_workers) {
+  if (n_workers < 0) n_workers = 0;
+  errors_.resize(static_cast<std::size_t>(n_workers) + 1);
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Crew::~Crew() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Crew::worker_main(int index) {
+  const int lp = index + 1;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_start_.wait(g, [&] {
+        return shutdown_ || (epoch_ != seen && lp < active_ + 1);
+      });
+      if (shutdown_) return;
+      seen = epoch_;
+      body = body_;
+    }
+    try {
+      (*body)(lp);
+    } catch (...) {
+      std::lock_guard<std::mutex> g(mu_);
+      errors_[static_cast<std::size_t>(lp)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (--running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void Crew::run(int n_lps, const std::function<void(int)>& body) {
+  if (n_lps > max_lps()) n_lps = max_lps();
+  const int workers = n_lps - 1;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (int i = 0; i < n_lps; ++i) errors_[static_cast<std::size_t>(i)] = {};
+    body_ = &body;
+    active_ = workers;
+    running_ = workers;
+    ++epoch_;
+  }
+  if (workers > 0) cv_start_.notify_all();
+  try {
+    body(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> g(mu_);
+    errors_[0] = std::current_exception();
+  }
+  std::unique_lock<std::mutex> g(mu_);
+  cv_done_.wait(g, [&] { return running_ == 0; });
+  body_ = nullptr;
+  for (int i = 0; i < n_lps; ++i) {
+    if (errors_[static_cast<std::size_t>(i)]) {
+      std::exception_ptr e = errors_[static_cast<std::size_t>(i)];
+      errors_[static_cast<std::size_t>(i)] = {};
+      g.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace paxsim::par

@@ -1,0 +1,55 @@
+// paxsim/par/crew.hpp
+//
+// A small reusable worker pool for LP execution.  One crew lives as long as
+// its Team: workers are spawned once and parked on a condition variable
+// between parallel regions, so per-region dispatch costs two lock/notify
+// round trips instead of thread creation.  The caller always runs LP 0
+// inline — a region on N LPs wakes N-1 workers.
+//
+// Exceptions thrown by a body (par::Abort in practice) are captured per
+// worker; run() rethrows the lowest-LP one after everyone parked again, so
+// the caller observes a deterministic error regardless of host timing.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paxsim::par {
+
+class Crew {
+ public:
+  /// Spawns @p n_workers host threads (pass max LPs minus one).
+  explicit Crew(int n_workers);
+  ~Crew();
+  Crew(const Crew&) = delete;
+  Crew& operator=(const Crew&) = delete;
+
+  [[nodiscard]] int max_lps() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs @p body(lp) for lp in [0, n_lps): LP 0 on the calling thread,
+  /// the rest on workers.  Returns after every LP finished; rethrows the
+  /// lowest-LP captured exception, if any.
+  void run(int n_lps, const std::function<void(int)>& body);
+
+ private:
+  void worker_main(int index);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* body_ = nullptr;  // valid while epoch open
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;    // workers participating in the open epoch
+  int running_ = 0;   // workers still inside body
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per LP (0 = caller)
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace paxsim::par

@@ -1,0 +1,42 @@
+// paxsim/par/key.hpp
+//
+// The total order of the host-parallel backend.  Every scheduling grain a
+// logical process (LP) executes carries a Key: the picking thread's virtual
+// clock at pick time plus a tie id (the context's flat cpu index).  The
+// serial runtime dequeues grains in exactly (clock, tie) order, so replaying
+// every cross-LP interaction in ascending Key order reproduces the serial
+// interleaving bit for bit.  Keys also stamp cache lines ("this line was
+// last touched by the grain with this key") — the evidence the conflict
+// detector compares against a remote operation's key.
+//
+// This header is dependency-free on purpose: sim/cache.hpp embeds Keys in
+// cache lines, so it must be includable from the lowest simulator layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace paxsim::par {
+
+/// A position in the global grain order: (virtual clock, context flat id).
+struct Key {
+  double clock = 0;
+  std::int32_t tie = 0;
+
+  friend constexpr bool operator<(const Key& a, const Key& b) noexcept {
+    return a.clock < b.clock || (a.clock == b.clock && a.tie < b.tie);
+  }
+  friend constexpr bool operator==(const Key& a, const Key& b) noexcept {
+    return a.clock == b.clock && a.tie == b.tie;
+  }
+};
+
+/// The stamp serial-mode caches write: compares below every real grain key,
+/// so serial-mode residue can never trigger a conflict in a later parallel
+/// region of the same process.
+inline constexpr Key kKeyZero{0.0, std::numeric_limits<std::int32_t>::min()};
+
+/// Published lower bound of an LP that has retired all its work.
+inline constexpr double kClockDone = std::numeric_limits<double>::infinity();
+
+}  // namespace paxsim::par

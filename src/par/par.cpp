@@ -1,0 +1,44 @@
+#include "par/par.hpp"
+
+#include <mutex>
+
+namespace paxsim::par {
+
+namespace {
+std::mutex g_stats_mu;
+Stats g_stats;
+}  // namespace
+
+void stats_add(const Stats& s) noexcept {
+  std::lock_guard<std::mutex> g(g_stats_mu);
+  g_stats += s;
+}
+
+Stats stats_snapshot() noexcept {
+  std::lock_guard<std::mutex> g(g_stats_mu);
+  return g_stats;
+}
+
+void stats_reset() noexcept {
+  std::lock_guard<std::mutex> g(g_stats_mu);
+  g_stats = Stats{};
+}
+
+int effective_par(int par, int jobs, unsigned hardware_threads) noexcept {
+  if (par <= 1) return 1;
+  if (hardware_threads == 0) hardware_threads = 1;
+  if (jobs < 1) jobs = 1;
+  // Each engine job drives its own machine; give every job an equal slice of
+  // the host so par x jobs never oversubscribes.
+  const int slice = static_cast<int>(hardware_threads) / jobs;
+  const int cap = slice < 1 ? 1 : slice;
+  return par < cap ? par : cap;
+}
+
+double lookahead_window(double latency_floor, double window_factor) noexcept {
+  if (window_factor <= 0) return 0;  // disabled: unbounded speculation
+  const double floor = latency_floor > 1.0 ? latency_floor : 1.0;
+  return floor * window_factor;
+}
+
+}  // namespace paxsim::par

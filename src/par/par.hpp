@@ -1,0 +1,33 @@
+// paxsim/par/par.hpp
+//
+// Umbrella header of the host-parallel backend: conservative logical-process
+// execution of one simulated Machine across host threads, bit-identical to
+// the serial fast path (see session.hpp for the protocol).  The backend is
+// deliberately simulator-agnostic — it orders opaque grains and 64-bit line
+// addresses — so it sits below sim/ in the layering and cache lines can embed
+// par::Key stamps without a dependency cycle.
+#pragma once
+
+#include "par/crew.hpp"
+#include "par/key.hpp"
+#include "par/session.hpp"
+#include "par/stats.hpp"
+
+namespace paxsim::par {
+
+/// Number of LP threads one run may use once the engine's own `--jobs`
+/// parallelism is accounted for: par, clamped to hardware_threads / jobs
+/// (at least 1).  Keeps `--par` composable with `--jobs` without
+/// oversubscribing the host.
+[[nodiscard]] int effective_par(int par, int jobs,
+                                unsigned hardware_threads) noexcept;
+
+/// Lookahead window in simulated cycles: the topology's latency floor (the
+/// cheapest cross-context interaction — min of cache/bus/memory service
+/// latencies) scaled by the user's window factor.  <= 0 factor disables the
+/// window.  The window only bounds host-side speculation depth; results are
+/// identical for every value.
+[[nodiscard]] double lookahead_window(double latency_floor,
+                                     double window_factor) noexcept;
+
+}  // namespace paxsim::par

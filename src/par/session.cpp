@@ -1,0 +1,223 @@
+#include "par/session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace paxsim::par {
+
+ThreadState& tls() noexcept {
+  thread_local ThreadState state;
+  return state;
+}
+
+Session::Session(int max_lps, double window)
+    : lps_(static_cast<std::size_t>(std::max(1, max_lps))), window_(window) {
+  blocked_key_.resize(lps_.size());
+  blocked_valid_.assign(lps_.size(), false);
+}
+
+Session::~Session() { stats_add(stats_); }
+
+void Session::begin_region(int n_lps, const double* initial_lbs) {
+  assert(!aborted() && "a session never restarts after an abort");
+  n_active_ = n_lps;
+  for (int i = 0; i < n_lps; ++i) {
+    LpSlot& s = lps_[static_cast<std::size_t>(i)];
+    s.yield_req.store(false, std::memory_order_relaxed);
+    s.tombs.clear();
+    s.lb.store(initial_lbs[i], std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> g(gate_mu_);
+  std::fill(blocked_valid_.begin(), blocked_valid_.end(), false);
+}
+
+void Session::end_region() {
+  for (int i = 0; i < n_active_; ++i) {
+    LpSlot& s = lps_[static_cast<std::size_t>(i)];
+    stats_.grains += s.grains;
+    stats_.token_acquires += s.token_acquires;
+    stats_.token_spins += s.token_spins;
+    stats_.yields += s.yields;
+    stats_.window_parks += s.window_parks;
+    s.grains = s.token_acquires = s.token_spins = s.yields = s.window_parks = 0;
+    s.tombs.clear();
+  }
+  n_active_ = 0;
+}
+
+Session::LpScope::LpScope(Session& s, int lp) : s_(s), lp_(lp), saved_(tls()) {
+  ThreadState& t = tls();
+  t.session = &s;
+  t.lp = lp;
+  t.key = Key{};
+  t.token = false;
+  s_.lps_[static_cast<std::size_t>(lp)].run_mu.lock();
+}
+
+Session::LpScope::~LpScope() {
+  LpSlot& me = s_.lps_[static_cast<std::size_t>(lp_)];
+  // Publishing "done" is what releases every qualification spin that was
+  // waiting on this LP; it must precede the unlock so a parked remote
+  // operation re-checking after the mutex sees the final state.
+  me.lb.store(kClockDone, std::memory_order_release);
+  me.run_mu.unlock();
+  tls() = saved_;
+}
+
+void Session::spin_pause(std::uint64_t& spins) noexcept {
+  ++spins;
+  if ((spins & 0x3F) == 0) std::this_thread::yield();
+}
+
+void Session::cooperative(int lp) {
+  if (abort_.load(std::memory_order_acquire)) throw Abort{"peer abort"};
+  LpSlot& me = lps_[static_cast<std::size_t>(lp)];
+  if (me.yield_req.load(std::memory_order_relaxed)) {
+    ++me.yields;
+    me.run_mu.unlock();
+    std::uint64_t spins = 0;
+    while (me.yield_req.load(std::memory_order_acquire)) spin_pause(spins);
+    me.run_mu.lock();
+    if (abort_.load(std::memory_order_acquire)) throw Abort{"peer abort"};
+  }
+}
+
+double Session::floor_clock() const noexcept {
+  double f = kClockDone;
+  for (int i = 0; i < n_active_; ++i) {
+    f = std::min(f, lps_[static_cast<std::size_t>(i)].lb.load(
+                        std::memory_order_acquire));
+  }
+  return f;
+}
+
+void Session::begin_grain(int lp, Key key) {
+  cooperative(lp);
+  LpSlot& me = lps_[static_cast<std::size_t>(lp)];
+  // The key slot is LP-private (only this thread stamps through it); the
+  // atomic lower bound is what peers read.  Monotone: every grain strictly
+  // advances its context's clock, so plain release stores suffice.
+  me.current_key = key;
+  me.lb.store(key.clock, std::memory_order_release);
+  ThreadState& t = tls();
+  t.key = key;
+  t.token = false;
+  ++me.grains;
+  if (window_ > 0 &&
+      key.clock > floor_clock() + window_ &&
+      !abort_.load(std::memory_order_acquire)) {
+    ++me.window_parks;
+    me.run_mu.unlock();
+    std::uint64_t spins = 0;
+    // Park outside the run mutex so a remote operation can slip in.
+    // Terminates even when peers unwind: a done LP publishes +inf.
+    while (key.clock > floor_clock() + window_ &&
+           !abort_.load(std::memory_order_acquire)) {
+      spin_pause(spins);
+    }
+    me.run_mu.lock();
+    cooperative(lp);
+  }
+}
+
+void Session::end_grain(int lp) noexcept {
+  (void)lp;
+  tls().token = false;
+}
+
+void Session::acquire_token() noexcept {
+  ThreadState& t = tls();
+  assert(t.session == this && t.lp >= 0 && !t.token);
+  const int lp = t.lp;
+  const Key key = t.key;
+  LpSlot& me = lps_[static_cast<std::size_t>(lp)];
+  {
+    std::lock_guard<std::mutex> g(gate_mu_);
+    blocked_key_[static_cast<std::size_t>(lp)] = key;
+    blocked_valid_[static_cast<std::size_t>(lp)] = true;
+  }
+  // Spin outside the run mutex: the token holder may need to park this LP
+  // for a remote operation while we wait.  After an abort the protocol
+  // still drains by itself — unwinding peers publish +inf, blocked peers
+  // qualify in tie order — so no abort special-casing is needed here.
+  me.run_mu.unlock();
+  std::uint64_t spins = 0;
+  bool ok = false;
+  while (!ok) {
+    ok = true;
+    for (int j = 0; j < n_active_; ++j) {
+      if (j == lp) continue;
+      const double lbj = lps_[static_cast<std::size_t>(j)].lb.load(
+          std::memory_order_acquire);
+      if (lbj > key.clock) continue;  // strictly ahead: stable forever
+      std::lock_guard<std::mutex> g(gate_mu_);
+      if (blocked_valid_[static_cast<std::size_t>(j)] &&
+          key < blocked_key_[static_cast<std::size_t>(j)]) {
+        continue;  // blocked behind us in tie order: waits for our lb
+      }
+      ok = false;
+      break;
+    }
+    if (!ok) spin_pause(spins);
+  }
+  {
+    std::lock_guard<std::mutex> g(gate_mu_);
+    blocked_valid_[static_cast<std::size_t>(lp)] = false;
+  }
+  me.run_mu.lock();
+  t.token = true;
+  ++me.token_acquires;
+  me.token_spins += spins;
+}
+
+void Session::note_evidence(std::uint64_t line) noexcept {
+  ThreadState& t = tls();
+  assert(t.session == this && t.lp >= 0);
+  LpSlot& me = lps_[static_cast<std::size_t>(t.lp)];
+  me.tombs.emplace_back(line, t.key);
+  if (me.tombs.size() > 256) {
+    // Remote operations always carry keys at or above the floor, so older
+    // evidence can never fire; prune it.
+    const double f = floor_clock();
+    std::erase_if(me.tombs,
+                  [f](const auto& e) { return e.second.clock < f; });
+  }
+}
+
+bool Session::evidence_after(int lp, std::uint64_t line, Key k) const noexcept {
+  const LpSlot& s = lps_[static_cast<std::size_t>(lp)];
+  for (const auto& [l, key] : s.tombs) {
+    if (l == line && k < key) return true;
+  }
+  return false;
+}
+
+Session::RemoteLock::RemoteLock(Session& s, int target_lp)
+    : s_(s), target_(target_lp) {
+  ThreadState& t = tls();
+  assert(t.session == &s && t.token &&
+         "only the token holder performs remote operations");
+  if (target_lp == t.lp || target_lp < 0) return;
+  cross_ = true;
+  LpSlot& tgt = s_.lps_[static_cast<std::size_t>(target_lp)];
+  tgt.yield_req.store(true, std::memory_order_release);
+  tgt.run_mu.lock();
+}
+
+Session::RemoteLock::~RemoteLock() {
+  if (!cross_) return;
+  LpSlot& tgt = s_.lps_[static_cast<std::size_t>(target_)];
+  tgt.yield_req.store(false, std::memory_order_relaxed);
+  tgt.run_mu.unlock();
+}
+
+void Session::note_conflict() noexcept {
+  {
+    std::lock_guard<std::mutex> g(gate_mu_);
+    ++stats_.conflicts;
+  }
+  abort_.store(true, std::memory_order_release);
+}
+
+}  // namespace paxsim::par

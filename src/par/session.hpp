@@ -1,0 +1,227 @@
+// paxsim/par/session.hpp
+//
+// Conservative synchronization core of the host-parallel backend.
+//
+// One simulated Machine is sharded into logical processes (LPs): each LP is
+// a union of whole coherence domains, so every cache structure is owned by
+// exactly one LP and only Machine-level shared paths (directory coherence,
+// bus/memory-controller service, the dynamic-schedule cursor) ever cross LPs.
+// One host thread drives each LP, free-running its grains in local (clock,
+// tie) order and stamping every line it touches with the grain's Key.
+//
+// Ordering rules:
+//  * A grain that needs a machine-shared operation must first acquire the
+//    token: its Key must be the global minimum over all LPs' published
+//    lower bounds (an atomic clock per LP) and blocked keys (a small table
+//    under a mutex that resolves equal-clock ties by tie id).  Once a grain
+//    qualifies it stays the minimum until it ends, so one acquisition covers
+//    every shared operation of the grain.
+//  * A token holder touching another LP's structures (remote invalidate /
+//    downgrade) first parks that LP (yield flag + its run mutex), then
+//    checks for evidence that the target already ran past the holder's key
+//    on the affected line: a line stamp or an eviction/snoop tombstone with
+//    a larger key means the speculative execution diverged — the session
+//    flags an abort and the harness replays the trial serially
+//    (bit-identity is therefore unconditional; aborts only pick between two
+//    identical strategies).
+//
+// Abort draining: the simulator's call chain is noexcept, so nothing below
+// the team layer ever throws.  note_conflict() only sets a flag; every LP
+// keeps executing (now-discarded) grains under the normal token protocol —
+// still mutually exclusive, still race-free — until its next grain pick or
+// cooperative point, where begin_grain()/cooperative() throw Abort and the
+// LP unwinds, publishing "done".  Peers blocked on it then qualify and
+// drain the same way, so the region always terminates cleanly.
+//  * An LP may not start a grain more than `window` cycles past the slowest
+//    LP (lookahead window, derived from the machine's latency floor).  The
+//    window only bounds speculation depth; it never changes results.
+//
+// Memory model: lower bounds are released on publish and acquired during
+// qualification, so every write a previous token holder made is visible to
+// the next holder; remote operations synchronize through the target's run
+// mutex; everything else is LP-private.  The backend is TSan-clean by
+// construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "par/key.hpp"
+#include "par/stats.hpp"
+
+namespace paxsim::par {
+
+class Session;
+
+/// Thrown when speculation diverged from the serial order (or a construct
+/// the parallel backend does not support ran inside a parallel region).
+/// run_single catches it, resets the machine and replays the trial serially.
+struct Abort {
+  const char* reason = "conflict";
+};
+
+/// Per-host-thread view of the backend.  Inactive (null session) outside
+/// parallel regions, so serial-mode code never pays more than one
+/// thread-local load on the slow paths that consult it.
+struct ThreadState {
+  Session* session = nullptr;  ///< active session, null when serial
+  int lp = -1;                 ///< this thread's LP index
+  Key key{};                   ///< key of the grain being executed
+  bool token = false;          ///< token held for the current grain
+};
+
+[[nodiscard]] ThreadState& tls() noexcept;
+
+class Session {
+ public:
+  /// @p max_lps bounds the crew size; @p window is the lookahead window in
+  /// cycles (<= 0 disables the window).
+  Session(int max_lps, double window);
+
+  /// Folds this session's accumulated stats into the process-global
+  /// accumulator (par::stats_snapshot), so per-run deltas survive the
+  /// session's owner (one Team per trial).
+  ~Session();
+
+  [[nodiscard]] int max_lps() const noexcept {
+    return static_cast<int>(lps_.size());
+  }
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+  // ---- region lifecycle (main thread, crew quiescent) ----------------------
+
+  /// Arms @p n_lps LPs with their initial lower bounds for one region.
+  void begin_region(int n_lps, const double* initial_lbs);
+
+  /// Folds per-LP stats; tombstone logs are cleared (keys from an earlier
+  /// region sort below every later key, so they could never fire anyway).
+  void end_region();
+
+  // ---- LP-thread protocol --------------------------------------------------
+
+  /// Enters/leaves the LP loop: locks the LP's run mutex and activates the
+  /// thread state.  The destructor publishes kClockDone and unlocks.
+  class LpScope {
+   public:
+    LpScope(Session& s, int lp);
+    ~LpScope();
+    LpScope(const LpScope&) = delete;
+    LpScope& operator=(const LpScope&) = delete;
+
+   private:
+    Session& s_;
+    int lp_;
+    ThreadState saved_;
+  };
+
+  /// Grain pick: publishes the lower bound, installs the thread-state key,
+  /// honors aborts/yield requests and the lookahead window.  Must be called
+  /// with the LP's run mutex held (it may release and re-acquire it).
+  void begin_grain(int lp, Key key);
+
+  /// Grain end: drops the token (the next begin_grain publishes the new
+  /// lower bound, which is what actually releases waiters).
+  void end_grain(int lp) noexcept;
+
+  /// Cooperative point without a new grain (loop bookkeeping): abort/yield
+  /// checks only.
+  void cooperative(int lp);
+
+  /// Acquires the token for the current grain (no-op if already held).
+  /// Called from the Machine's shared-path hooks through tls(); never
+  /// throws (the simulator below it is noexcept) — after an abort it
+  /// degenerates to the same protocol over discarded grains.
+  void acquire_token() noexcept;
+
+  /// acquire_token through the thread state, guarded against foreign
+  /// threads (e.g. a --jobs worker that never entered this session).
+  static void gate_current(Session* expected) noexcept {
+    ThreadState& t = tls();
+    if (t.session != expected || t.session == nullptr || t.token) return;
+    t.session->acquire_token();
+  }
+
+  /// Records eviction/snoop evidence: the calling LP destroyed or weakened
+  /// one of its own cached copies of @p line at the current grain key.
+  /// Evictions destroy line stamps, and a destroyed stamp may have covered
+  /// an earlier speculative touch, so this fires for token-held evictions
+  /// too — the eviction-time key upper-bounds every key the line carried.
+  void note_evidence(std::uint64_t line) noexcept;
+
+  // ---- token-holder remote access ------------------------------------------
+
+  /// Parks @p target_lp (yield flag + run mutex) for the duration of the
+  /// scope so the holder can read stamps and mutate the target's caches.
+  /// Degenerates to a no-op when the target is the calling LP.
+  class RemoteLock {
+   public:
+    RemoteLock(Session& s, int target_lp);
+    ~RemoteLock();
+    RemoteLock(const RemoteLock&) = delete;
+    RemoteLock& operator=(const RemoteLock&) = delete;
+    /// True when this actually crossed into another LP (conflict checks and
+    /// evidence scans are only meaningful then).
+    [[nodiscard]] bool cross() const noexcept { return cross_; }
+
+   private:
+    Session& s_;
+    int target_;
+    bool cross_ = false;
+  };
+
+  /// True if @p lp's tombstone log holds evidence for @p line newer than
+  /// @p k.  Caller must hold the target's run mutex (RemoteLock).
+  [[nodiscard]] bool evidence_after(int lp, std::uint64_t line,
+                                    Key k) const noexcept;
+
+  /// Flags a speculation conflict.  Does NOT throw (callers sit below the
+  /// simulator's noexcept chain): execution continues on discarded state
+  /// until every LP drains at its next cooperative point.
+  void note_conflict() noexcept;
+
+  [[nodiscard]] bool aborted() const noexcept {
+    return abort_.load(std::memory_order_relaxed);
+  }
+
+  /// Key slot stamped into cache lines while @p lp executes (LP-private:
+  /// written at each grain pick by the LP's own thread).
+  [[nodiscard]] const Key* key_slot(int lp) const noexcept {
+    return &lps_[static_cast<std::size_t>(lp)].current_key;
+  }
+
+  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+
+ private:
+  struct alignas(64) LpSlot {
+    std::mutex run_mu;
+    std::atomic<bool> yield_req{false};
+    std::atomic<double> lb{kClockDone};
+    Key current_key{};  ///< LP-private stamp source (see key_slot)
+    std::vector<std::pair<std::uint64_t, Key>> tombs;  ///< run_mu-guarded
+    // LP-private stat shards, folded in end_region.
+    std::uint64_t grains = 0;
+    std::uint64_t token_acquires = 0;
+    std::uint64_t token_spins = 0;
+    std::uint64_t yields = 0;
+    std::uint64_t window_parks = 0;
+  };
+
+  /// Minimum published lower bound across the region's LPs.
+  [[nodiscard]] double floor_clock() const noexcept;
+
+  /// One relaxation step while waiting.
+  static void spin_pause(std::uint64_t& spins) noexcept;
+
+  std::vector<LpSlot> lps_;
+  double window_;
+  int n_active_ = 0;
+  std::atomic<bool> abort_{false};
+  mutable std::mutex gate_mu_;
+  std::vector<Key> blocked_key_;    // gate table, gate_mu_-guarded
+  std::vector<bool> blocked_valid_;
+  Stats stats_{};
+};
+
+}  // namespace paxsim::par

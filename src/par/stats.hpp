@@ -1,0 +1,49 @@
+// paxsim/par/stats.hpp
+//
+// Host-side bookkeeping of the parallel backend.  These numbers describe the
+// *host* execution (how much synchronization the LPs paid, how often the
+// speculation aborted), never the simulated machine, so they live outside
+// RunResult: they vary run to run with host timing while every simulated
+// quantity stays bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace paxsim::par {
+
+/// Synchronization/overhead counters, aggregated per run (and process-wide
+/// through the global accumulator below).  All plain adds — fold order never
+/// matters.
+struct Stats {
+  std::uint64_t parallel_regions = 0;  ///< regions executed on the LP crew
+  std::uint64_t serial_regions = 0;    ///< eligible-team regions run serially
+  std::uint64_t grains = 0;            ///< grains executed across all LPs
+  std::uint64_t token_acquires = 0;    ///< gated-op token acquisitions
+  std::uint64_t token_spins = 0;       ///< qualification re-check iterations
+  std::uint64_t yields = 0;            ///< LP parked for a remote operation
+  std::uint64_t window_parks = 0;      ///< LP parked at the lookahead window
+  std::uint64_t conflicts = 0;         ///< speculation conflicts detected
+  std::uint64_t serial_reruns = 0;     ///< trials replayed on the serial path
+
+  Stats& operator+=(const Stats& o) noexcept {
+    parallel_regions += o.parallel_regions;
+    serial_regions += o.serial_regions;
+    grains += o.grains;
+    token_acquires += o.token_acquires;
+    token_spins += o.token_spins;
+    yields += o.yields;
+    window_parks += o.window_parks;
+    conflicts += o.conflicts;
+    serial_reruns += o.serial_reruns;
+    return *this;
+  }
+};
+
+/// Process-global accumulator (mutex-guarded; see par.cpp).  Sessions fold
+/// their counts in when they end; run_single adds serial_reruns.  Benches
+/// snapshot deltas around each run to report per-kernel sync overhead.
+void stats_add(const Stats& s) noexcept;
+[[nodiscard]] Stats stats_snapshot() noexcept;
+void stats_reset() noexcept;
+
+}  // namespace paxsim::par

@@ -5,11 +5,15 @@
 // pick the context/program furthest behind in virtual time in O(log n)
 // instead of a linear scan per step.
 //
-// Determinism: ordering is lexicographic on (key, id), which reproduces
-// exactly the tie-break of the linear scans it replaces — "the first
-// strictly smaller clock wins", i.e. equal clocks resolve to the lowest
-// rank.  Interleavings are therefore unchanged (covered by the replay and
-// determinism tests).
+// Determinism: ordering is lexicographic on (key, tie, id).  The tie value
+// defaults to the id itself, which reproduces exactly the tie-break of the
+// linear scans this heap replaced — "the first strictly smaller clock wins",
+// i.e. equal clocks resolve to the lowest rank.  Callers that participate in
+// a machine-global order (the runtime's ready heap feeding the parallel
+// backend's LP merge) instead pass an explicit tie — the context's flat cpu
+// id — so heap dequeue and cross-LP event merge share one total order
+// independent of insertion order or id numbering (covered by the tie-storm
+// unit test).
 #pragma once
 
 #include <cstddef>
@@ -26,7 +30,9 @@ class IndexedMinHeap {
     heap_.clear();
     heap_.reserve(static_cast<std::size_t>(capacity));
     key_.assign(static_cast<std::size_t>(capacity), 0.0);
+    tie_.assign(static_cast<std::size_t>(capacity), 0);
     pos_.assign(static_cast<std::size_t>(capacity), -1);
+    for (int i = 0; i < capacity; ++i) tie_[static_cast<std::size_t>(i)] = i;
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -37,13 +43,19 @@ class IndexedMinHeap {
   [[nodiscard]] double key_of(int id) const noexcept {
     return key_[static_cast<std::size_t>(id)];
   }
+  [[nodiscard]] int tie_of(int id) const noexcept {
+    return tie_[static_cast<std::size_t>(id)];
+  }
 
-  /// Id with the smallest (key, id); the heap must be non-empty.
+  /// Id with the smallest (key, tie, id); the heap must be non-empty.
   [[nodiscard]] int top() const noexcept { return heap_.front(); }
 
-  /// Inserts @p id (must not be present) with @p key.
-  void push(int id, double key) {
+  /// Inserts @p id (must not be present) with @p key.  @p tie overrides the
+  /// id-order tie-break (ids sharing a tie fall back to id order).
+  void push(int id, double key) { push(id, key, id); }
+  void push(int id, double key, int tie) {
     key_[static_cast<std::size_t>(id)] = key;
+    tie_[static_cast<std::size_t>(id)] = tie;
     pos_[static_cast<std::size_t>(id)] = static_cast<int>(heap_.size());
     heap_.push_back(id);
     sift_up(heap_.size() - 1);
@@ -77,7 +89,10 @@ class IndexedMinHeap {
   [[nodiscard]] bool less(int a, int b) const noexcept {
     const double ka = key_[static_cast<std::size_t>(a)];
     const double kb = key_[static_cast<std::size_t>(b)];
-    return ka < kb || (ka == kb && a < b);
+    if (ka != kb) return ka < kb;
+    const int ta = tie_[static_cast<std::size_t>(a)];
+    const int tb = tie_[static_cast<std::size_t>(b)];
+    return ta < tb || (ta == tb && a < b);
   }
 
   void swap_slots(std::size_t i, std::size_t j) noexcept {
@@ -114,6 +129,7 @@ class IndexedMinHeap {
   std::vector<int> heap_;    // slot -> id
   std::vector<int> pos_;     // id -> slot (-1 if absent)
   std::vector<double> key_;  // id -> key
+  std::vector<int> tie_;     // id -> tie-break value (defaults to id)
 };
 
 }  // namespace paxsim::xomp

@@ -1,0 +1,105 @@
+// Determinism of the parallel backend at the harness level: the same seed
+// must produce the same full RunResult — every PMU counter (including the
+// CPI stall-attribution counters), the wall time and the derived metrics —
+// at every host parallelism, and the engine's --jobs fan-out must compose
+// with --par without changing a single cell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/engine.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+#include "perf/counters.hpp"
+#include "sim/machine.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+void expect_same_run(const RunResult& a, const RunResult& b,
+                     const char* label) {
+  EXPECT_EQ(a.wall_cycles, b.wall_cycles) << label;
+  EXPECT_EQ(a.verified, b.verified) << label;
+  for (std::size_t e = 0; e < perf::kEventCount; ++e) {
+    const auto ev = static_cast<perf::Event>(e);
+    EXPECT_EQ(a.counters.get(ev), b.counters.get(ev))
+        << label << ": counter " << perf::event_name(ev);
+  }
+  // The stall stack (CPI attribution) rides on the counters; spot-check the
+  // derived bundle too so a derive_metrics regression cannot hide.
+  EXPECT_EQ(a.metrics.cpi, b.metrics.cpi) << label;
+  EXPECT_EQ(a.metrics.stalled_fraction, b.metrics.stalled_fraction) << label;
+}
+
+TEST(ParDeterminismTest, SameSeedSameResultAtEveryParLevel) {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+  const StudyConfig* cfg = find_config("HT on -8-2");
+  ASSERT_NE(cfg, nullptr);
+
+  for (const npb::Benchmark bench : {npb::Benchmark::kCG, npb::Benchmark::kMG}) {
+    for (const int trial : {0, 1}) {
+      const std::uint64_t seed = opt.trial_seed(trial);
+      RunOptions base = opt;
+      base.par = 1;
+      sim::Machine machine(opt.machine_params());
+      const RunResult reference = run_single(machine, bench, *cfg, base, seed);
+      for (const int par : {2, 4, 8}) {
+        RunOptions par_opt = opt;
+        par_opt.par = par;
+        const RunResult got = run_single(machine, bench, *cfg, par_opt, seed);
+        expect_same_run(reference, got,
+                        (std::string(npb::benchmark_name(bench)) + " --par=" +
+                         std::to_string(par))
+                            .c_str());
+      }
+    }
+  }
+}
+
+TEST(ParDeterminismTest, EngineJobsTimesParIsOneTable) {
+  // jobs x par grid: every combination must evaluate the plan to the same
+  // table (cells land in the memo cache under par-independent keys).
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.trials = 2;
+  opt.verify = false;
+
+  const std::vector<npb::Benchmark> benches = {npb::Benchmark::kCG,
+                                               npb::Benchmark::kIS};
+  const auto make_plan = [&](const RunOptions& o) {
+    ExperimentPlan plan(o, all_configs());
+    plan.add_benchmarks(benches).with_serial_baselines();
+    return plan;
+  };
+
+  ExperimentEngine ref_engine(1);
+  const StudyResult reference = ref_engine.run(make_plan(opt));
+
+  for (const int jobs : {1, 4}) {
+    for (const int par : {1, 2, 4}) {
+      if (jobs == 1 && par == 1) continue;  // that is the reference itself
+      RunOptions o = opt;
+      o.par = par;
+      ExperimentEngine engine(jobs);
+      const StudyResult got = engine.run(make_plan(o));
+      for (const npb::Benchmark b : benches) {
+        for (std::size_t c = 0; c < all_configs().size(); ++c) {
+          for (int t = 0; t < opt.trials; ++t) {
+            const std::string label = std::string(npb::benchmark_name(b)) +
+                                      "@" + std::string(all_configs()[c].name) +
+                                      " jobs=" + std::to_string(jobs) +
+                                      " par=" + std::to_string(par);
+            expect_same_run(reference.single(b, c, t), got.single(b, c, t),
+                            label.c_str());
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness

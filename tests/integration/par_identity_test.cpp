@@ -1,0 +1,123 @@
+// The hard invariant of the parallel backend: --par=N is bit-identical to
+// the single-threaded fast path AND the reference path — same counter
+// tables, same wall cycles — for every NPB kernel on the Serial, HT-off and
+// HT-on representative configurations, across the paxville, woodcrest and
+// numa16 machines.  A silent fallback to serial execution would make these
+// comparisons vacuous, so the suite also asserts (via the backend's stats)
+// that parallel regions actually ran on the LP crew.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+#include "par/par.hpp"
+#include "sim/machine.hpp"
+#include "sim/topology.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+void expect_par_identical(sim::Machine& serial_machine,
+                          sim::Machine& par_machine, const RunOptions& base,
+                          const char* machine_name) {
+  const char* config_names[] = {"Serial", "HT off -4-2", "HT on -8-2"};
+  const std::vector<StudyConfig> configs =
+      base.topology != nullptr ? configs_for(*base.topology) : all_configs();
+  for (const char* name : config_names) {
+    const int idx = find_config_index(configs, name);
+    if (idx < 0) continue;  // machine has no such configuration (e.g. no HT)
+    const StudyConfig& cfg = configs[static_cast<std::size_t>(idx)];
+    for (const npb::Benchmark bench : npb::kAllBenchmarks) {
+      const std::uint64_t seed = base.trial_seed(0);
+      RunOptions serial_opt = base;
+      serial_opt.par = 1;
+      RunOptions par_opt = base;
+      par_opt.par = 8;
+      const RunResult s = run_single(serial_machine, bench, cfg, serial_opt, seed);
+      const RunResult p = run_single(par_machine, bench, cfg, par_opt, seed);
+      EXPECT_EQ(s.counters, p.counters)
+          << npb::benchmark_name(bench) << " on '" << name << "' ("
+          << machine_name << "): counters differ between --par=1 and --par=8";
+      EXPECT_EQ(s.wall_cycles, p.wall_cycles)
+          << npb::benchmark_name(bench) << " on '" << name << "' ("
+          << machine_name << "): wall cycles differ (must be exact)";
+    }
+  }
+}
+
+TEST(ParIdentityTest, BitIdenticalToSerialFastPathAcrossTopologies) {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+
+  par::stats_reset();
+  {
+    sim::Machine serial_machine(opt.machine_params());
+    sim::Machine par_machine(opt.machine_params());
+    expect_par_identical(serial_machine, par_machine, opt, "paxville");
+  }
+  for (const char* preset : {"woodcrest", "numa16"}) {
+    RunOptions topo_opt = opt;
+    topo_opt.topology = std::make_shared<const sim::Topology>(
+        *sim::Topology::from_preset(preset));
+    sim::Machine serial_machine(topo_opt.machine_params());
+    sim::Machine par_machine(topo_opt.machine_params());
+    expect_par_identical(serial_machine, par_machine, topo_opt, preset);
+  }
+
+  // No silent fallback: the multi-context configurations above must have
+  // executed real parallel regions on the LP crew.
+  const par::Stats stats = par::stats_snapshot();
+  EXPECT_GT(stats.parallel_regions, 0u)
+      << "--par=8 never engaged the parallel backend";
+  EXPECT_GT(stats.grains, 0u);
+}
+
+TEST(ParIdentityTest, BitIdenticalToReferencePath) {
+  // Ties all three execution strategies together: the parallel fast path
+  // must equal the serial *reference* path too (fastpath_diff proves
+  // fast==reference; this closes the triangle on a representative cell).
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+
+  sim::MachineParams ref_params = opt.machine_params();
+  ref_params.fast_path = false;
+  sim::MachineParams fast_params = opt.machine_params();
+  fast_params.fast_path = true;
+  sim::Machine ref_machine(ref_params);
+  sim::Machine par_machine(fast_params);
+
+  const StudyConfig* cfg = find_config("HT on -8-2");
+  ASSERT_NE(cfg, nullptr);
+  RunOptions par_opt = opt;
+  par_opt.par = 4;
+  for (const npb::Benchmark bench : {npb::Benchmark::kCG, npb::Benchmark::kIS,
+                                     npb::Benchmark::kMG}) {
+    const std::uint64_t seed = opt.trial_seed(0);
+    const RunResult ref = run_single(ref_machine, bench, *cfg, opt, seed);
+    const RunResult par = run_single(par_machine, bench, *cfg, par_opt, seed);
+    EXPECT_EQ(ref.counters, par.counters) << npb::benchmark_name(bench);
+    EXPECT_EQ(ref.wall_cycles, par.wall_cycles) << npb::benchmark_name(bench);
+  }
+}
+
+TEST(ParIdentityTest, VerificationPassesUnderPar) {
+  // Numeric verification exercises the kernels' own result checking on the
+  // parallel path (the identity tests above run unverified for speed).
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.par = 4;
+  sim::Machine machine(opt.machine_params());
+  const StudyConfig* cfg = find_config("HT off -4-2");
+  ASSERT_NE(cfg, nullptr);
+  for (const npb::Benchmark bench : {npb::Benchmark::kCG, npb::Benchmark::kFT}) {
+    const RunResult r = run_single(machine, bench, *cfg, opt, opt.trial_seed(0));
+    EXPECT_TRUE(r.verified) << npb::benchmark_name(bench);
+  }
+}
+
+}  // namespace
+}  // namespace paxsim::harness

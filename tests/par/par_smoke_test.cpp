@@ -1,0 +1,65 @@
+// Fast tier-1 smoke of the parallel backend: a 2-LP run must actually
+// execute on the LP crew (no silent serial fallback) and still be
+// bit-identical to the serial path.  The heavyweight cross-topology proof
+// lives in integration/par_identity_test.cpp; this one is cheap enough to
+// run everywhere, including the sanitizer matrix.
+#include <gtest/gtest.h>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "npb/kernel.hpp"
+#include "par/par.hpp"
+#include "sim/machine.hpp"
+
+namespace paxsim::harness {
+namespace {
+
+TEST(ParSmokeTest, TwoLpRunEngagesAndMatchesSerial) {
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+  const StudyConfig* cfg = find_config("HT off -4-2");
+  ASSERT_NE(cfg, nullptr);
+  sim::Machine machine(opt.machine_params());
+
+  const std::uint64_t seed = opt.trial_seed(0);
+  const RunResult serial =
+      run_single(machine, npb::Benchmark::kIS, *cfg, opt, seed);
+
+  par::stats_reset();
+  RunOptions par_opt = opt;
+  par_opt.par = 2;
+  const RunResult par =
+      run_single(machine, npb::Benchmark::kIS, *cfg, par_opt, seed);
+
+  const par::Stats stats = par::stats_snapshot();
+  EXPECT_GT(stats.parallel_regions, 0u)
+      << "--par=2 silently fell back to serial execution";
+  EXPECT_GT(stats.grains, 0u);
+
+  EXPECT_EQ(serial.counters, par.counters);
+  EXPECT_EQ(serial.wall_cycles, par.wall_cycles);
+}
+
+TEST(ParSmokeTest, IneligibleModesStaySerial) {
+  // Reference-path analyses contractually observe a serial event stream:
+  // a checked run must never arm the backend even when par is requested.
+  RunOptions opt;
+  opt.cls = npb::ProblemClass::kClassS;
+  opt.verify = false;
+  opt.par = 4;
+  opt.check_mode = sim::CheckMode::kFull;
+  sim::Machine machine(opt.machine_params());
+  const StudyConfig* cfg = find_config("HT off -4-2");
+  ASSERT_NE(cfg, nullptr);
+
+  par::stats_reset();
+  const RunResult r =
+      run_single(machine, npb::Benchmark::kIS, *cfg, opt, opt.trial_seed(0));
+  EXPECT_TRUE(r.check.clean());
+  EXPECT_EQ(par::stats_snapshot().parallel_regions, 0u)
+      << "checked run must not use the parallel backend";
+}
+
+}  // namespace
+}  // namespace paxsim::harness

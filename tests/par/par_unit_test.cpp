@@ -1,0 +1,63 @@
+// Unit coverage of the parallel backend's simulator-agnostic pieces: grain
+// key ordering, the --par/--jobs composition clamp, the lookahead-window
+// derivation and the process-global stats accumulator.
+#include <gtest/gtest.h>
+
+#include "par/par.hpp"
+
+namespace paxsim::par {
+namespace {
+
+TEST(ParKeyTest, LexicographicClockThenTie) {
+  const Key a{10.0, 3};
+  const Key b{10.0, 7};
+  const Key c{11.0, 0};
+  EXPECT_TRUE(a < b);   // equal clock: tie decides
+  EXPECT_TRUE(b < c);   // clock dominates tie
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(a == Key(10.0, 3));
+  // kKeyZero sorts at-or-below every stamp a real grain can produce.
+  const Key zero_clock{0.0, 0};
+  EXPECT_FALSE(zero_clock < kKeyZero);
+  EXPECT_TRUE(kKeyZero < zero_clock);
+}
+
+TEST(ParEffectiveParTest, ComposesWithJobsByDivision) {
+  EXPECT_EQ(effective_par(1, 1, 16), 1);   // serial stays serial
+  EXPECT_EQ(effective_par(0, 1, 16), 1);
+  EXPECT_EQ(effective_par(8, 1, 16), 8);   // whole host available
+  EXPECT_EQ(effective_par(8, 4, 16), 4);   // 16/4 jobs -> 4 LPs each
+  EXPECT_EQ(effective_par(8, 16, 16), 1);  // jobs saturate the host
+  EXPECT_EQ(effective_par(8, 32, 16), 1);  // never below 1
+  EXPECT_EQ(effective_par(2, 1, 0), 1);    // unknown hardware: stay serial
+}
+
+TEST(ParLookaheadWindowTest, ScalesLatencyFloor) {
+  EXPECT_DOUBLE_EQ(lookahead_window(4.0, 64.0), 256.0);
+  EXPECT_DOUBLE_EQ(lookahead_window(0.5, 64.0), 64.0);  // floor clamps to 1
+  EXPECT_DOUBLE_EQ(lookahead_window(4.0, 0.0), 0.0);    // disabled
+  EXPECT_DOUBLE_EQ(lookahead_window(4.0, -1.0), 0.0);
+}
+
+TEST(ParStatsTest, GlobalAccumulatorFoldsAndResets) {
+  stats_reset();
+  Stats s;
+  s.parallel_regions = 2;
+  s.conflicts = 1;
+  stats_add(s);
+  s = Stats{};
+  s.parallel_regions = 3;
+  s.serial_reruns = 1;
+  stats_add(s);
+  const Stats got = stats_snapshot();
+  EXPECT_EQ(got.parallel_regions, 5u);
+  EXPECT_EQ(got.conflicts, 1u);
+  EXPECT_EQ(got.serial_reruns, 1u);
+  stats_reset();
+  EXPECT_EQ(stats_snapshot().parallel_regions, 0u);
+}
+
+}  // namespace
+}  // namespace paxsim::par

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -116,6 +117,57 @@ TEST(IndexedMinHeapTest, MatchesLinearScanUnderChurn) {
       }
     }
   }
+}
+
+TEST(IndexedMinHeapTest, TieStormDequeuesInExplicitTieOrder) {
+  // The parallel backend's invariant: when many entries share one virtual
+  // clock (a tie storm — every thread synced by a barrier), dequeue order
+  // must follow the explicit tie value (the context flat cpu id), not the
+  // insertion order or the id numbering.  Push in adversarial orders with
+  // ties deliberately permuted against the ids and expect the same total
+  // order every time.
+  constexpr int kN = 16;
+  const double kClock = 42.0;
+  // tie[i]: a fixed permutation that disagrees with id order.
+  int tie[kN];
+  for (int i = 0; i < kN; ++i) tie[i] = (kN - 1 - i + 5) % kN;
+  std::vector<int> expected(kN);
+  for (int i = 0; i < kN; ++i) expected[static_cast<std::size_t>(i)] = i;
+  std::sort(expected.begin(), expected.end(),
+            [&](int a, int b) { return tie[a] < tie[b]; });
+
+  std::mt19937 rng(7);
+  std::vector<int> order(kN);
+  for (int i = 0; i < kN; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int round = 0; round < 50; ++round) {
+    std::shuffle(order.begin(), order.end(), rng);
+    IndexedMinHeap h(kN);
+    for (const int id : order) h.push(id, kClock, tie[id]);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(h.top(), expected[static_cast<std::size_t>(i)])
+          << "round " << round << " position " << i;
+      EXPECT_EQ(h.tie_of(h.top()), tie[h.top()]);
+      h.pop();
+    }
+    EXPECT_TRUE(h.empty());
+  }
+}
+
+TEST(IndexedMinHeapTest, DefaultTieIsTheIdItself) {
+  // Two-argument push must keep the historical "lowest id wins" tie-break
+  // so pre-parallel callers (and their golden signatures) are unchanged.
+  IndexedMinHeap h(4);
+  h.push(3, 1.0);
+  h.push(1, 1.0);
+  h.push(2, 1.0);
+  h.push(0, 5.0);
+  EXPECT_EQ(h.top(), 1);
+  h.pop();
+  EXPECT_EQ(h.top(), 2);
+  h.pop();
+  EXPECT_EQ(h.top(), 3);
+  h.pop();
+  EXPECT_EQ(h.top(), 0);
 }
 
 }  // namespace
