@@ -10,6 +10,8 @@
 // and reports trials/sec, the parallel speedup, the warm-pass hit rate and
 // the machine-pool reuse counts as a single JSON object (plus a readable
 // summary), so harness regressions are scriptable to catch.
+//
+// paxlint: allow-file(wallclock) -- this bench's whole point is timing the harness on the host; nothing here feeds simulated state
 #include <chrono>
 #include <cstdio>
 

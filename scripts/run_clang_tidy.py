@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Full-tree clang-tidy against a checked-in baseline.
+
+Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+first-party translation unit in compile_commands.json and compares the
+diagnostics to .clang-tidy-baseline:
+
+  * `error:` diagnostics (the WarningsAsErrors categories — use-after-move,
+    dangling-handle, concurrency-*, use-override) ALWAYS fail.  They are
+    never baselined; the baseline file cannot grandfather them in.
+  * `warning:` diagnostics are fingerprinted as `check|path` (line numbers
+    are deliberately dropped so unrelated edits don't churn the file).
+    A fingerprint absent from the baseline fails the run; fix the warning
+    or — for a deliberate, argued exception — rerun with --update-baseline
+    and commit the diff so the exception is reviewable.
+  * Baseline entries that no longer occur are reported; rerun with
+    --update-baseline to drop them (burn-down should shrink this file
+    toward empty, never grow it silently).
+
+Usage:
+  python3 scripts/run_clang_tidy.py --build-dir build-lint [--jobs N]
+                                    [--update-baseline]
+
+Exit status: 0 clean (baseline-matched warnings allowed), 1 on errors or
+new warnings, 2 on usage/environment problems.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tests/", "bench/", "examples/", "tools/")
+EXCLUDED = ("tools/lint/fixtures/",)
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*) \[(?P<check>[^\[\]]+)\]$"
+)
+
+
+def first_party_sources(build_dir, root):
+    ccj = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(ccj):
+        sys.exit(
+            f"run_clang_tidy: {ccj} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    with open(ccj, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        rel = os.path.relpath(path, root)
+        if rel.startswith(FIRST_PARTY) and not rel.startswith(EXCLUDED):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        check=False,
+    )
+    return proc.stdout
+
+
+def load_baseline(path):
+    fingerprints = set()
+    if not os.path.isfile(path):
+        return fingerprints
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                fingerprints.add(line)
+    return fingerprints
+
+
+def write_baseline(path, fingerprints):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(
+            "# clang-tidy warning baseline (scripts/run_clang_tidy.py).\n"
+            "# One `check|path` fingerprint per line; WarningsAsErrors\n"
+            "# categories are never listed here.  Burn this file down —\n"
+            "# additions need review, removals are free.\n"
+        )
+        for fp in sorted(fingerprints):
+            f.write(fp + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default=".clang-tidy-baseline")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    args = ap.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        sys.exit(f"run_clang_tidy: {args.clang_tidy} not on PATH")
+    root = os.getcwd()
+    files = first_party_sources(args.build_dir, root)
+    if not files:
+        sys.exit("run_clang_tidy: no first-party sources in compile commands")
+    print(f"run_clang_tidy: {len(files)} translation units, -j{args.jobs}")
+
+    errors = []  # (display_line) — always fatal
+    warnings = {}  # fingerprint -> first display line
+    seen_lines = set()  # dedupe header diagnostics repeated across TUs
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for out in pool.map(lambda p: run_one(tidy, args.build_dir, p), files):
+            for line in out.splitlines():
+                m = DIAG_RE.match(line)
+                if m is None:
+                    continue
+                path = os.path.relpath(m.group("path"), root)
+                if not path.startswith(FIRST_PARTY) or path.startswith(EXCLUDED):
+                    continue
+                display = (
+                    f"{path}:{m.group('line')}:{m.group('col')}: "
+                    f"{m.group('sev')}: {m.group('msg')} [{m.group('check')}]"
+                )
+                if display in seen_lines:
+                    continue
+                seen_lines.add(display)
+                for check in m.group("check").split(","):
+                    fingerprint = f"{check}|{path}"
+                    if m.group("sev") == "error":
+                        errors.append(display)
+                    else:
+                        warnings.setdefault(fingerprint, display)
+
+    baseline = load_baseline(args.baseline)
+    if args.update_baseline:
+        write_baseline(args.baseline, set(warnings))
+        print(f"run_clang_tidy: wrote {len(warnings)} fingerprints to "
+              f"{args.baseline}")
+        if errors:
+            print("run_clang_tidy: NOTE errors are never baselined:")
+            for line in errors:
+                print("  " + line)
+            return 1
+        return 0
+
+    new = {fp: line for fp, line in warnings.items() if fp not in baseline}
+    stale = baseline - set(warnings)
+    for line in errors:
+        print(line)
+    for fp in sorted(new):
+        print(new[fp])
+    for fp in sorted(stale):
+        print(f"note: stale baseline entry (no longer reported): {fp}")
+    print(
+        f"run_clang_tidy: {len(errors)} errors, {len(new)} new warnings, "
+        f"{len(warnings) - len(new)} baselined, {len(stale)} stale"
+    )
+    if errors or new:
+        print(
+            "run_clang_tidy: fix the diagnostics above (or, for argued "
+            "warning exceptions only, --update-baseline and commit the diff)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full-tree paxlint run — the single definition of "what CI lints".
+#
+#   scripts/run_paxlint.sh <paxlint-binary> <repo-root> [json-output]
+#
+# Used by the `paxlint` CMake custom target and by the CI lint job, so the
+# two cannot drift.  Exit status is paxlint's: 0 clean, 2 unsuppressed
+# findings.
+set -eu
+
+BIN="${1:?usage: run_paxlint.sh <paxlint-binary> <repo-root> [json-out]}"
+ROOT="${2:?usage: run_paxlint.sh <paxlint-binary> <repo-root> [json-out]}"
+JSON="${3:-}"
+
+if [ -n "$JSON" ]; then
+  exec "$BIN" --root="$ROOT" --json="$JSON" src bench tests examples tools
+else
+  exec "$BIN" --root="$ROOT" src bench tests examples tools
+fi

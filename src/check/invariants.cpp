@@ -1,6 +1,7 @@
 #include "check/invariants.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -62,7 +63,9 @@ void InvariantAuditor::audit_coherence(const sim::Machine& m) {
   std::vector<CoreLines> per(static_cast<std::size_t>(ncores));
   std::vector<std::unordered_map<sim::Addr, sim::LineState>> outer(
       static_cast<std::size_t>(ndomains));
-  std::unordered_set<sim::Addr> all_lines;
+  // Ordered so violation examples are recorded in a deterministic order
+  // (record() keeps only the first few as samples).
+  std::set<sim::Addr> all_lines;
   for (int c = 0; c < ncores; ++c) {
     const sim::Core& core = m.core_by_id(c);
     CoreLines& cl = per[static_cast<std::size_t>(c)];
@@ -200,7 +203,13 @@ void InvariantAuditor::audit_coherence(const sim::Machine& m) {
     }
   }
   for (int d = 0; d < ndomains; ++d) {
-    for (const auto& [line, state] : outer[static_cast<std::size_t>(d)]) {
+    // Sorted copy: hash order must not pick which violations become the
+    // recorded examples.
+    std::vector<std::pair<sim::Addr, sim::LineState>> resident(
+        outer[static_cast<std::size_t>(d)].begin(),
+        outer[static_cast<std::size_t>(d)].end());
+    std::sort(resident.begin(), resident.end());
+    for (const auto& [line, state] : resident) {
       const auto it = dir.find(line);
       if (it == dir.end() || (it->second & (1u << d)) == 0) {
         record("directory", "domain " + std::to_string(d) + " holds line " +

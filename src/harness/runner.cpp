@@ -1,5 +1,7 @@
 #include "harness/runner.hpp"
 
+// paxlint: allow-file(wallclock) -- every steady_clock pair here measures host_sim_sec, the host-cost provenance field of run envelopes; simulated results read only Team::wall_time() (virtual cycles)
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>

@@ -44,6 +44,7 @@ void StackDistanceTracker::compact_or_grow() {
     // Renumber the live slots in recency order, dropping the dead ones.
     std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
     order.reserve(live);
+    // paxlint: allow(determinism) -- collected pairs are sorted on the next line before any order-sensitive use
     for (const auto& [key, slot] : last_) order.emplace_back(slot, key);
     std::sort(order.begin(), order.end());
     fen_.assign(cap_ + 1, 0);
@@ -60,6 +61,7 @@ void StackDistanceTracker::compact_or_grow() {
   // slot assignment even for scans that never reuse).
   cap_ *= 2;
   fen_.assign(cap_ + 1, 0);
+  // paxlint: allow(determinism) -- Fenwick point-adds commute; the resulting tree is identical in any visit order
   for (const auto& [key, slot] : last_) {
     (void)key;
     fen_add(slot, +1);

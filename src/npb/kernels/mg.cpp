@@ -233,6 +233,7 @@ class MgKernel final : public Kernel {
                             const std::size_t fc = fine.at(i, j, k);
                             ctx.load(coarse.u.addr(cc));
                             ctx.alu(2);
+                            // paxlint: allow(shared-scratch) -- fc = fine.at(i, j, k) is injective and the team iterates over k, so each iteration owns plane k outright; adds from different ranks can never land on the same element
                             fine.u.add(ctx, fc, coarse.u.host(cc));
                           }
                         }

@@ -285,7 +285,11 @@ unsigned Machine::holders_of(Addr line_addr) const noexcept {
 std::vector<std::pair<Addr, unsigned>> Machine::directory_snapshot() const {
   std::vector<std::pair<Addr, unsigned>> out;
   out.reserve(directory_.size());
+  // paxlint: allow(determinism) -- hash order never escapes: the snapshot is sorted into address order below
   for (const auto& [line, holders] : directory_) out.emplace_back(line, holders);
+  // Hash order would leak into anything that renders the snapshot; address
+  // order is the canonical presentation.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,0 +1,190 @@
+// Golden tests for paxlint's checks over the fixture corpus in
+// tools/lint/fixtures/.  Each racy fixture is a seeded re-introduction of
+// a historical bug at its original code shape (PR 3 MG in-place Jacobi,
+// PR 7 FT pencil and BT/SP ADI scratch, the racy.* diagnostics); the
+// clean fixture is the fixed counterparts.  The analyzer must flag every
+// seeded shape and stay silent on the fixed ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "checks.hpp"
+#include "lint_io.hpp"
+#include "source.hpp"
+
+namespace {
+
+using paxlint::Finding;
+using paxlint::LintResult;
+using paxlint::Project;
+
+std::string fixture(const std::string& name) {
+  return std::string(PAXLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// Loads one fixture under @p rel (defaults to its file name) and lints it.
+LintResult lint_fixture(const std::string& name, std::string rel = {}) {
+  Project p;
+  if (rel.empty()) rel = name;
+  EXPECT_TRUE(p.add_file(fixture(name), rel)) << fixture(name);
+  return paxlint::run_lint(p, {});
+}
+
+int count(const LintResult& r, std::string_view check) {
+  return static_cast<int>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const Finding& f) { return f.check == check; }));
+}
+
+bool any_message_has(const LintResult& r, std::string_view check,
+                     std::string_view needle) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.check == check &&
+                              f.message.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(PaxlintSharedScratch, FlagsSeededFtPencilRace) {
+  const LintResult r = lint_fixture("ft_pencil_race.cpp");
+  // The shared assign() and the element store, nothing else: the
+  // sum_[col] store is owned by the iteration variable.
+  EXPECT_EQ(count(r, "shared-scratch"), 2);
+  EXPECT_EQ(static_cast<int>(r.findings.size()), 2);
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "pencil_.assign()"));
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "without per-rank"));
+}
+
+TEST(PaxlintSharedScratch, FlagsSeededAdiScratchRace) {
+  const LintResult r = lint_fixture("adi_scratch_race.cpp");
+  EXPECT_EQ(count(r, "shared-scratch"), 2);
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "resize()"));
+}
+
+TEST(PaxlintSharedScratch, FlagsSeededMgInPlaceRace) {
+  const LintResult r = lint_fixture("mg_inplace_race.cpp");
+  EXPECT_EQ(count(r, "shared-scratch"), 1);
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "in-place neighbour"));
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "MG in-place Jacobi"));
+}
+
+TEST(PaxlintSharedScratch, FlagsRwHistogramAndRfFlagShapes) {
+  const LintResult r = lint_fixture("rw_flag_races.cpp");
+  EXPECT_EQ(count(r, "shared-scratch"), 2);
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "read-modify-write"));
+  EXPECT_TRUE(any_message_has(r, "shared-scratch", "publish/poll"));
+}
+
+TEST(PaxlintSharedScratch, FixedShapesAreClean) {
+  const LintResult r = lint_fixture("clean_rank_indexed.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << (r.findings.empty() ? "" : r.findings.front().message);
+}
+
+TEST(PaxlintDeterminism, FlagsUnorderedAndPointerKeyedIteration) {
+  const LintResult r = lint_fixture("unordered_iter.cpp");
+  EXPECT_EQ(count(r, "determinism"), 3);
+  EXPECT_TRUE(any_message_has(r, "determinism", "unordered_map"));
+  EXPECT_TRUE(any_message_has(r, "determinism", "unordered_set"));
+  EXPECT_TRUE(any_message_has(r, "determinism", "pointer-keyed"));
+  // The sorted std::map loop must not be flagged: 3 findings total.
+  EXPECT_EQ(static_cast<int>(r.findings.size()), 3);
+}
+
+TEST(PaxlintDeterminism, ResolvesDeclarationsAcrossIncludeEdges) {
+  Project p;
+  ASSERT_TRUE(p.add_file(fixture("decl_header.hpp"), "decl_header.hpp"));
+  ASSERT_TRUE(p.add_file(fixture("uses_header.cpp"), "uses_header.cpp"));
+  const LintResult r = paxlint::run_lint(p, {});
+  EXPECT_EQ(count(r, "determinism"), 1);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings.front().path, "uses_header.cpp");
+}
+
+TEST(PaxlintWallclock, FlagsEveryHostNondeterminismSource) {
+  const LintResult r = lint_fixture("wallclock.cpp");
+  // srand, rand, time, steady_clock, system_clock, random_device.
+  EXPECT_EQ(count(r, "wallclock"), 6);
+  // The Sim::time() member and the seeded mt19937_64 are clean.
+  EXPECT_EQ(static_cast<int>(r.findings.size()), 6);
+}
+
+TEST(PaxlintTraceSinkGuard, FlagsHookCallsInFastPathHeaders) {
+  // The same file is guarded under src/sim/ and ignored elsewhere: the
+  // check scopes to fast-path-inlinable modules only.
+  const LintResult guarded =
+      lint_fixture("sink_in_header.hpp", "src/sim/fixture_probe.hpp");
+  EXPECT_EQ(count(guarded, "trace-sink-guard"), 2);
+  EXPECT_TRUE(any_message_has(guarded, "trace-sink-guard", "on_access"));
+  EXPECT_TRUE(any_message_has(guarded, "trace-sink-guard", "on_flush"));
+
+  const LintResult elsewhere =
+      lint_fixture("sink_in_header.hpp", "tools/lint/fixture_probe.hpp");
+  EXPECT_EQ(count(elsewhere, "trace-sink-guard"), 0);
+}
+
+TEST(PaxlintFoldOrder, FlagsDescendingAndReversedFoldsOnly) {
+  const LintResult r = lint_fixture("fold_reverse.cpp");
+  EXPECT_EQ(count(r, "fold-order"), 2);
+  EXPECT_TRUE(any_message_has(r, "fold-order", "descending"));
+  EXPECT_TRUE(any_message_has(r, "fold-order", "reversed"));
+  // The descending element update and the ascending fold are clean.
+  EXPECT_EQ(static_cast<int>(r.findings.size()), 2);
+}
+
+TEST(PaxlintSuppressions, ManifestSemantics) {
+  const LintResult r = lint_fixture("suppressions.cpp");
+  // Valid suppression: the finding is reported but suppressed, with its
+  // rationale attached.
+  int suppressed_wallclock = 0;
+  int unsuppressed_wallclock = 0;
+  for (const Finding& f : r.findings) {
+    if (f.check != "wallclock") continue;
+    if (f.suppressed) {
+      ++suppressed_wallclock;
+      EXPECT_NE(f.rationale.find("provenance stamp"), std::string::npos);
+    } else {
+      ++unsuppressed_wallclock;
+    }
+  }
+  EXPECT_EQ(suppressed_wallclock, 1);
+  // Missing rationale: the suppression is invalid, so its finding stays
+  // unsuppressed...
+  EXPECT_EQ(unsuppressed_wallclock, 1);
+  // ...and the manifest problems are findings themselves.
+  EXPECT_EQ(count(r, "suppression"), 2);
+  EXPECT_TRUE(any_message_has(r, "suppression", "missing its rationale"));
+  EXPECT_TRUE(any_message_has(r, "suppression", "unknown check"));
+  // The never-matching suppression is reported unused.
+  EXPECT_TRUE(std::any_of(
+      r.unused.begin(), r.unused.end(),
+      [](const paxlint::UnusedSuppression& u) { return u.check == "fold-order"; }));
+}
+
+TEST(PaxlintDriver, CheckFilterRestrictsOutput) {
+  Project p;
+  ASSERT_TRUE(p.add_file(fixture("wallclock.cpp"), "wallclock.cpp"));
+  ASSERT_TRUE(p.add_file(fixture("fold_reverse.cpp"), "fold_reverse.cpp"));
+  const LintResult only_fold = paxlint::run_lint(p, {"fold-order"});
+  EXPECT_EQ(count(only_fold, "fold-order"), 2);
+  EXPECT_EQ(static_cast<int>(only_fold.findings.size()), 2);
+}
+
+TEST(PaxlintDriver, FindingsAreSortedDeterministically) {
+  Project p;
+  ASSERT_TRUE(p.add_file(fixture("wallclock.cpp"), "b.cpp"));
+  ASSERT_TRUE(p.add_file(fixture("fold_reverse.cpp"), "a.cpp"));
+  const LintResult r = paxlint::run_lint(p, {});
+  for (std::size_t i = 1; i < r.findings.size(); ++i) {
+    const Finding& x = r.findings[i - 1];
+    const Finding& y = r.findings[i];
+    EXPECT_TRUE(x.path < y.path ||
+                (x.path == y.path &&
+                 (x.line < y.line || (x.line == y.line && x.col <= y.col))));
+  }
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings.front().path, "a.cpp");
+}
+
+}  // namespace

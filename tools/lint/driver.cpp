@@ -1,0 +1,109 @@
+// paxlint driver: walks source roots, runs the checks, renders text and
+// the {"schema_version":1,"kind":"lint_report"} JSON document through the
+// shared report::Json writer (same envelope as run/predict/check/trace).
+//
+//   paxlint [--root=DIR] [--json=FILE] [--checks=a,b] [--list-checks]
+//           [--quiet] <roots...>
+//
+// Exit codes: 0 clean (suppressed findings allowed), 2 unsuppressed
+// findings, 64 usage error.  CI and the `paxlint` CMake target both run
+// scripts/run_paxlint.sh, which passes the canonical root set.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "lint_io.hpp"
+#include "source.hpp"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  std::string root = fs::current_path().string();
+  std::string json_out;
+  std::vector<std::string> checks;
+  std::vector<std::string> roots;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--list-checks") {
+      for (const std::string& id : paxlint::check_ids()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = value("--root=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_out = value("--json=");
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      std::string list = value("--checks=");
+      std::stringstream ss(list);
+      std::string one;
+      while (std::getline(ss, one, ',')) {
+        if (!one.empty()) checks.push_back(one);
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "paxlint: unknown option " << arg << "\n";
+      return 64;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: paxlint [--root=DIR] [--json=FILE] [--checks=a,b] "
+                 "[--quiet] <roots...>\n";
+    return 64;
+  }
+
+  const fs::path root_path = fs::absolute(root);
+  paxlint::Project project;
+  std::string error;
+  if (!paxlint::load_tree(project, root_path, roots, error)) {
+    std::cerr << "paxlint: " << error << "\n";
+    return 64;
+  }
+
+  const paxlint::LintResult result = paxlint::run_lint(project, checks);
+
+  if (!quiet) {
+    for (const paxlint::Finding& f : result.findings) {
+      std::cout << f.path << ":" << f.line << ":" << f.col << ": "
+                << f.check << ": " << f.message;
+      if (f.suppressed) {
+        std::cout << " [suppressed: " << f.rationale << "]";
+      }
+      std::cout << "\n";
+    }
+    for (const paxlint::UnusedSuppression& u : result.unused) {
+      std::cout << u.path << ":" << u.line << ": note: unused suppression "
+                << "for '" << u.check << "'\n";
+    }
+    std::cout << "paxlint: " << project.files().size() << " files, "
+              << result.findings.size() << " findings ("
+              << result.unsuppressed() << " unsuppressed)\n";
+  }
+
+  if (!json_out.empty()) {
+    if (json_out == "-") {
+      paxlint::write_report_json(std::cout, root_path.string(), result);
+    } else {
+      std::ofstream out(json_out);
+      if (!out) {
+        std::cerr << "paxlint: cannot write " << json_out << "\n";
+        return 64;
+      }
+      paxlint::write_report_json(out, root_path.string(), result);
+    }
+  }
+
+  return result.unsuppressed() == 0 ? 0 : 2;
+}

@@ -1,0 +1,47 @@
+// Seeded re-introduction of the PR 7 BT/SP ADI race at its original code
+// shape: one shared Scratch (line_buf) member written by every rank's
+// sweep body.  The fix (see src/npb/kernels/adi_kernel.hpp) keys the pool
+// by rank: Scratch& sc = scratch_[rank].  paxlint must flag this shape.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Ctx {
+  void load(std::size_t);
+  void store(std::size_t);
+};
+
+struct Team {
+  template <typename Body>
+  void parallel_for(std::size_t lo, std::size_t hi, int sched, int blk,
+                    Body&& body);
+};
+
+class AdiSweep {
+  struct Scratch {
+    std::vector<double> line_buf;
+  };
+
+ public:
+  void x_sweep(Team& team) {
+    team.parallel_for(
+        0, nlines_, 0, 0, [&](std::size_t line, Ctx& ctx, int rank) {
+          (void)ctx;
+          (void)rank;
+          scratch_.line_buf.resize(n_);  // shared scratch, pre-fix shape
+          for (std::size_t c = 0; c < n_; ++c) {
+            scratch_.line_buf[c] = 2.0 * static_cast<double>(c);
+          }
+          out_[line] = scratch_.line_buf[0];
+        });
+  }
+
+ private:
+  std::size_t n_ = 32;
+  std::size_t nlines_ = 128;
+  Scratch scratch_;  // the bug: one Scratch, not scratch_[rank]
+  std::vector<double> out_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,85 @@
+// The FIXED counterparts of every seeded race fixture, at the shapes the
+// kernels use today.  paxlint must report zero findings here: per-rank
+// scratch pools, bare-iteration-variable indexing, and rank-derived index
+// locals are all exempt.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Ctx {
+  void load(std::size_t);
+  void store(std::size_t);
+};
+
+struct Arr {
+  double host(std::size_t i) const;
+  double& host(std::size_t i);
+  void add(Ctx& ctx, std::size_t i, double v);
+  void put(Ctx& ctx, std::size_t i, double v);
+  double get(Ctx& ctx, std::size_t i);
+};
+
+struct Team {
+  template <typename Body>
+  void parallel_for(std::size_t lo, std::size_t hi, int sched, int blk,
+                    Body&& body);
+};
+
+class FixedKernels {
+  struct Scratch {
+    std::vector<double> line_buf;
+  };
+
+ public:
+  void sweep(Team& team) {
+    team.parallel_for(
+        0, nlines_, 0, 0, [&](std::size_t line, Ctx& ctx, int rank) {
+          (void)ctx;
+          // ADI fix: per-rank scratch, selected once by rank.
+          Scratch& sc = scratch_[static_cast<std::size_t>(rank)];
+          sc.line_buf.resize(n_);
+          // FT fix: per-rank pencil from a rank-indexed pool.
+          std::vector<double>& pencil =
+              pencils_[static_cast<std::size_t>(rank)];
+          pencil.assign(n_, 0.0);
+          // Bare iteration-variable indexing is per-iteration disjoint.
+          out_[line] = pencil[0] + sc.line_buf[0];
+        });
+  }
+
+  void axpy(Team& team) {
+    team.parallel_for(0, n_, 0, 0,
+                      [&](std::size_t i, Ctx& ctx, int /*rank*/) {
+                        // CG shape: RMW indexed by the iteration variable.
+                        z_.add(ctx, i, 2.0 * p_.get(ctx, i));
+                      });
+  }
+
+  void histogram(Team& team) {
+    team.parallel_for(
+        0, n_, 0, 0, [&](std::size_t i, Ctx& ctx, int rank) {
+          // IS fix: private per-rank histogram rows; the index local
+          // carries the rank's disjointness.
+          const std::size_t h =
+              static_cast<std::size_t>(rank) * width_ + bin_of(i);
+          hist_.add(ctx, h, 1.0);
+          by_rank_[static_cast<std::size_t>(rank)] += 1.0;
+        });
+  }
+
+ private:
+  std::size_t bin_of(std::size_t i) const;
+  std::size_t n_ = 64;
+  std::size_t nlines_ = 128;
+  std::size_t width_ = 1024;
+  std::vector<Scratch> scratch_;
+  std::vector<std::vector<double>> pencils_;
+  std::vector<double> out_;
+  std::vector<double> by_rank_;
+  Arr z_;
+  Arr p_;
+  Arr hist_;
+};
+
+}  // namespace fixture

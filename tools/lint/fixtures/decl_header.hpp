@@ -1,0 +1,14 @@
+// Cross-file determinism fixture, part 1: the unordered container is
+// declared here; uses_header.cpp iterates it.  The declaration index must
+// resolve across the #include edge.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct SharedState {
+  std::unordered_map<int, double> weights_;
+};
+
+}  // namespace fixture

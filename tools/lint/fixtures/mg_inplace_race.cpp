@@ -1,0 +1,44 @@
+// Seeded re-introduction of the PR 3 MG race at its original code shape:
+// an in-place Jacobi smoother that reads u_[i-1] and u_[i+1] while
+// writing u_[i] in the same parallel body — neighbour iterations owned by
+// other ranks race with the write.  The fix (see src/npb/kernels/mg.cpp)
+// smooths out-of-place between r and u.  paxlint must flag this shape.
+#include <cstddef>
+
+namespace fixture {
+
+struct Ctx {
+  void load(std::size_t);
+  void store(std::size_t);
+};
+
+struct Arr {
+  double host(std::size_t i) const;
+  double& host(std::size_t i);
+  void put(Ctx& ctx, std::size_t i, double v);
+  double get(Ctx& ctx, std::size_t i);
+};
+
+struct Team {
+  template <typename Body>
+  void parallel_for(std::size_t lo, std::size_t hi, int sched, int blk,
+                    Body&& body);
+};
+
+class MgSmooth {
+ public:
+  void smooth(Team& team) {
+    team.parallel_for(
+        1, n_ - 1, 0, 0, [&](std::size_t i, Ctx& ctx, int /*rank*/) {
+          const double left = u_.host(i - 1);   // neighbour read
+          const double right = u_.host(i + 1);  // neighbour read
+          u_.put(ctx, i, 0.25 * (left + 2.0 * u_.host(i) + right));
+        });
+  }
+
+ private:
+  std::size_t n_ = 256;
+  Arr u_;  // the bug: smoothed in place instead of r -> u
+};
+
+}  // namespace fixture

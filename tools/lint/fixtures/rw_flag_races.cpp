@@ -1,0 +1,61 @@
+// The two racy.* diagnostic shapes (src/npb/kernels/racy.cpp), without
+// their suppressions: the RW histogram (read-modify-write through a
+// hashed index every rank can hit) and the RF publish/poll pair (rank 0
+// stores a flag other ranks poll, no synchronisation).  paxlint must
+// flag both.
+#include <cstddef>
+
+namespace fixture {
+
+struct Ctx {
+  void load(std::size_t);
+  void store(std::size_t);
+};
+
+struct Arr {
+  void add(Ctx& ctx, std::size_t i, double v);
+  void put(Ctx& ctx, std::size_t i, double v);
+  double get(Ctx& ctx, std::size_t i);
+};
+
+struct Team {
+  template <typename Body>
+  void parallel_for(std::size_t lo, std::size_t hi, int sched, int blk,
+                    Body&& body);
+};
+
+class RwHistogram {
+ public:
+  void step(Team& team) {
+    team.parallel_for(0, iters_, 0, 0,
+                      [&](std::size_t i, Ctx& ctx, int /*rank*/) {
+                        hist_.add(ctx, bin_of(i), 1.0);  // colliding RMW
+                      });
+  }
+
+ private:
+  std::size_t bin_of(std::size_t i) const;
+  std::size_t iters_ = 4096;
+  Arr hist_;
+};
+
+class RfFlag {
+ public:
+  void step(Team& team) {
+    team.parallel_for(0, iters_, 0, 0,
+                      [&](std::size_t i, Ctx& ctx, int rank) {
+                        (void)i;
+                        if (rank == 0) {
+                          flag_.put(ctx, 0, 1.0);  // unsynchronised publish
+                        } else {
+                          (void)flag_.get(ctx, 0);  // unsynchronised poll
+                        }
+                      });
+  }
+
+ private:
+  std::size_t iters_ = 4096;
+  Arr flag_;
+};
+
+}  // namespace fixture

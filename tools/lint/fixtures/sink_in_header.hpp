@@ -1,0 +1,32 @@
+// Trace-sink-guard fixture: a TraceSink hook invoked from header code.
+// The test registers this file under a src/sim/ relative path, where any
+// inlinable hook call site violates the bit-identity discipline (sink
+// calls belong on the out-of-line reference path only, sim/hooks.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct TraceSink {
+  void on_access(std::uint64_t addr, int level);
+  void on_flush();
+};
+
+struct Probe {
+  TraceSink* sink_ = nullptr;
+
+  inline void touch(std::uint64_t addr) {
+    if (sink_ != nullptr) {
+      sink_->on_access(addr, 0);  // hook call in fast-path header
+    }
+  }
+
+  inline void finish() {
+    if (sink_ != nullptr) {
+      sink_->on_flush();  // hook call in fast-path header
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Suppression-manifest fixture: one valid suppression (finding reported
+// as suppressed), one missing its rationale (invalid — the finding stays
+// unsuppressed AND the suppression itself is flagged), one naming an
+// unknown check (flagged), and one that never matches (unused note).
+#include <ctime>
+
+namespace fixture {
+
+inline long stamped() {
+  // paxlint: allow(wallclock) -- fixture: provenance stamp, never feeds simulated state
+  return static_cast<long>(std::time(nullptr));
+}
+
+inline long unstamped() {
+  // paxlint: allow(wallclock)
+  return static_cast<long>(std::time(nullptr));
+}
+
+inline long unknown_check() {
+  // paxlint: allow(no-such-check) -- fixture: the id does not exist
+  return 7;
+}
+
+// paxlint: allow(fold-order) -- fixture: matches no finding, reported unused
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Determinism check fixture: iteration over unordered containers and a
+// pointer-keyed ordered map, each feeding a value that could reach a
+// report.  All three loops must be flagged; the sorted std::map loop at
+// the end must not.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tally {
+  std::unordered_map<int, long> counts_;
+  std::unordered_set<long> seen_;
+  std::map<const void*, int> by_ptr_;
+  std::map<std::string, int> by_name_;
+
+  long render() const {
+    long out = 0;
+    for (const auto& [k, v] : counts_) {  // hash order reaches `out`
+      out += v * 31 + k;
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // same
+      out ^= *it;
+    }
+    for (const auto& [p, n] : by_ptr_) {  // pointer order is ASLR-dependent
+      (void)p;
+      out += n;
+    }
+    for (const auto& [name, n] : by_name_) {  // sorted: fine
+      (void)name;
+      out += n;
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Cross-file determinism fixture, part 2: iterates a container whose
+// declaration lives in decl_header.hpp.
+#include "decl_header.hpp"
+
+namespace fixture {
+
+double total(const SharedState& s) {
+  double out = 0;
+  for (const auto& [k, w] : s.weights_) {  // declared in the header
+    out += w + k;
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Wallclock check fixture: every host nondeterminism source the check
+// knows, unsuppressed.  Each marked line must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double jitter() {
+  std::srand(42);                                       // host-global PRNG
+  const int r = std::rand();                            // host-global PRNG
+  const std::time_t t = std::time(nullptr);             // wall clock
+  const auto n = std::chrono::steady_clock::now();      // wall clock
+  const auto w = std::chrono::system_clock::now();      // wall clock
+  std::random_device rd;                                // host entropy
+  return static_cast<double>(r + t + rd()) +
+         std::chrono::duration<double>(n.time_since_epoch()).count() +
+         std::chrono::duration<double>(w.time_since_epoch()).count();
+}
+
+// Negative: a member function named time() or a seeded engine is fine.
+struct Sim {
+  double time() const { return t_; }
+  double sample() { return t_ + static_cast<double>(rng_()); }
+  double t_ = 0;
+  std::mt19937_64 rng_{12345};
+};
+
+inline double read_time(const Sim& s) { return s.time(); }
+
+}  // namespace fixture

@@ -1,0 +1,159 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace paxlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuation, longest first.  `>>` is deliberately
+/// absent (see token.hpp); `>>=` still lexes whole because it cannot
+/// close a template argument list.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  const std::size_t n = text.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](Tok kind, std::size_t begin, std::size_t end, int l, int c) {
+    out.push_back(Token{kind, text.substr(begin, end - begin), l, c});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    const int tl = line;
+    const int tc = col;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Preprocessor directive: from the # to the first newline not preceded
+    // by a backslash.  In well-formed C++ a # outside a literal only occurs
+    // in preprocessor context, so no further qualification is needed.
+    if (c == '#') {
+      const std::size_t begin = i;
+      std::size_t j = i;
+      while (j < n) {
+        if (text[j] == '\n' && (j == 0 || text[j - 1] != '\\')) break;
+        ++j;
+      }
+      push(Tok::kPp, begin, j, tl, tc);
+      advance(j - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = text.find('\n', i);
+      if (j == std::string_view::npos) j = n;
+      push(Tok::kComment, i, j, tl, tc);
+      advance(j - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = text.find("*/", i + 2);
+      j = (j == std::string_view::npos) ? n : j + 2;
+      push(Tok::kComment, i, j, tl, tc);
+      advance(j - i);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_cont(text[j])) ++j;
+      // Raw string with prefix, e.g. R"( ... )".
+      if (j < n && text[j] == '"' && j > i && (text[j - 1] == 'R')) {
+        std::size_t d = j + 1;
+        while (d < n && text[d] != '(') ++d;
+        const std::string_view delim = text.substr(j + 1, d - (j + 1));
+        std::string close = ")";
+        close.append(delim);
+        close.push_back('"');
+        std::size_t e = text.find(close, d);
+        e = (e == std::string_view::npos) ? n : e + close.size();
+        push(Tok::kString, i, e, tl, tc);
+        advance(e - i);
+        continue;
+      }
+      if (j < n && (text[j] == '"' || text[j] == '\'')) {
+        // Encoding-prefixed literal (u8"...", L'x'): fall through to the
+        // literal scanner with the prefix attached.
+        const char quote = text[j];
+        std::size_t e = j + 1;
+        while (e < n && text[e] != quote) {
+          if (text[e] == '\\' && e + 1 < n) ++e;
+          ++e;
+        }
+        if (e < n) ++e;
+        push(quote == '"' ? Tok::kString : Tok::kChar, i, e, tl, tc);
+        advance(e - i);
+        continue;
+      }
+      push(Tok::kIdent, i, j, tl, tc);
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i;
+      while (j < n &&
+             (ident_cont(text[j]) || text[j] == '.' || text[j] == '\'' ||
+              ((text[j] == '+' || text[j] == '-') && j > i &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(Tok::kNumber, i, j, tl, tc);
+      advance(j - i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t e = i + 1;
+      while (e < n && text[e] != c) {
+        if (text[e] == '\\' && e + 1 < n) ++e;
+        ++e;
+      }
+      if (e < n) ++e;
+      push(c == '"' ? Tok::kString : Tok::kChar, i, e, tl, tc);
+      advance(e - i);
+      continue;
+    }
+    // Punctuation: longest multi-char match, else one character.
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (text.compare(i, p.size(), p) == 0) {
+        len = p.size();
+        break;
+      }
+    }
+    push(Tok::kPunct, i, i + len, tl, tc);
+    advance(len);
+  }
+  return out;
+}
+
+}  // namespace paxlint

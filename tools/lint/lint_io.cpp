@@ -1,0 +1,97 @@
+#include "lint_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "report/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace paxlint {
+
+bool lintable_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".h" || e == ".ipp";
+}
+
+bool excluded_path(const std::string& rel) {
+  return rel.find("tools/lint/fixtures") != std::string::npos ||
+         rel.find(".git/") != std::string::npos ||
+         rel.rfind("build", 0) == 0 || rel.find("/build/") != std::string::npos;
+}
+
+bool load_tree(Project& project, const fs::path& root,
+               const std::vector<std::string>& roots, std::string& error) {
+  std::vector<std::string> files;
+  for (const std::string& r : roots) {
+    const fs::path p = fs::path(r).is_absolute() ? fs::path(r) : root / r;
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable_ext(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      error = "no such root: " + p.string();
+      return false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& abs : files) {
+    const std::string rel = fs::relative(abs, root).string();
+    if (excluded_path(rel)) continue;
+    if (!project.add_file(abs, rel)) {
+      error = "cannot read " + abs;
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_report_json(std::ostream& os, const std::string& root,
+                       const LintResult& r) {
+  paxsim::report::Json j(os);
+  j.begin_document("lint_report");
+  j.field("root", root);
+  j.field("files_scanned", static_cast<std::uint64_t>(r.files_scanned));
+  j.key("checks").array();
+  for (const std::string& id : check_ids()) j.value(id);
+  j.end();
+  j.key("findings").array();
+  for (const Finding& f : r.findings) {
+    j.object();
+    j.field("check", f.check);
+    j.field("path", f.path);
+    j.field("line", f.line);
+    j.field("col", f.col);
+    j.field("message", f.message);
+    j.field("suppressed", f.suppressed);
+    if (f.suppressed) j.field("rationale", f.rationale);
+    j.end();
+  }
+  j.end();
+  j.key("unused_suppressions").array();
+  for (const UnusedSuppression& u : r.unused) {
+    j.object();
+    j.field("path", u.path);
+    j.field("line", u.line);
+    j.field("check", u.check);
+    j.end();
+  }
+  j.end();
+  j.key("counts").object();
+  j.field("total", static_cast<std::uint64_t>(r.findings.size()));
+  j.field("unsuppressed", static_cast<std::uint64_t>(r.unsuppressed()));
+  j.field("suppressed",
+          static_cast<std::uint64_t>(r.findings.size() - r.unsuppressed()));
+  j.end();
+  j.finish();
+}
+
+}  // namespace paxlint

@@ -1,0 +1,36 @@
+// paxlint I/O shared by the driver and the lint tests: loading a source
+// tree into a Project with the canonical exclusions, and rendering a
+// LintResult as the {"schema_version":1,"kind":"lint_report"} JSON
+// document through the shared report::Json writer.  Keeping both here
+// means `ctest` exercises exactly what CI runs.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "source.hpp"
+
+namespace paxlint {
+
+/// True for the extensions paxlint analyzes (.cpp/.hpp/.h/.ipp).
+bool lintable_ext(const std::filesystem::path& p);
+
+/// True for repo-relative paths outside the lint's scope: fixture
+/// translation units carry seeded bugs on purpose; build trees and VCS
+/// metadata are not sources.
+bool excluded_path(const std::string& rel);
+
+/// Loads every lintable file under root/<roots...> (files or directories)
+/// into @p project, in sorted path order.  Returns false and sets
+/// @p error on a missing root or unreadable file.
+bool load_tree(Project& project, const std::filesystem::path& root,
+               const std::vector<std::string>& roots, std::string& error);
+
+/// Renders the lint_report JSON envelope (schema_version 1).
+void write_report_json(std::ostream& os, const std::string& root,
+                       const LintResult& result);
+
+}  // namespace paxlint

@@ -1,0 +1,300 @@
+#include "source.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+namespace paxlint {
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string rel_path, std::string text)
+    : path_(std::move(rel_path)), text_(std::move(text)) {
+  header_ = ends_with(path_, ".hpp") || ends_with(path_, ".h") ||
+            ends_with(path_, ".ipp");
+  tokens_ = lex(text_);
+  code_.reserve(tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].kind != Tok::kComment && tokens_[i].kind != Tok::kPp) {
+      code_.push_back(i);
+    }
+  }
+  // Bracket matching over code tokens.
+  match_.assign(code_.size(), code_.size());
+  std::vector<std::size_t> stack;
+  for (std::size_t ci = 0; ci < code_.size(); ++ci) {
+    const Token& t = tokens_[code_[ci]];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      stack.push_back(ci);
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      if (!stack.empty()) {
+        match_[stack.back()] = ci;
+        match_[ci] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  scan_includes();
+  scan_suppressions();
+  scan_decls();
+}
+
+void SourceFile::scan_includes() {
+  for (const Token& t : tokens_) {
+    if (t.kind != Tok::kPp) continue;
+    const std::string_view s = t.text;
+    const std::size_t inc = s.find("include");
+    if (inc == std::string_view::npos) continue;
+    const std::size_t q0 = s.find('"', inc);
+    if (q0 == std::string_view::npos) continue;
+    const std::size_t q1 = s.find('"', q0 + 1);
+    if (q1 == std::string_view::npos) continue;
+    includes_.emplace_back(s.substr(q0 + 1, q1 - q0 - 1));
+  }
+}
+
+void SourceFile::scan_suppressions() {
+  // Suppression syntax (docs/LINTING.md): a comment whose text begins with
+  // the tag, i.e. at most one space between the comment opener and the
+  // "pax" "lint:" keyword, followed by allow(...) or allow-file(...) and a
+  // mandatory " -- " rationale.  Requiring the tag at the very start keeps
+  // prose that merely *mentions* the syntax (docs, this comment) inert.
+  // A tagged comment with code on its line covers that line; a tagged
+  // comment alone on its line covers the next line bearing a code token.
+  // A suppression that cannot say why it exists is a finding itself
+  // (checks.cpp turns missing_rationale into one).
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    const Token& t = tokens_[i];
+    if (t.kind != Tok::kComment) continue;
+    const std::string_view s = t.text;
+    std::size_t tag = 0;
+    if (s.compare(0, 2, "//") == 0 || s.compare(0, 2, "/*") == 0) tag = 2;
+    if (tag < s.size() && s[tag] == ' ') ++tag;
+    if (s.compare(tag, 8, "paxlint:") != 0) continue;
+    std::size_t p = tag + 8;
+    while (p < s.size() && s[p] == ' ') ++p;
+    bool file_scope = false;
+    if (s.compare(p, 10, "allow-file") == 0) {
+      file_scope = true;
+      p += 10;
+    } else if (s.compare(p, 5, "allow") == 0) {
+      p += 5;
+    } else {
+      continue;
+    }
+    const std::size_t open = s.find('(', p);
+    const std::size_t close = s.find(')', open == std::string_view::npos
+                                                ? p
+                                                : open);
+    if (open == std::string_view::npos || close == std::string_view::npos) {
+      continue;
+    }
+    std::string rationale;
+    bool missing = true;
+    const std::size_t dash = s.find("--", close);
+    if (dash != std::string_view::npos) {
+      rationale = std::string(trim(s.substr(dash + 2)));
+      missing = rationale.empty();
+    }
+    // Comment-only line?  Then the suppression covers the next code line.
+    bool code_on_line = false;
+    for (const std::size_t ci : code_) {
+      if (tokens_[ci].line == t.line) {
+        code_on_line = true;
+        break;
+      }
+    }
+    int effective = t.line;
+    if (!file_scope && !code_on_line) {
+      effective = 0;
+      for (const std::size_t ci : code_) {
+        if (tokens_[ci].line > t.line) {
+          effective = tokens_[ci].line;
+          break;
+        }
+      }
+      if (effective == 0) effective = t.line;  // trailing comment: inert
+    }
+    std::string_view list = s.substr(open + 1, close - open - 1);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view one =
+          trim(comma == std::string_view::npos ? list : list.substr(0, comma));
+      if (!one.empty()) {
+        Suppression sup;
+        sup.check = std::string(one);
+        sup.rationale = rationale;
+        sup.comment_line = t.line;
+        sup.effective_line = file_scope ? 0 : effective;
+        sup.file_scope = file_scope;
+        sup.missing_rationale = missing;
+        suppressions_.push_back(std::move(sup));
+      }
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+  }
+}
+
+bool SourceFile::suppressed(std::string_view check, int line) const {
+  bool hit = false;
+  for (const Suppression& sup : suppressions_) {
+    if (sup.missing_rationale) continue;  // not a valid suppression
+    if (sup.check != check && sup.check != "*") continue;
+    if (sup.file_scope || sup.effective_line == line) {
+      sup.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+void SourceFile::scan_decls() {
+  // Record `name` for declarations shaped
+  //   [std::]unordered_map< ... > name
+  //   [std::]unordered_set< ... > name
+  //   std::map< K*, ... > name     (pointer-keyed ordering)
+  // Template argument lists are matched by < > depth counting; `>>` never
+  // appears as one token (see token.hpp).
+  const std::size_t nc = code_.size();
+  for (std::size_t ci = 0; ci + 1 < nc; ++ci) {
+    const Token& t = tokens_[code_[ci]];
+    if (t.kind != Tok::kIdent) continue;
+    const bool unordered =
+        t.text == "unordered_map" || t.text == "unordered_set";
+    const bool ordered = t.text == "map" || t.text == "set";
+    if (!unordered && !ordered) continue;
+    if (ordered) {
+      // Require std:: qualification so member names like `map` don't trip.
+      if (ci < 2 || tokens_[code_[ci - 1]].text != "::" ||
+          tokens_[code_[ci - 2]].text != "std") {
+        continue;
+      }
+    }
+    if (tokens_[code_[ci + 1]].text != "<") continue;
+    // Walk the template argument list.
+    int depth = 0;
+    bool pointer_key = false;
+    bool in_first_arg = true;
+    std::size_t j = ci + 1;
+    for (; j < nc; ++j) {
+      const std::string_view x = tokens_[code_[j]].text;
+      if (x == "<") ++depth;
+      else if (x == ">") {
+        --depth;
+        if (depth == 0) break;
+      } else if (depth == 1 && x == ",") {
+        in_first_arg = false;
+      } else if (depth == 1 && in_first_arg && x == "*") {
+        pointer_key = true;
+      }
+    }
+    if (j >= nc) continue;
+    // After the closing '>' expect the declared name, possibly after
+    // cv/ref tokens; skip any that appear.
+    std::size_t k = j + 1;
+    while (k < nc && (tokens_[code_[k]].text == "&" ||
+                      tokens_[code_[k]].text == "const")) {
+      ++k;
+    }
+    if (k >= nc || tokens_[code_[k]].kind != Tok::kIdent) continue;
+    const Token& name = tokens_[code_[k]];
+    // Declarations end in ; = { ( — anything else is an expression.
+    if (k + 1 < nc) {
+      const std::string_view after = tokens_[code_[k + 1]].text;
+      if (after != ";" && after != "=" && after != "{" && after != "(" &&
+          after != ",") {
+        continue;
+      }
+    }
+    if (unordered) {
+      decls_.insert_or_assign(std::string(name.text),
+                              Decl{DeclKind::kUnordered,
+                                   std::string(t.text)});
+    } else if (pointer_key) {
+      decls_.insert_or_assign(
+          std::string(name.text),
+          Decl{DeclKind::kPointerKeyed, "std::" + std::string(t.text)});
+    }
+  }
+}
+
+std::optional<Decl> SourceFile::decl(std::string_view name) const {
+  const auto it = decls_.find(name);
+  if (it == decls_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Project::add_file(const std::string& abs_path, std::string rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  add_source(std::move(rel_path), ss.str());
+  return true;
+}
+
+void Project::add_source(std::string rel_path, std::string text) {
+  by_path_.insert_or_assign(rel_path, files_.size());
+  files_.emplace_back(std::move(rel_path), std::move(text));
+}
+
+std::optional<Decl> Project::decl_visible(const SourceFile& from,
+                                          std::string_view name) const {
+  if (auto d = from.decl(name)) return d;
+  // Breadth-first over #include "..." edges within the project.  Include
+  // paths in this repo are rooted at src/ (e.g. "sim/core.hpp"), so try
+  // both the literal path and src/-prefixed resolution.
+  std::deque<const SourceFile*> queue;
+  std::set<const SourceFile*> seen;
+  auto enqueue_includes = [&](const SourceFile& f) {
+    for (const std::string& inc : f.includes()) {
+      for (const std::string& cand : {inc, "src/" + inc}) {
+        const auto it = by_path_.find(cand);
+        if (it != by_path_.end()) {
+          const SourceFile* next = &files_[it->second];
+          if (seen.insert(next).second) queue.push_back(next);
+        }
+      }
+    }
+  };
+  seen.insert(&from);
+  enqueue_includes(from);
+  while (!queue.empty()) {
+    const SourceFile* f = queue.front();
+    queue.pop_front();
+    if (auto d = f->decl(name)) return d;
+    enqueue_includes(*f);
+  }
+  return std::nullopt;
+}
+
+std::string render(const SourceFile& f, std::size_t begin, std::size_t end) {
+  std::string out;
+  for (std::size_t ci = begin; ci < end && ci < f.code_size(); ++ci) {
+    if (!out.empty()) out.push_back(' ');
+    out.append(f.ct(ci).text);
+  }
+  return out;
+}
+
+}  // namespace paxlint

@@ -1,0 +1,128 @@
+// paxlint/source.hpp
+//
+// The analyzed-project model: every file's token stream plus the three
+// cross-cutting indexes the checks need —
+//   * bracket matching over code tokens (parens/brackets/braces),
+//   * the suppression manifest parsed out of `// paxlint: allow(...)`
+//     comments (inline or file-scoped, rationale mandatory),
+//   * a declaration index good enough to answer "is this identifier an
+//     unordered container?" across include edges.
+//
+// The model is deliberately syntactic.  It does not resolve overloads or
+// scopes; the checks accept that and are tuned (and golden-tested, see
+// tools/lint/fixtures/) against this codebase's idioms.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "token.hpp"
+
+namespace paxlint {
+
+/// Why a declaration is interesting to the determinism/fold-order checks.
+enum class DeclKind : unsigned char {
+  kUnordered,       // std::unordered_map / std::unordered_set
+  kPointerKeyed,    // std::map/std::set whose key type is a pointer
+};
+
+struct Decl {
+  DeclKind kind;
+  std::string type_text;  // rendered type, for diagnostics
+};
+
+/// One parsed suppression comment.
+struct Suppression {
+  std::string check;      // check id, or "*" for all checks
+  std::string rationale;  // text after the mandatory " -- "
+  int comment_line = 0;   // where the comment sits
+  int effective_line = 0; // line whose findings it covers (0 = whole file)
+  bool file_scope = false;
+  mutable bool used = false;
+  bool missing_rationale = false;
+};
+
+class SourceFile {
+ public:
+  /// Tokenizes @p text.  @p rel_path is the repo-relative path used in
+  /// reports; @p text is moved in and owns every token's string_view.
+  SourceFile(std::string rel_path, std::string text);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+  /// Indices into tokens() of code tokens only (no comments, no pp lines).
+  [[nodiscard]] const std::vector<std::size_t>& code() const { return code_; }
+  /// tokens()[code()[ci]] — the ci-th code token.
+  [[nodiscard]] const Token& ct(std::size_t ci) const {
+    return tokens_[code_[ci]];
+  }
+  [[nodiscard]] std::size_t code_size() const { return code_.size(); }
+
+  /// Matching close index (into code()) for the open paren/bracket/brace at
+  /// code index @p ci; code_size() when unbalanced.
+  [[nodiscard]] std::size_t match(std::size_t ci) const { return match_[ci]; }
+
+  /// Project-relative paths named by #include "..." directives.
+  [[nodiscard]] const std::vector<std::string>& includes() const {
+    return includes_;
+  }
+
+  [[nodiscard]] const std::vector<Suppression>& suppressions() const {
+    return suppressions_;
+  }
+  /// True (and marks the suppression used) if a suppression covers
+  /// @p check on @p line.
+  bool suppressed(std::string_view check, int line) const;
+
+  /// Local declaration lookup (this file only; Project adds includes).
+  [[nodiscard]] std::optional<Decl> decl(std::string_view name) const;
+
+  [[nodiscard]] bool is_header() const { return header_; }
+
+ private:
+  void scan_includes();
+  void scan_suppressions();
+  void scan_decls();
+
+  std::string path_;
+  std::string text_;
+  bool header_ = false;
+  std::vector<Token> tokens_;
+  std::vector<std::size_t> code_;
+  std::vector<std::size_t> match_;
+  std::vector<std::string> includes_;
+  std::vector<Suppression> suppressions_;
+  std::map<std::string, Decl, std::less<>> decls_;
+};
+
+/// The set of files under analysis plus cross-file lookups.
+class Project {
+ public:
+  /// Loads @p abs_path from disk under report name @p rel_path.  Returns
+  /// false (and records nothing) if the file cannot be read.
+  bool add_file(const std::string& abs_path, std::string rel_path);
+  void add_source(std::string rel_path, std::string text);
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const { return files_; }
+
+  /// Declaration of @p name visible from @p from: the file's own
+  /// declarations first, then any file reachable over #include "..." edges
+  /// within the project.
+  [[nodiscard]] std::optional<Decl> decl_visible(const SourceFile& from,
+                                                 std::string_view name) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t, std::less<>> by_path_;
+};
+
+/// Renders code tokens [begin, end) (code indices) as a single-spaced
+/// string — the normal form index-expression comparisons use.
+std::string render(const SourceFile& f, std::size_t begin, std::size_t end);
+
+}  // namespace paxlint

@@ -1,0 +1,47 @@
+// paxlint/token.hpp
+//
+// Minimal C++ tokenizer for the project's own sources.  paxlint is a
+// structural analyzer, not a compiler frontend: it needs identifiers,
+// punctuation, literals, preprocessor lines and comments with accurate
+// line/column positions, and nothing else (no keyword table, no name
+// lookup).  The container image carries no libclang headers, so the
+// analyzer owns its frontend; the checks in checks.cpp are written against
+// this token stream plus the bracket-matching helpers in source.hpp.
+//
+// Lexing notes:
+//   - `>>` is always lexed as two `>` tokens (the C++11 template-closing
+//     rule); the checks only ever match template argument lists, where
+//     that is the correct reading, and never reason about shifts.
+//   - Comments are kept in the stream (the suppression syntax lives in
+//     them); structural scans use SourceFile::code, which indexes only
+//     non-comment, non-preprocessor tokens.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace paxlint {
+
+enum class Tok : unsigned char {
+  kIdent,    // identifiers and keywords alike
+  kNumber,   // integer / floating literal (incl. ' separators)
+  kString,   // "..." / R"(...)" / prefixed variants
+  kChar,     // '...'
+  kPunct,    // operators and punctuation, maximal munch except >>
+  kComment,  // // ... or /* ... */, text includes the delimiters
+  kPp,       // one full preprocessor directive (with continuations)
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  // view into the file's text; stable for its life
+  int line;               // 1-based line of the token's first character
+  int col;                // 1-based column of the token's first character
+};
+
+/// Tokenizes @p text (which must outlive the returned tokens).  Never
+/// fails: malformed input degrades to single-character punctuation.
+std::vector<Token> lex(std::string_view text);
+
+}  // namespace paxlint
