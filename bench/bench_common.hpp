@@ -32,11 +32,17 @@ struct BenchOptions {
   int jobs = 1;           ///< host worker threads for independent cells
   bool csv = false;       ///< additionally emit CSV rows after each table
   std::string plot_dir;   ///< when set, also write gnuplot .dat/.gp files
+  /// --store=DIR: persistent result store every engine the bench builds
+  /// attaches (attach_store below); previously answered cells skip
+  /// simulation.  Empty / --store=off runs detached, bit-identical to the
+  /// storeless engine.
+  std::string store_dir;
 };
 
 /// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --par=N,
-/// --par-window=F, --grain=N, --scale=F, --machine=SPEC, --csv,
-/// --no-verify.  Returns false (after printing usage) on an unknown flag.
+/// --par-window=F, --grain=N, --scale=F, --machine=SPEC, --store=DIR|off,
+/// --csv, --no-verify.  Returns false (after printing usage) on an unknown
+/// flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -73,6 +79,9 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
         return false;
       }
       opt.run.topology = std::make_shared<const sim::Topology>(std::move(topo));
+    } else if (a.rfind("--store=", 0) == 0) {
+      opt.store_dir = a.substr(8);
+      if (opt.store_dir == "off") opt.store_dir.clear();
     } else if (a == "--csv") {
       opt.csv = true;
     } else if (a.rfind("--plot=", 0) == 0) {
@@ -83,7 +92,8 @@ inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
       std::printf(
           "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
           "[--par=N] [--par-window=F] [--grain=N] [--scale=F] "
-          "[--machine=PRESET|FILE.json] [--csv] [--plot=DIR] [--no-verify]\n",
+          "[--machine=PRESET|FILE.json] [--store=DIR|off] [--csv] "
+          "[--plot=DIR] [--no-verify]\n",
           argv[0]);
       return false;
     } else {
@@ -135,6 +145,16 @@ inline void write_host_provenance(report::Json& j, const BenchOptions& opt) {
   j.field("build_type", PAXSIM_BUILD_TYPE);
   j.field("native", PAXSIM_BUILD_NATIVE != 0);
   j.end();
+}
+
+/// Attaches the --store directory (when given) to a freshly built engine.
+/// Every artifact that constructs an ExperimentEngine calls this right
+/// after construction, so `--store=` works uniformly across bench/.
+inline void attach_store(harness::ExperimentEngine& engine,
+                         const BenchOptions& opt) {
+  if (!opt.store_dir.empty()) {
+    engine.set_store(std::make_shared<serve::ResultStore>(opt.store_dir));
+  }
 }
 
 /// One-line engine accounting footer (cache effectiveness + pool reuse).

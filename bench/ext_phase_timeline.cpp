@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   // Sampled runs fan out over the engine workers (one pooled machine each);
   // printing happens afterwards, in benchmark order.
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   std::vector<harness::TimelineResult> timelines(benches.size());
   engine.for_each(benches.size(), [&](std::size_t i) {
     timelines[i] =

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   };
 
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const std::size_t n_cells = std::size(configs) * kWorkloads * kPolicies;
   std::vector<harness::ScheduledResult> results(n_cells);
   engine.for_each(n_cells, [&](std::size_t i) {

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   // The ladder configs all carry the widest config's name; the engine keys
   // its cache on the full context list, so each rung is a distinct cell.
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, ladder)
                                     .add_benchmarks(bench::study_benchmarks())
                                     .with_serial_baselines()

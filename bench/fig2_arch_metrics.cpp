@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   // One run per (benchmark, config), dispatched across the engine's workers.
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, all)
                                     .add_benchmarks(bench::study_benchmarks())
                                     .trials(1));

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   // Every (benchmark, config, trial) cell plus the per-trial serial
   // baselines, evaluated in one engine pass.
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, configs)
                                     .add_benchmarks(bench::study_benchmarks())
                                     .with_serial_baselines());

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   // All three workloads across every configuration, plus the serial
   // baselines for the speedup panels, in one engine pass.
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   auto plan = harness::ExperimentPlan(opt.run, configs)
                   .with_serial_baselines()
                   .trials(1);

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const std::vector<npb::Benchmark> suite(std::begin(npb::kAllBenchmarks),
                                           std::end(npb::kAllBenchmarks));
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, configs)
                                     .add_all_pairs(suite)
                                     .with_serial_baselines()

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
                                          "sim on",  "pred on",  "err on"};
 
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   harness::Table speedup_t("speedup — simulated vs predicted", cols);
   harness::Table cpi_t("CPI — simulated vs predicted", cols);
   harness::Table l2_t("L2 hit rate — simulated vs predicted", cols);

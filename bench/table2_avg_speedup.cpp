@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   }
 
   harness::ExperimentEngine engine(opt.jobs);
+  attach_store(engine, opt);
   const auto study = engine.run(harness::ExperimentPlan(opt.run, configs)
                                     .add_benchmarks(bench::study_benchmarks())
                                     .with_serial_baselines());

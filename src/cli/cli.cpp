@@ -125,6 +125,61 @@ int do_list(const Command& cmd, std::ostream& out) {
   return 0;
 }
 
+/// Attaches the --store directory (when given) to a freshly built engine.
+/// Detached (the default / --store=off), the engine is bit-identical to
+/// the storeless path.
+void attach_store(harness::ExperimentEngine& engine, const Command& cmd) {
+  if (!cmd.store_dir.empty()) {
+    engine.set_store(std::make_shared<serve::ResultStore>(cmd.store_dir));
+  }
+}
+
+/// The `paxsim store <stat|ls|gc|verify>` maintenance actions.  Output is
+/// NDJSON (one schema_version'd document per line), feeding the same
+/// tooling as the serve progress stream.
+int do_store(const Command& cmd, std::ostream& out) {
+  serve::ResultStore store(cmd.store_dir);
+  if (cmd.store_action == "stat") {
+    const serve::StoreScan s = store.scan();
+    report::Json j(out);
+    j.begin_document("store_stat")
+        .field("dir", store.dir())
+        .field("entries", s.entries)
+        .field("bytes", s.bytes)
+        .field("quarantined", s.quarantined)
+        .field("tmp_files", s.tmp_files);
+    j.finish();
+  } else if (cmd.store_action == "ls") {
+    for (const serve::StoreEntry& e : store.list()) {
+      report::Json j(out);
+      j.begin_document("store_entry")
+          .field("digest", e.digest)
+          .field("payload", e.payload)
+          .field("bytes", e.bytes)
+          .field("fingerprint", e.fingerprint);
+      j.finish();
+    }
+  } else if (cmd.store_action == "gc") {
+    const serve::GcResult r = store.gc();
+    report::Json j(out);
+    j.begin_document("store_gc")
+        .field("removed_tmp", r.removed_tmp)
+        .field("removed_quarantined", r.removed_quarantined);
+    j.finish();
+  } else {  // verify
+    const serve::VerifyResult r = store.verify();
+    report::Json j(out);
+    j.begin_document("store_verify")
+        .field("checked", r.checked)
+        .field("ok", r.ok)
+        .field("version_mismatch", r.version_mismatch)
+        .field("corrupt", r.corrupt);
+    j.finish();
+    return r.checked == r.ok ? 0 : 1;
+  }
+  return 0;
+}
+
 int do_lmbench(std::ostream& out) {
   const sim::MachineParams full{};
   out << "working-set ladder (ns/load):\n";
@@ -155,6 +210,11 @@ std::string usage() {
       "                                            one profiled serial run\n"
       "  trace --bench=CG --config=\"HT on -8-2\"     traced run: per-context and\n"
       "                                            per-region CPI stall stacks\n"
+      "  serve --jobs-file=plan.json [--store=DIR]  batch sweep service: expand\n"
+      "        [--procs=N] [--max-cells=N] [--quiet] the job file, answer stored\n"
+      "                                            cells from the store, compute\n"
+      "                                            + persist the rest (NDJSON)\n"
+      "  store <stat|ls|gc|verify> --store=DIR     result-store maintenance\n"
       "  lmbench                                   section-3 characterisation\n"
       "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
       "              --machine=<preset|file.json> (simulate a different\n"
@@ -175,6 +235,11 @@ std::string usage() {
       "                         Perfetto JSON timeline; implies --trace=full)\n"
       "              --regions / --stacks (trace: print only the per-region /\n"
       "                         per-context table; default prints both)\n"
+      "              --store=DIR|off (run/pair/predict/serve: persistent\n"
+      "                         content-addressed result store; previously\n"
+      "                         answered cells skip simulation entirely;\n"
+      "                         'off' — the default — is bit-identical to\n"
+      "                         no store)\n"
       "              --jobs=N (host worker threads for independent trials)\n"
       "              --par=N (host threads per run: shard one simulated\n"
       "                         machine across N logical processes;\n"
@@ -209,6 +274,10 @@ ParseResult parse(const std::vector<std::string>& args) {
     cmd.kind = Command::Kind::kPredict;
   } else if (sub == "trace") {
     cmd.kind = Command::Kind::kTrace;
+  } else if (sub == "serve") {
+    cmd.kind = Command::Kind::kServe;
+  } else if (sub == "store") {
+    cmd.kind = Command::Kind::kStore;
   } else if (sub == "lmbench") {
     cmd.kind = Command::Kind::kLmbench;
   } else if (sub == "help" || sub == "--help" || sub == "-h") {
@@ -221,6 +290,11 @@ ParseResult parse(const std::vector<std::string>& args) {
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string key, value;
     if (!split_flag(args[i], key, value)) {
+      // `paxsim store` takes its action as the one positional argument.
+      if (cmd.kind == Command::Kind::kStore && cmd.store_action.empty()) {
+        cmd.store_action = args[i];
+        continue;
+      }
       res.error = "unexpected argument '" + args[i] + "'";
       return res;
     }
@@ -312,6 +386,33 @@ ParseResult parse(const std::vector<std::string>& args) {
       }
     } else if (key == "no-verify") {
       cmd.options.verify = false;
+    } else if (key == "store") {
+      // "off" is the explicit spelling of the default (no store attached).
+      cmd.store_dir = (value == "off") ? std::string() : value;
+      if (value.empty()) {
+        res.error = "bad --store (need a directory, or 'off')";
+        return res;
+      }
+    } else if (key == "jobs-file") {
+      if (value.empty()) {
+        res.error = "bad --jobs-file (need a file name)";
+        return res;
+      }
+      cmd.jobs_file = value;
+    } else if (key == "procs") {
+      cmd.procs = std::atoi(value.c_str());
+      if (cmd.procs < 1) {
+        res.error = "bad --procs (need an integer >= 1)";
+        return res;
+      }
+    } else if (key == "max-cells") {
+      cmd.max_cells = std::strtoull(value.c_str(), nullptr, 10);
+      if (cmd.max_cells == 0) {
+        res.error = "bad --max-cells (need an integer >= 1)";
+        return res;
+      }
+    } else if (key == "quiet") {
+      cmd.quiet = true;
     } else {
       res.error = "unknown flag '--" + key + "'";
       return res;
@@ -347,6 +448,15 @@ ParseResult parse(const std::vector<std::string>& args) {
           make_policy(cmd.policy, 0) == nullptr) {
         res.error = "unknown --policy '" + cmd.policy + "'";
       }
+      break;
+    case Command::Kind::kServe:
+      need(!cmd.jobs_file.empty(), "serve needs --jobs-file=<plan.json>");
+      break;
+    case Command::Kind::kStore:
+      need(cmd.store_action == "stat" || cmd.store_action == "ls" ||
+               cmd.store_action == "gc" || cmd.store_action == "verify",
+           "store needs an action: stat, ls, gc or verify");
+      need(!cmd.store_dir.empty(), "store needs --store=<dir>");
       break;
     default:
       break;
@@ -387,9 +497,22 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return do_list(cmd, out);
       case Command::Kind::kLmbench:
         return do_lmbench(out);
+      case Command::Kind::kServe: {
+        serve::ServeOptions so;
+        so.jobs_file = cmd.jobs_file;
+        so.store_dir = cmd.store_dir;
+        so.jobs = cmd.jobs;
+        so.procs = cmd.procs;
+        so.max_cells = cmd.max_cells;
+        so.progress = !cmd.quiet;
+        return serve::run_serve(so, out, err);
+      }
+      case Command::Kind::kStore:
+        return do_store(cmd, out);
       case Command::Kind::kPredict: {
         const auto* cfg = find_cfg(cmd.config_name);
         harness::ExperimentEngine engine(cmd.jobs);
+        attach_store(engine, cmd);
         const auto seed = cmd.options.trial_seed(0);
         const auto pr =
             engine.predict(cmd.benches[0], *cfg, cmd.options, seed);
@@ -470,6 +593,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
           return 0;
         }
         harness::ExperimentEngine engine(cmd.jobs);
+        attach_store(engine, cmd);
         auto plan = harness::ExperimentPlan(cmd.options, {*cfg})
                         .add_benchmark(cmd.benches[0])
                         .with_serial_baselines(cmd.baseline)
@@ -501,6 +625,7 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         const auto* cfg = find_cfg(cmd.config_name);
         const auto seed = cmd.options.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
+        attach_store(engine, cmd);
         const auto r = engine.pair(cmd.benches[0], cmd.benches[1], *cfg,
                                    cmd.options, seed);
         for (int p = 0; p < 2; ++p) {

@@ -13,9 +13,13 @@
 //   paxsim predict --bench=CG --config="HT on -8-2" [--compare]
 //   paxsim trace --bench=CG --config="HT on -8-2" [--trace=stacks|events|full]
 //                [--trace-out=FILE] [--regions] [--stacks]
+//   paxsim serve --jobs-file=plan.json [--store=DIR] [--jobs=N] [--procs=N]
+//                [--max-cells=N] [--quiet]
+//   paxsim store <stat|ls|gc|verify> --store=DIR
 //   paxsim lmbench
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -28,7 +32,8 @@ namespace paxsim::cli {
 /// Parsed command line.
 struct Command {
   enum class Kind {
-    kList, kRun, kPair, kSched, kTimeline, kPredict, kTrace, kLmbench, kHelp
+    kList, kRun, kPair, kSched, kTimeline, kPredict, kTrace, kServe, kStore,
+    kLmbench, kHelp
   };
 
   Kind kind = Kind::kHelp;
@@ -48,6 +53,15 @@ struct Command {
   std::string trace_out;                ///< trace: Chrome-tracing JSON file
   bool regions = false;                 ///< trace: print the region table
   bool stacks = false;                  ///< trace: print the context stacks
+  /// --store=DIR|off: persistent result store for run/pair/predict/serve
+  /// ("off" and empty both mean detached — bit-identical to the storeless
+  /// engine).  serve may instead take the directory from the job file.
+  std::string store_dir;
+  std::string jobs_file;                ///< serve: the job-file path
+  std::string store_action;             ///< store: stat | ls | gc | verify
+  int procs = 1;                        ///< serve: worker processes
+  std::uint64_t max_cells = 0;          ///< serve: compute bound (0 = all)
+  bool quiet = false;                   ///< serve: suppress per-cell lines
 };
 
 /// Parse result: a command, or an error message for the user.

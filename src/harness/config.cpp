@@ -182,10 +182,13 @@ std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on) {
 
 std::string cpu_label(sim::LogicalCpu cpu_, bool ht_on,
                       const sim::Topology& topo) {
-  if (ht_on) {
-    return "A" + std::to_string(topo.flat(cpu_));
-  }
-  return "B" + std::to_string(topo.core_id(cpu_.chip, cpu_.core));
+  // Built via += rather than `"A" + std::to_string(...)`: GCC 12's
+  // -Wrestrict misfires on operator+(const char*, string&&) at -O3
+  // (GCC PR105651), and the -Werror CI build must stay clean.
+  std::string label(1, ht_on ? 'A' : 'B');
+  label += std::to_string(ht_on ? topo.flat(cpu_)
+                                : topo.core_id(cpu_.chip, cpu_.core));
+  return label;
 }
 
 }  // namespace paxsim::harness

@@ -121,6 +121,86 @@ std::string config_fingerprint(const StudyConfig& cfg) {
   return s;
 }
 
+namespace {
+
+/// Fixed-width lowercase hex of @p v over @p digits nibbles (MSB first).
+void append_hex(std::string& s, std::uint64_t v, int digits) {
+  static const char* kHex = "0123456789abcdef";
+  for (int d = digits - 1; d >= 0; --d) {
+    // paxlint: allow(fold-order) -- MSB-first hex formatting of one scalar, not a sharded reduction; no counter fold happens here
+    s += kHex[(v >> (4 * d)) & 0xF];
+  }
+}
+
+/// Length-prefixed byte field: 8 hex digits of length, ':', the raw bytes.
+/// The prefix makes the serialization injective however the strings nest.
+void append_bytes(std::string& s, std::string_view bytes) {
+  append_hex(s, bytes.size(), 8);
+  s += ':';
+  s.append(bytes);
+}
+
+}  // namespace
+
+std::string cell_fingerprint(const CellKey& k) {
+  // Every field is rendered explicitly at a fixed width, in declaration
+  // order, so the result is a pure function of the key's VALUES — never of
+  // struct padding, enum underlying types or host endianness.  The leading
+  // version token makes old stores reject new-format keys (and vice versa)
+  // instead of silently aliasing.
+  std::string s;
+  s.reserve(96 + k.config.size() + k.machine.size());
+  s += "cellkey-v";
+  s += std::to_string(kCellFingerprintVersion);
+  s += ";kind=";
+  append_hex(s, static_cast<std::uint64_t>(k.kind), 2);
+  s += ";a=";
+  append_hex(s, static_cast<std::uint64_t>(k.a), 2);
+  s += ";b=";
+  append_hex(s, static_cast<std::uint64_t>(k.b), 2);
+  s += ";cls=";
+  append_hex(s, static_cast<std::uint64_t>(k.cls), 2);
+  s += ";scale=";
+  std::uint64_t scale_bits = 0;
+  static_assert(sizeof(scale_bits) == sizeof(k.machine_scale));
+  std::memcpy(&scale_bits, &k.machine_scale, sizeof(scale_bits));
+  append_hex(s, scale_bits, 16);  // IEEE-754 bit pattern: exact, total
+  s += ";seed=";
+  append_hex(s, k.seed, 16);
+  s += ";verify=";
+  s += k.verify ? '1' : '0';
+  s += ";grain=";
+  append_hex(s, static_cast<std::uint64_t>(k.grain), 16);
+  s += ";check=";
+  append_hex(s, static_cast<std::uint64_t>(k.check), 2);
+  s += ";trace=";
+  append_hex(s, static_cast<std::uint64_t>(k.trace), 2);
+  s += ";config=";
+  append_bytes(s, k.config);
+  s += ";machine=";
+  append_bytes(s, k.machine);
+  return s;
+}
+
+std::string cell_digest(std::string_view fingerprint) {
+  // Two independent 64-bit FNV-1a passes (distinct offset bases) → 128 bits
+  // rendered as 32 hex characters.  Not cryptographic; collision odds at
+  // sweep scale (~10^6 cells) are ~10^-26, and the store additionally
+  // verifies the full fingerprint string recorded inside each entry.
+  const auto fnv1a = [fingerprint](std::uint64_t h) {
+    for (const char c : fingerprint) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+  std::string s;
+  s.reserve(32);
+  append_hex(s, fnv1a(0xcbf29ce484222325ull), 16);
+  append_hex(s, fnv1a(0x6c62272e07bb0142ull), 16);
+  return s;
+}
+
 std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   std::size_t h = std::hash<std::string>{}(k.config);
   const auto mix = [&h](std::uint64_t v) {
@@ -193,7 +273,7 @@ std::uint64_t MachinePool::acquired() const {
 // StudyResult
 // ---------------------------------------------------------------------------
 
-const StudyResult::CellValue& StudyResult::at(const CellKey& key) const {
+const CellValue& StudyResult::at(const CellKey& key) const {
   const auto it = cells_.find(key);
   if (it == cells_.end()) {
     throw std::out_of_range(
@@ -264,26 +344,68 @@ MachinePool& ExperimentEngine::pool_for(const sim::MachineParams& params) {
   return *slot;
 }
 
-const ExperimentEngine::CellValue* ExperimentEngine::lookup(
-    const CellKey& key) {
+void ExperimentEngine::set_store(std::shared_ptr<CellStore> store) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    return nullptr;
+  store_ = std::move(store);
+}
+
+bool ExperimentEngine::has_store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ != nullptr;
+}
+
+bool ExperimentEngine::store_eligible(const CellKey& key) noexcept {
+  // Checked cells carry a CheckReport the stored envelope does not
+  // serialize; persisting them would return finding-less results on reload.
+  return key.check == sim::CheckMode::kOff;
+}
+
+const CellValue* ExperimentEngine::lookup(const CellKey& key) {
+  std::shared_ptr<CellStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return &it->second;
+    }
+    store = store_;
   }
-  ++cache_hits_;
+  if (store == nullptr || !store_eligible(key)) return nullptr;
+  // Store I/O happens outside mu_ so a slow disk never serializes the
+  // worker pool.  Entries are never erased while workers run (clear_cache
+  // is not concurrent-safe by contract), so the returned pointer stays
+  // valid after the lock drops.
+  CellValue v;
+  if (!store->load_cell(key, &v)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.emplace(key, std::move(v)).first;
+  ++store_hits_;
   return &it->second;
 }
 
-const ExperimentEngine::CellValue& ExperimentEngine::memoize(const CellKey& key,
-                                                             CellValue value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = cache_.emplace(key, std::move(value));
-  if (inserted) ++cache_misses_;
-  return it->second;
+const CellValue& ExperimentEngine::memoize(const CellKey& key,
+                                           CellValue value) {
+  const CellValue* stored = nullptr;
+  bool fresh = false;
+  std::shared_ptr<CellStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = cache_.emplace(key, std::move(value));
+    if (inserted) ++cache_misses_;
+    stored = &it->second;
+    fresh = inserted;
+    store = store_;
+  }
+  if (fresh && store != nullptr && store_eligible(key)) {
+    store->store_cell(key, *stored);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++store_writes_;
+  }
+  return *stored;
 }
 
-ExperimentEngine::CellValue ExperimentEngine::compute_cell(
+CellValue ExperimentEngine::compute_cell(
     sim::Machine& machine, const CellKey& key, const StudyConfig& cfg,
     const RunOptions& opt) {
   CellValue v;
@@ -476,8 +598,24 @@ PredictionResult ExperimentEngine::predict(npb::Benchmark b,
                                            const StudyConfig& cfg,
                                            const RunOptions& opt,
                                            std::uint64_t seed) {
-  const std::string key = profile_key(b, opt, seed);
+  // Persistent tier first: a stored prediction answers without profiling or
+  // evaluating the model at all (the O(1) serve path).
+  const CellKey pkey =
+      CellKey::from(CellKey::Kind::kPredict, b, b, cfg, opt, seed);
+  std::shared_ptr<CellStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_;
+  }
   PredictionResult out;
+  if (store != nullptr && store_eligible(pkey) &&
+      store->load_prediction(pkey, &out.prediction)) {
+    out.store_hit = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++store_hits_;
+    return out;
+  }
+  const std::string key = profile_key(b, opt, seed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     out.profile_reused = profiles_.contains(key);
@@ -496,6 +634,11 @@ PredictionResult ExperimentEngine::predict(npb::Benchmark b,
   // paxlint: allow(wallclock) -- predict_host_sec provenance timing; the prediction itself is host-time-free
   const auto t1 = std::chrono::steady_clock::now();
   out.predict_host_sec = std::chrono::duration<double>(t1 - t0).count();
+  if (store != nullptr && store_eligible(pkey)) {
+    store->store_prediction(pkey, out.prediction);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++store_writes_;
+  }
   return out;
 }
 
@@ -621,6 +764,8 @@ EngineStats ExperimentEngine::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     s.cache_hits = cache_hits_;
     s.cache_misses = cache_misses_;
+    s.store_hits = store_hits_;
+    s.store_writes = store_writes_;
     // paxlint: allow(determinism) -- integer sums over all pools; addition commutes, so hash order cannot change the totals
     for (const auto& [key, pool] : pools_) {
       (void)key;

@@ -49,8 +49,10 @@ namespace paxsim::harness {
 
 /// Counters describing what the engine actually did.
 struct EngineStats {
-  std::uint64_t cache_hits = 0;      ///< cells answered from the cache
+  std::uint64_t cache_hits = 0;      ///< cells answered from the in-RAM cache
   std::uint64_t cache_misses = 0;    ///< cells that had to be simulated
+  std::uint64_t store_hits = 0;      ///< cells answered from the on-disk store
+  std::uint64_t store_writes = 0;    ///< freshly simulated cells persisted
   std::uint64_t machines_created = 0;   ///< sim::Machine constructions
   std::uint64_t machines_acquired = 0;  ///< pool acquisitions (incl. reuse)
 
@@ -113,9 +115,11 @@ class MachinePool {
   std::uint64_t acquired_ = 0;
 };
 
-/// Identity of one memoizable simulation cell.
+/// Identity of one memoizable simulation cell.  kPredict keys identify
+/// analytical-prediction answers in the persistent result store (they never
+/// appear in the simulation cell cache or in plan enumeration).
 struct CellKey {
-  enum class Kind : std::uint8_t { kSingle, kPair };
+  enum class Kind : std::uint8_t { kSingle, kPair, kPredict };
 
   Kind kind = Kind::kSingle;
   npb::Benchmark a{};
@@ -157,6 +161,53 @@ struct CellKey {
 
 struct CellKeyHash {
   [[nodiscard]] std::size_t operator()(const CellKey& k) const noexcept;
+};
+
+/// Version of the explicit CellKey wire fingerprint below.  Bump whenever a
+/// field changes meaning, width or order — on-disk stores key entries by
+/// the digest of this serialization, so a silent format change would alias
+/// incompatible results.
+inline constexpr int kCellFingerprintVersion = 1;
+
+/// Canonical serialized identity of a cell: every CellKey field rendered
+/// explicitly (field-by-field, fixed-width hex for scalars, length-prefixed
+/// bytes for strings), prefixed with kCellFingerprintVersion.  Deliberately
+/// independent of in-memory struct layout, compiler, ABI and endianness —
+/// the same key fingerprints identically on every build, so on-disk stores
+/// written by different binaries interoperate.  Injective: two distinct
+/// keys can never serialize equal (golden-fingerprint test enforced).
+[[nodiscard]] std::string cell_fingerprint(const CellKey& k);
+
+/// 128-bit content digest of a fingerprint as 32 lowercase hex characters —
+/// the on-disk address of a cell (serve::ResultStore's object name).
+[[nodiscard]] std::string cell_digest(std::string_view fingerprint);
+
+/// The value of one simulation cell: the single-program result, or the
+/// pair result, according to the key's kind.
+struct CellValue {
+  RunResult single;
+  PairResult pair;
+};
+
+/// Abstract persistent cell store the engine can write through to
+/// (serve::ResultStore is the on-disk implementation; the indirection keeps
+/// harness/ below serve/ in the layering).  Implementations must be
+/// thread-safe: engine workers load and store cells concurrently.
+class CellStore {
+ public:
+  virtual ~CellStore() = default;
+
+  /// Loads the stored result for @p key; false when absent (or rejected —
+  /// version mismatch, corruption — which the store treats as absence).
+  virtual bool load_cell(const CellKey& key, CellValue* out) = 0;
+  /// Persists a freshly simulated cell (atomic, last-writer-wins between
+  /// writers computing the identical deterministic value).
+  virtual void store_cell(const CellKey& key, const CellValue& value) = 0;
+
+  /// Same contract for analytical predictions (CellKey::Kind::kPredict).
+  virtual bool load_prediction(const CellKey& key, model::Prediction* out) = 0;
+  virtual void store_prediction(const CellKey& key,
+                                const model::Prediction& p) = 0;
 };
 
 /// A declarative experiment: benchmarks and/or co-scheduled pairs, crossed
@@ -257,11 +308,6 @@ class StudyResult {
  private:
   friend class ExperimentEngine;
 
-  struct CellValue {
-    RunResult single;
-    PairResult pair;
-  };
-
   [[nodiscard]] const CellValue& at(const CellKey& key) const;
 
   ExperimentPlan plan_{RunOptions{}, {}};
@@ -288,6 +334,9 @@ struct PredictionResult {
   /// Host seconds of the analytical evaluation itself (microseconds).
   double predict_host_sec = 0;
   bool profile_reused = false;   ///< profile came from the memo cache
+  /// The prediction was answered from the attached persistent store — no
+  /// profiling and no model evaluation happened at all.
+  bool store_hit = false;
 };
 
 /// Per-step timeline of one run (the VTune sampling view): produced by
@@ -309,6 +358,20 @@ class ExperimentEngine {
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
   [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Attaches a persistent cell store (nullptr detaches).  With a store
+  /// attached, cache misses consult the store before simulating, and every
+  /// freshly simulated eligible cell is written through.  Checked cells
+  /// (check_mode != kOff) bypass the store: their CheckReport payload is
+  /// not part of the stored envelope, so persisting them would drop
+  /// findings on reload.  Detached (the default), behaviour is bit-
+  /// identical to the pre-store engine.
+  void set_store(std::shared_ptr<CellStore> store);
+  [[nodiscard]] bool has_store() const;
+
+  /// True when @p key's value survives a store round-trip losslessly (the
+  /// eligibility rule set_store documents).
+  [[nodiscard]] static bool store_eligible(const CellKey& key) noexcept;
 
   /// Evaluates @p plan: dedupes its cells against the cache, simulates the
   /// missing ones across the worker pool, and assembles the result table.
@@ -366,8 +429,6 @@ class ExperimentEngine {
   void clear_cache();
 
  private:
-  using CellValue = StudyResult::CellValue;
-
   /// One enumerated cell of a plan plus what is needed to simulate it.
   struct Work {
     CellKey key;
@@ -382,11 +443,15 @@ class ExperimentEngine {
   MachinePool& pool_for(const sim::MachineParams& params);
   CellValue compute_cell(sim::Machine& machine, const CellKey& key,
                          const StudyConfig& cfg, const RunOptions& opt);
-  /// Cache lookup + stats accounting; returns nullptr on miss.
+  /// Cache lookup + stats accounting; falls through to the attached store
+  /// (admitting a store hit into the RAM cache); returns nullptr on miss.
   const CellValue* lookup(const CellKey& key);
+  /// Inserts a freshly simulated cell (counts a miss) and writes it
+  /// through to the attached store when eligible.
   const CellValue& memoize(const CellKey& key, CellValue value);
 
   int jobs_;
+  std::shared_ptr<CellStore> store_;  ///< set_store; guarded by mu_
   mutable std::mutex mu_;  ///< guards cache_, pools_, hit/miss counters
   std::unordered_map<CellKey, CellValue, CellKeyHash> cache_;
   std::unordered_map<std::string, std::unique_ptr<MachinePool>> pools_;
@@ -398,6 +463,8 @@ class ExperimentEngine {
   std::unordered_map<std::string, double> profile_host_sec_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t store_hits_ = 0;
+  std::uint64_t store_writes_ = 0;
 };
 
 }  // namespace paxsim::harness

@@ -14,7 +14,7 @@
 // Every runner takes the sim::Machine to run on (the MachinePool recycling
 // path; the machine is reset() to a cold state on entry, so results are
 // bit-identical to a fresh construction).  The historical machine-less
-// overloads remain as deprecated wrappers — new code routes through
+// [[deprecated]] wrappers are gone — every call site routes through
 // ExperimentEngine, which pools machines and memoizes cells.
 #pragma once
 
@@ -149,33 +149,6 @@ struct TraceResult {
 TraceResult run_traced(sim::Machine& machine, npb::Benchmark bench,
                        const StudyConfig& cfg, const RunOptions& opt,
                        std::uint64_t seed);
-
-// ---- deprecated machine-less wrappers --------------------------------------
-// Construct a throwaway machine per call.  Kept for source compatibility;
-// new code should use ExperimentEngine (pooled + memoized) or pass a
-// machine explicitly.
-
-[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
-inline RunResult run_single(npb::Benchmark bench, const StudyConfig& cfg,
-                            const RunOptions& opt, std::uint64_t seed) {
-  sim::Machine machine(opt.machine_params());
-  return run_single(machine, bench, cfg, opt, seed);
-}
-
-[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
-inline PairResult run_pair(npb::Benchmark a, npb::Benchmark b,
-                           const StudyConfig& cfg, const RunOptions& opt,
-                           std::uint64_t seed) {
-  sim::Machine machine(opt.machine_params());
-  return run_pair(machine, a, b, cfg, opt, seed);
-}
-
-[[deprecated("use ExperimentEngine or the machine-reusing overload")]]
-inline RunResult run_serial(npb::Benchmark bench, const RunOptions& opt,
-                            std::uint64_t seed) {
-  sim::Machine machine(opt.machine_params());
-  return run_serial(machine, bench, opt, seed);
-}
 
 /// Outcome of a profiled serial run — paxmodel's input.
 struct ProfiledRun {

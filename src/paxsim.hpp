@@ -10,7 +10,10 @@
 //   model::    the analytical predictor (profiles + predictions)
 //   check::    race detection / invariant audit reports
 //   trace::    CPI stall-stack tracing and the Chrome-tracing exporter
-//   report::   the one JSON writer every machine-readable report uses
+//   report::   the one JSON writer every machine-readable report uses,
+//              and its consumer-side parser
+//   serve::    the persistent sweep service — the on-disk content-addressed
+//              result store, job files and the batch driver
 //   lmb::      the LMbench-analog calibration probes
 //   sched::    scheduler policies for the co-scheduling extension
 //   xomp::     the OpenMP-analog runtime, for authoring custom kernels
@@ -44,7 +47,11 @@
 #include "perf/metrics.hpp"
 #include "perf/timeline.hpp"
 #include "report/json.hpp"
+#include "report/parse.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/jobs.hpp"
+#include "serve/serve.hpp"
+#include "serve/store.hpp"
 #include "sim/machine.hpp"
 #include "sim/params.hpp"
 #include "sim/topology.hpp"

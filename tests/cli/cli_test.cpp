@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace paxsim::cli {
@@ -300,6 +302,111 @@ TEST(CliExecTest, HelpPrintsUsage) {
   std::string out;
   EXPECT_EQ(run_cli({"help"}, out), 0);
   EXPECT_NE(out.find("usage: paxsim"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// paxserve: the serve / store subcommands and the --store= flag.
+// ---------------------------------------------------------------------------
+
+TEST(CliParseTest, ServeParsesItsFlags) {
+  const auto r = P({"serve", "--jobs-file=plan.json", "--store=results",
+                    "--procs=3", "--max-cells=10", "--jobs=2", "--quiet"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Command& c = *r.command;
+  EXPECT_EQ(c.kind, Command::Kind::kServe);
+  EXPECT_EQ(c.jobs_file, "plan.json");
+  EXPECT_EQ(c.store_dir, "results");
+  EXPECT_EQ(c.procs, 3);
+  EXPECT_EQ(c.max_cells, 10u);
+  EXPECT_EQ(c.jobs, 2);
+  EXPECT_TRUE(c.quiet);
+}
+
+TEST(CliParseTest, ServeRequiresAJobsFile) {
+  const auto r = P({"serve"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("jobs-file"), std::string::npos);
+}
+
+TEST(CliParseTest, ServeRejectsBadScalingFlags) {
+  EXPECT_FALSE(P({"serve", "--jobs-file=p.json", "--procs=0"}).ok());
+  EXPECT_FALSE(P({"serve", "--jobs-file=p.json", "--max-cells=0"}).ok());
+}
+
+TEST(CliParseTest, StoreOffMeansDetached) {
+  const auto r = P({"run", "--bench=EP", "--config=Serial", "--store=off"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.command->store_dir.empty());
+  EXPECT_FALSE(P({"run", "--bench=EP", "--config=Serial", "--store="}).ok());
+}
+
+TEST(CliParseTest, StoreParsesActionsAndValidates) {
+  for (const char* action : {"stat", "ls", "gc", "verify"}) {
+    const auto r = P({"store", action, "--store=results"});
+    ASSERT_TRUE(r.ok()) << action << ": " << r.error;
+    EXPECT_EQ(r.command->kind, Command::Kind::kStore);
+    EXPECT_EQ(r.command->store_action, action);
+    EXPECT_EQ(r.command->store_dir, "results");
+  }
+  EXPECT_FALSE(P({"store", "--store=results"}).ok());       // no action
+  EXPECT_FALSE(P({"store", "frob", "--store=results"}).ok());
+  EXPECT_FALSE(P({"store", "stat"}).ok());                  // no --store
+}
+
+TEST(CliExecTest, ServeComputesThenStoreAnswers) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "paxsim_cli_serve";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string store = (dir / "store").string();
+  const std::string plan = (dir / "plan.json").string();
+  std::ofstream(plan) << R"({"schema_version":1,"kind":"job_file",
+      "defaults":{"class":"S","trials":1},
+      "sweeps":[{"benches":["EP"],"configs":["Serial"],
+                 "modes":["single"]}]})";
+
+  const std::string jobs_flag = "--jobs-file=" + plan;
+  const std::string store_flag = "--store=" + store;
+  std::string out;
+  EXPECT_EQ(run_cli({"serve", jobs_flag.c_str(), store_flag.c_str()}, out),
+            0);
+  EXPECT_NE(out.find("\"kind\":\"serve_summary\""), std::string::npos);
+  EXPECT_NE(out.find("\"computed\":1"), std::string::npos);
+
+  // Warm re-run: the line CI greps for.
+  std::string out2;
+  EXPECT_EQ(run_cli({"serve", jobs_flag.c_str(), store_flag.c_str()}, out2),
+            0);
+  EXPECT_NE(out2.find("\"computed\":0"), std::string::npos);
+  EXPECT_NE(out2.find("\"store_hits\":1"), std::string::npos);
+
+  // And the maintenance surface sees the entry.
+  std::string stat;
+  EXPECT_EQ(run_cli({"store", "stat", store_flag.c_str()}, stat), 0);
+  EXPECT_NE(stat.find("\"kind\":\"store_stat\""), std::string::npos);
+  EXPECT_NE(stat.find("\"entries\":1"), std::string::npos);
+  std::string verify;
+  EXPECT_EQ(run_cli({"store", "verify", store_flag.c_str()}, verify), 0);
+  EXPECT_NE(verify.find("\"ok\":1"), std::string::npos);
+}
+
+TEST(CliExecTest, RunWithStoreIsIdenticalAcrossRuns) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "paxsim_cli_runstore";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string store_flag = "--store=" + (dir / "store").string();
+
+  std::string cold, warm;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=Serial", "--class=S",
+                     "--csv", store_flag.c_str()},
+                    cold),
+            0);
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=Serial", "--class=S",
+                     "--csv", store_flag.c_str()},
+                    warm),
+            0);
+  EXPECT_EQ(cold, warm) << "stored answers must render identically";
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ RunOptions quick() {
 }
 
 // Local machine-constructing shims over the machine-reusing runners (the
-// machine-less wrappers are deprecated).
+// harness no longer ships machine-less wrappers).
 RunResult single_run(npb::Benchmark bench, const StudyConfig& cfg,
                      const RunOptions& opt, std::uint64_t seed) {
   sim::Machine machine(opt.machine_params());
