@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli/flags.hpp"
 #include "paxsim.hpp"
 
 // Build provenance macros are injected by the root CMakeLists on
@@ -39,65 +40,36 @@ struct BenchOptions {
   std::string store_dir;
 };
 
-/// Parses --class=S|W|A|B, --trials=N, --seed=N, --jobs=N, --par=N,
-/// --par-window=F, --grain=N, --scale=F, --machine=SPEC, --store=DIR|off,
-/// --csv, --no-verify.  Returns false (after printing usage) on an unknown
-/// flag.
+/// The bench flag table: the exact run/engine tables the `paxsim` CLI
+/// registers (cli/flags.hpp) plus the bench-only output flags, so every
+/// artifact accepts the same spellings with the same validation as the CLI
+/// by construction.
+inline cli::FlagSet make_bench_flags(BenchOptions& opt) {
+  cli::FlagSet fs;
+  cli::register_run_flags(fs, &opt.run);
+  cli::register_engine_flags(fs, &opt.jobs, &opt.store_dir);
+  fs.add_flag("csv", &opt.csv, "additionally emit CSV rows after each table");
+  fs.add_string("plot", &opt.plot_dir, "DIR",
+                "also write gnuplot .dat/.gp files under DIR");
+  return fs;
+}
+
+/// Parses every flag in the shared run/engine tables (--class, --trials,
+/// --seed, --jobs, --par, --par-window, --grain, --sched, --chunk, --scale,
+/// --machine, --check, --trace, --no-verify, --store) plus --csv and
+/// --plot=DIR.  Returns false (after printing usage or the error) on an
+/// unknown or invalid flag.
 inline bool parse_args(int argc, char** argv, BenchOptions& opt) {
+  const cli::FlagSet fs = make_bench_flags(opt);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--class=", 0) == 0) {
-      const char c = a[8];
-      using npb::ProblemClass;
-      opt.run.cls = c == 'S'   ? ProblemClass::kClassS
-                    : c == 'W' ? ProblemClass::kClassW
-                    : c == 'A' ? ProblemClass::kClassA
-                               : ProblemClass::kClassB;
-    } else if (a.rfind("--trials=", 0) == 0) {
-      opt.run.trials = std::atoi(a.c_str() + 9);
-    } else if (a.rfind("--seed=", 0) == 0) {
-      opt.run.base_seed = std::strtoull(a.c_str() + 7, nullptr, 10);
-    } else if (a.rfind("--jobs=", 0) == 0) {
-      opt.jobs = std::atoi(a.c_str() + 7);
-      if (opt.jobs < 1) opt.jobs = 1;
-    } else if (a.rfind("--par=", 0) == 0) {
-      opt.run.par = std::atoi(a.c_str() + 6);
-      if (opt.run.par < 1) opt.run.par = 1;
-    } else if (a.rfind("--par-window=", 0) == 0) {
-      opt.run.par_window = std::atof(a.c_str() + 13);
-    } else if (a.rfind("--grain=", 0) == 0) {
-      const long g = std::atol(a.c_str() + 8);
-      opt.run.grain = g < 1 ? 1 : static_cast<std::size_t>(g);
-    } else if (a.rfind("--scale=", 0) == 0) {
-      const double s = std::atof(a.c_str() + 8);
-      if (s >= 1.0) opt.run.machine_scale = s;
-    } else if (a.rfind("--machine=", 0) == 0) {
-      sim::Topology topo;
-      std::string why;
-      if (!sim::Topology::resolve(a.substr(10), &topo, &why)) {
-        std::fprintf(stderr, "bad --machine: %s\n", why.c_str());
-        return false;
-      }
-      opt.run.topology = std::make_shared<const sim::Topology>(std::move(topo));
-    } else if (a.rfind("--store=", 0) == 0) {
-      opt.store_dir = a.substr(8);
-      if (opt.store_dir == "off") opt.store_dir.clear();
-    } else if (a == "--csv") {
-      opt.csv = true;
-    } else if (a.rfind("--plot=", 0) == 0) {
-      opt.plot_dir = a.substr(7);
-    } else if (a == "--no-verify") {
-      opt.run.verify = false;
-    } else if (a == "--help" || a == "-h") {
-      std::printf(
-          "usage: %s [--class=S|W|A|B] [--trials=N] [--seed=N] [--jobs=N] "
-          "[--par=N] [--par-window=F] [--grain=N] [--scale=F] "
-          "[--machine=PRESET|FILE.json] [--store=DIR|off] [--csv] "
-          "[--plot=DIR] [--no-verify]\n",
-          argv[0]);
+    if (a == "--help" || a == "-h") {
+      std::printf("usage: %s [flags]\n%s", argv[0], fs.help_text(2).c_str());
       return false;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", a.c_str());
+    }
+    std::string error;
+    if (fs.parse_flag(a, &error) != cli::FlagSet::Outcome::kOk) {
+      std::fprintf(stderr, "%s (try --help)\n", error.c_str());
       return false;
     }
   }

@@ -6,22 +6,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "cli/flags.hpp"
 #include "paxsim.hpp"
 #include "sim/topology.hpp"
 
 namespace paxsim::cli {
 namespace {
-
-bool parse_class(const std::string& s, npb::ProblemClass& out) {
-  if (s.size() != 1) return false;
-  switch (s[0]) {
-    case 'S': out = npb::ProblemClass::kClassS; return true;
-    case 'W': out = npb::ProblemClass::kClassW; return true;
-    case 'A': out = npb::ProblemClass::kClassA; return true;
-    case 'B': out = npb::ProblemClass::kClassB; return true;
-    default: return false;
-  }
-}
 
 bool parse_bench_list(const std::string& s, std::vector<npb::Benchmark>& out) {
   out.clear();
@@ -35,32 +25,216 @@ bool parse_bench_list(const std::string& s, std::vector<npb::Benchmark>& out) {
   return !out.empty();
 }
 
-/// Splits "--key=value" into (key, value); bare flags get empty value.
-bool split_flag(const std::string& a, std::string& key, std::string& value) {
-  if (a.rfind("--", 0) != 0) return false;
-  const std::size_t eq = a.find('=');
-  if (eq == std::string::npos) {
-    key = a.substr(2);
-    value.clear();
-  } else {
-    key = a.substr(2, eq - 2);
-    value = a.substr(eq + 1);
-  }
-  return true;
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(tok);
+  return out;
 }
 
-/// Resolves a --machine spec — a preset name, else a path to a
-/// schema_version'd topology JSON file — into a validated topology.
-/// Returns an empty string on success, the user-facing error otherwise.
-std::string resolve_machine(const std::string& spec,
-                            std::shared_ptr<const sim::Topology>& out) {
-  sim::Topology topo;
-  std::string why;
-  if (!sim::Topology::resolve(spec, &topo, &why)) {
-    return "bad --machine: " + why;
+/// Registers every `paxsim` flag onto @p cmd.  One table serves all
+/// subcommands (as the hand-rolled parser did) and usage() renders its help
+/// from the same rows.
+FlagSet make_flag_table(Command* cmd) {
+  FlagSet fs;
+  register_run_flags(fs, &cmd->options, &cmd->machine);
+  register_engine_flags(fs, &cmd->jobs, &cmd->store_dir);
+  {
+    FlagSpec s;
+    s.name = "bench";
+    s.value_hint = "A[,B...]";
+    s.help = "benchmark (run/predict/trace), pair (pair/sched) or list (tune)";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      if (!parse_bench_list(v, c->benches)) return "bad --bench '" + v + "'";
+      return {};
+    };
+    fs.add(std::move(s));
   }
-  out = std::make_shared<const sim::Topology>(std::move(topo));
-  return {};
+  fs.add_string("config", &cmd->config_name, "NAME",
+                "Table-1 configuration (see `paxsim list`)");
+  fs.add_string("policy", &cmd->policy, "NAME",
+                "sched: pinned-spread, naive-pack, random-migrating, "
+                "ht-aware or symbiotic");
+  fs.add_flag("csv", &cmd->csv, "machine-readable output (CSV or JSON)");
+  fs.add_flag("baseline", &cmd->baseline,
+              "run: also run and report the serial baseline");
+  fs.add_flag("compare", &cmd->compare,
+              "predict: also simulate the cell and print relative errors");
+  {
+    FlagSpec s;
+    s.name = "profile";
+    s.value_hint = "on|off";
+    s.def = "off";
+    s.help = "run (Serial config): collect + print the paxmodel profile";
+    s.bare_ok = true;
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      if (v.empty() || v == "on") {
+        c->profile = true;
+      } else if (v == "off") {
+        c->profile = false;
+      } else {
+        return "bad --profile '" + v + "' (use on or off)";
+      }
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  fs.add_string("trace-out", &cmd->trace_out, "FILE",
+                "trace: write a Chrome-tracing/Perfetto JSON timeline");
+  fs.add_flag("regions", &cmd->regions, "trace: print the per-region table");
+  fs.add_flag("stacks", &cmd->stacks, "trace: print the per-context table");
+  fs.add_string("jobs-file", &cmd->jobs_file, "FILE",
+                "serve: the job file to expand");
+  fs.add_int("procs", &cmd->procs, 1, "N", "serve: worker processes");
+  {
+    FlagSpec s;
+    s.name = "max-cells";
+    s.value_hint = "N";
+    s.help = "serve: stop after computing N cells";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || x == 0) {
+        return "bad --max-cells (need an integer >= 1)";
+      }
+      c->max_cells = x;
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  fs.add_flag("quiet", &cmd->quiet, "serve: suppress per-cell progress lines");
+  {
+    FlagSpec s;
+    s.name = "strategy";
+    s.value_hint = "grid|greedy|anneal";
+    s.def = "greedy";
+    s.help = "tune: search strategy over the configuration space";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      if (v != "grid" && v != "greedy" && v != "anneal") {
+        return "bad --strategy '" + v + "' (use grid, greedy or anneal)";
+      }
+      c->strategy = v;
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  fs.add_int("top-k", &cmd->top_k, 1, "N",
+             "tune: simulator validations per kernel (grid validates all)");
+  fs.add_int("budget", &cmd->anneal_budget, 1, "N",
+             "tune: proposal steps for --strategy=anneal");
+  {
+    FlagSpec s;
+    s.name = "schedules";
+    s.value_hint = "K1,K2,...";
+    s.help = "tune: schedule-override axis (default, static, dynamic, guided)";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      std::vector<int> kinds;
+      for (const std::string& tok : split_csv(v)) {
+        int k = -1;
+        if (!parse_sched_name(tok, &k)) {
+          return "bad --schedules '" + v +
+                 "' (use default, static, dynamic or guided)";
+        }
+        kinds.push_back(k);
+      }
+      if (kinds.empty()) return "bad --schedules (need at least one kind)";
+      c->sched_kinds = std::move(kinds);
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  {
+    FlagSpec s;
+    s.name = "chunks";
+    s.value_hint = "N1,N2,...";
+    s.help = "tune: chunk axis for overridden schedules (0 = default)";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      std::vector<std::size_t> xs;
+      for (const std::string& tok : split_csv(v)) {
+        char* end = nullptr;
+        const unsigned long long x = std::strtoull(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0') {
+          return "bad --chunks '" + v + "' (need comma-separated integers)";
+        }
+        xs.push_back(static_cast<std::size_t>(x));
+      }
+      if (xs.empty()) return "bad --chunks (need at least one value)";
+      c->chunks = std::move(xs);
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  {
+    FlagSpec s;
+    s.name = "grains";
+    s.value_hint = "N1,N2,...";
+    s.help = "tune: iteration-grain axis";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      std::vector<std::size_t> xs;
+      for (const std::string& tok : split_csv(v)) {
+        char* end = nullptr;
+        const unsigned long long x = std::strtoull(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0' || x < 1) {
+          return "bad --grains '" + v +
+                 "' (need comma-separated integers >= 1)";
+        }
+        xs.push_back(static_cast<std::size_t>(x));
+      }
+      if (xs.empty()) return "bad --grains (need at least one value)";
+      c->grains = std::move(xs);
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  {
+    FlagSpec s;
+    s.name = "scales";
+    s.value_hint = "F1,F2,...";
+    s.help = "tune: machine capacity-scale axis";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      std::vector<double> xs;
+      for (const std::string& tok : split_csv(v)) {
+        char* end = nullptr;
+        const double x = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end == nullptr || *end != '\0' || x < 1.0) {
+          return "bad --scales '" + v + "' (need comma-separated numbers >= 1)";
+        }
+        xs.push_back(x);
+      }
+      if (xs.empty()) return "bad --scales (need at least one value)";
+      c->scales = std::move(xs);
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  fs.add_string("out", &cmd->tune_out, "FILE",
+                "tune: also write the tuning_report JSON document to FILE");
+  {
+    FlagSpec s;
+    s.name = "mode";
+    s.value_hint = "single|pair|predict";
+    s.def = "single";
+    s.help = "store get: which cell kind the axis flags name";
+    Command* c = cmd;
+    s.apply = [c](const std::string& v) -> std::string {
+      if (v != "single" && v != "pair" && v != "predict") {
+        return "bad --mode '" + v + "' (use single, pair or predict)";
+      }
+      c->get_mode = v;
+      return {};
+    };
+    fs.add(std::move(s));
+  }
+  return fs;
 }
 
 /// The configuration table for the command's machine: the Table-1 list for
@@ -80,6 +254,26 @@ std::unique_ptr<sched::Scheduler> make_policy(const std::string& name,
   if (name == "ht-aware") return sched::make_ht_aware();
   if (name == "symbiotic") return sched::make_symbiotic();
   return nullptr;
+}
+
+/// The one CellSpec every cell-shaped subcommand resolves through: the
+/// parsed Command projected onto the fluent builder, so the CLI constructs
+/// cells exactly the way serve's job expansion and the tuner do.
+harness::CellSpec spec_for(const Command& cmd, npb::Benchmark bench) {
+  harness::CellSpec s = harness::CellSpec::bench(bench);
+  s.machine(cmd.options.topology)
+      .config(cmd.config_name)
+      .problem_class(cmd.options.cls)
+      .scale(cmd.options.machine_scale)
+      .grain(cmd.options.grain)
+      .schedule(cmd.options.sched_kind, cmd.options.sched_chunk)
+      .trials(cmd.options.trials)
+      .seed(cmd.options.base_seed)
+      .verify(cmd.options.verify)
+      .check(cmd.options.check_mode)
+      .trace(cmd.options.trace_mode)
+      .par(cmd.options.par, cmd.options.par_window);
+  return s;
 }
 
 void print_result(std::ostream& out, const std::string& label,
@@ -122,6 +316,7 @@ int do_list(const Command& cmd, std::ostream& out) {
   out << " (or --machine=<file.json>)\n";
   out << "scheduler policies: pinned-spread naive-pack random-migrating "
          "ht-aware symbiotic\n";
+  out << "tune strategies: grid greedy anneal\n";
   return 0;
 }
 
@@ -134,10 +329,47 @@ void attach_store(harness::ExperimentEngine& engine, const Command& cmd) {
   }
 }
 
+/// `paxsim store get`: print the stored entry for a digest, or for the cell
+/// the axis flags describe (resolved through CellSpec, the same naming path
+/// the engine writes through).
+int do_store_get(const Command& cmd, std::ostream& out, std::ostream& err) {
+  serve::ResultStore store(cmd.store_dir);
+  std::string digest = cmd.store_digest;
+  if (digest.empty()) {
+    harness::CellSpec spec = spec_for(cmd, cmd.benches[0]);
+    if (cmd.get_mode == "pair") {
+      if (cmd.benches.size() != 2) {
+        err << "error: store get --mode=pair needs --bench=<A,B>\n";
+        return 1;
+      }
+      spec.pair_with(cmd.benches[1]).mode(harness::CellSpec::Mode::kPair);
+    } else if (cmd.get_mode == "predict") {
+      spec.mode(harness::CellSpec::Mode::kPredict);
+    }
+    harness::CellSpec::Resolved r;
+    std::string why;
+    if (!spec.resolve(&r, &why)) {
+      err << "error: " << why << '\n';
+      return 1;
+    }
+    digest = r.digest(0);
+  }
+  std::string payload;
+  if (!store.read_object(digest, &payload)) {
+    err << "error: no stored object " << digest << " in '" << cmd.store_dir
+        << "'\n";
+    return 1;
+  }
+  out << payload;
+  if (payload.empty() || payload.back() != '\n') out << '\n';
+  return 0;
+}
+
 /// The `paxsim store <stat|ls|gc|verify>` maintenance actions.  Output is
 /// NDJSON (one schema_version'd document per line), feeding the same
 /// tooling as the serve progress stream.
-int do_store(const Command& cmd, std::ostream& out) {
+int do_store(const Command& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.store_action == "get") return do_store_get(cmd, out, err);
   serve::ResultStore store(cmd.store_dir);
   if (cmd.store_action == "stat") {
     const serve::StoreScan s = store.scan();
@@ -180,6 +412,65 @@ int do_store(const Command& cmd, std::ostream& out) {
   return 0;
 }
 
+int do_tune(const Command& cmd, std::ostream& out, std::ostream& err) {
+  harness::ExperimentEngine engine(cmd.jobs);
+  attach_store(engine, cmd);
+  std::vector<npb::Benchmark> benches = cmd.benches;
+  if (benches.empty()) {
+    benches.assign(std::begin(npb::kAllBenchmarks),
+                   std::end(npb::kAllBenchmarks));
+  }
+  tune::TuneOptions topt;
+  topt.strategy = cmd.strategy;
+  topt.top_k = cmd.top_k;
+  topt.anneal_budget = cmd.anneal_budget;
+  if (!cmd.sched_kinds.empty()) topt.sched_kinds = cmd.sched_kinds;
+  topt.chunks = cmd.chunks.empty() ? std::vector<std::size_t>{0} : cmd.chunks;
+  topt.grains = cmd.grains.empty()
+                    ? std::vector<std::size_t>{cmd.options.grain}
+                    : cmd.grains;
+  topt.scales = cmd.scales.empty()
+                    ? std::vector<double>{cmd.options.machine_scale}
+                    : cmd.scales;
+  const tune::TuneReport rep =
+      tune::tune(engine, benches, cmd.options, cmd.machine, topt);
+  if (cmd.csv) {
+    tune::write_tuning_report(out, rep);
+  } else {
+    out << "tuned " << rep.kernels.size() << " kernel"
+        << (rep.kernels.size() == 1 ? "" : "s") << " on machine "
+        << (rep.machine.empty() ? "default" : rep.machine) << " (class "
+        << rep.problem_class << ", strategy " << rep.strategy << ", "
+        << (rep.strategy == "grid" ? std::string("exhaustive validation")
+                                   : "top-" + std::to_string(rep.top_k) +
+                                         " validation")
+        << ", seed " << rep.seed << ")\n";
+    for (const tune::KernelResult& kr : rep.kernels) {
+      out << "  " << npb::benchmark_name(kr.bench) << ": best "
+          << kr.best.label << "\n    sim "
+          << static_cast<std::uint64_t>(kr.best.sim_wall)
+          << " cycles, speedup " << kr.best.sim_speedup << " ("
+          << (kr.model_agrees ? "model agreed" : "model disagreed") << "; "
+          << kr.model_cells << " model cells, " << kr.sim_cells
+          << " simulated, space " << kr.space_cells << ")\n";
+    }
+    const auto& st = rep.stats;
+    out << "engine: " << st.cache_misses << " cells simulated, "
+        << st.cache_hits << " cache hits, " << st.store_hits
+        << " store hits, " << st.store_writes << " store writes\n";
+  }
+  if (!cmd.tune_out.empty()) {
+    std::ofstream f(cmd.tune_out);
+    if (!f) {
+      err << "error: cannot open '" << cmd.tune_out << "' for writing\n";
+      return 1;
+    }
+    tune::write_tuning_report(f, rep);
+    if (!cmd.csv) out << "wrote " << cmd.tune_out << '\n';
+  }
+  return 0;
+}
+
 int do_lmbench(std::ostream& out) {
   const sim::MachineParams full{};
   out << "working-set ladder (ns/load):\n";
@@ -199,6 +490,8 @@ int do_lmbench(std::ostream& out) {
 }  // namespace
 
 std::string usage() {
+  Command dummy;
+  const FlagSet fs = make_flag_table(&dummy);
   return
       "usage: paxsim <subcommand> [flags]\n"
       "  list                                      enumerate benchmarks/configs\n"
@@ -210,46 +503,21 @@ std::string usage() {
       "                                            one profiled serial run\n"
       "  trace --bench=CG --config=\"HT on -8-2\"     traced run: per-context and\n"
       "                                            per-region CPI stall stacks\n"
+      "  tune  [--bench=CG,...] [--strategy=greedy] model-driven autotuning:\n"
+      "        [--machine=...] [--top-k=N] [--out=F] search the configuration\n"
+      "                                            space on the model, validate\n"
+      "                                            the frontier on the simulator\n"
       "  serve --jobs-file=plan.json [--store=DIR]  batch sweep service: expand\n"
       "        [--procs=N] [--max-cells=N] [--quiet] the job file, answer stored\n"
       "                                            cells from the store, compute\n"
       "                                            + persist the rest (NDJSON)\n"
       "  store <stat|ls|gc|verify> --store=DIR     result-store maintenance\n"
+      "  store get [<digest>] --store=DIR          print one stored entry, by\n"
+      "                                            digest or by the cell axes\n"
+      "                                            (--bench/--config/--mode...)\n"
       "  lmbench                                   section-3 characterisation\n"
-      "common flags: --class=S|W|A|B  --trials=N  --seed=N  --csv\n"
-      "              --machine=<preset|file.json> (simulate a different\n"
-      "                         machine: paxville, paxville-noht, woodcrest,\n"
-      "                         numa16, or a topology JSON description;\n"
-      "                         configurations are the machine's analogue of\n"
-      "                         Table 1 — see `paxsim list --machine=...`)\n"
-      "              --check=off|race|invariants|full (run/pair: attach the\n"
-      "                         src/check analysis sink; prints a check report)\n"
-      "              --baseline (also run and report the serial baseline)\n"
-      "              --compare (predict: also simulate the same cell and print\n"
-      "                         a per-metric relative-error table)\n"
-      "              --profile=on|off (run, Serial config only: collect the\n"
-      "                         paxmodel reuse profile and print its summary)\n"
-      "              --trace=off|stacks|events|full (trace: recording depth;\n"
-      "                         default stacks; events/full feed --trace-out)\n"
-      "              --trace-out=FILE (trace: write a Chrome-tracing /\n"
-      "                         Perfetto JSON timeline; implies --trace=full)\n"
-      "              --regions / --stacks (trace: print only the per-region /\n"
-      "                         per-context table; default prints both)\n"
-      "              --store=DIR|off (run/pair/predict/serve: persistent\n"
-      "                         content-addressed result store; previously\n"
-      "                         answered cells skip simulation entirely;\n"
-      "                         'off' — the default — is bit-identical to\n"
-      "                         no store)\n"
-      "              --jobs=N (host worker threads for independent trials)\n"
-      "              --par=N (host threads per run: shard one simulated\n"
-      "                         machine across N logical processes;\n"
-      "                         bit-identical to --par=1, composes with\n"
-      "                         --jobs by dividing the host)\n"
-      "              --par-window=F (lookahead window factor, default 64;\n"
-      "                         0 disables the speculation bound)\n"
-      "              --grain=N (iterations per scheduling turn; default 1;\n"
-      "                         N>1 is faster but changes the interleaving)\n"
-      "              --no-verify\n";
+      "flags (every subcommand accepts the full table):\n" +
+      fs.help_text(2);
 }
 
 ParseResult parse(const std::vector<std::string>& args) {
@@ -274,6 +542,8 @@ ParseResult parse(const std::vector<std::string>& args) {
     cmd.kind = Command::Kind::kPredict;
   } else if (sub == "trace") {
     cmd.kind = Command::Kind::kTrace;
+  } else if (sub == "tune") {
+    cmd.kind = Command::Kind::kTune;
   } else if (sub == "serve") {
     cmd.kind = Command::Kind::kServe;
   } else if (sub == "store") {
@@ -287,134 +557,24 @@ ParseResult parse(const std::vector<std::string>& args) {
     return res;
   }
 
+  const FlagSet fs = make_flag_table(&cmd);
   for (std::size_t i = 1; i < args.size(); ++i) {
-    std::string key, value;
-    if (!split_flag(args[i], key, value)) {
-      // `paxsim store` takes its action as the one positional argument.
+    if (args[i].rfind("--", 0) != 0) {
+      // `paxsim store` takes its action — and, for `get`, the digest — as
+      // positional arguments.
       if (cmd.kind == Command::Kind::kStore && cmd.store_action.empty()) {
         cmd.store_action = args[i];
+        continue;
+      }
+      if (cmd.kind == Command::Kind::kStore && cmd.store_action == "get" &&
+          cmd.store_digest.empty()) {
+        cmd.store_digest = args[i];
         continue;
       }
       res.error = "unexpected argument '" + args[i] + "'";
       return res;
     }
-    if (key == "bench") {
-      if (!parse_bench_list(value, cmd.benches)) {
-        res.error = "bad --bench '" + value + "'";
-        return res;
-      }
-    } else if (key == "config") {
-      cmd.config_name = value;
-    } else if (key == "machine") {
-      if (value.empty()) {
-        res.error = "bad --machine (need a preset name or a JSON file)";
-        return res;
-      }
-      cmd.machine = value;
-    } else if (key == "class") {
-      if (!parse_class(value, cmd.options.cls)) {
-        res.error = "bad --class '" + value + "' (use S, W, A or B)";
-        return res;
-      }
-    } else if (key == "trials") {
-      cmd.options.trials = std::atoi(value.c_str());
-      if (cmd.options.trials < 1) {
-        res.error = "bad --trials";
-        return res;
-      }
-    } else if (key == "seed") {
-      cmd.options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "jobs") {
-      cmd.jobs = std::atoi(value.c_str());
-      if (cmd.jobs < 1) {
-        res.error = "bad --jobs";
-        return res;
-      }
-    } else if (key == "par") {
-      cmd.options.par = std::atoi(value.c_str());
-      if (cmd.options.par < 1) {
-        res.error = "bad --par (need an integer >= 1)";
-        return res;
-      }
-    } else if (key == "par-window") {
-      cmd.options.par_window = std::atof(value.c_str());
-    } else if (key == "grain") {
-      const long g = std::atol(value.c_str());
-      if (g < 1) {
-        res.error = "bad --grain (need an integer >= 1)";
-        return res;
-      }
-      cmd.options.grain = static_cast<std::size_t>(g);
-    } else if (key == "check") {
-      if (!sim::parse_check_mode(value.c_str(), cmd.options.check_mode)) {
-        res.error = "bad --check '" + value +
-                    "' (use off, race, invariants or full)";
-        return res;
-      }
-    } else if (key == "trace") {
-      if (!sim::parse_trace_mode(value.c_str(), cmd.options.trace_mode)) {
-        res.error = "bad --trace '" + value +
-                    "' (use off, stacks, events or full)";
-        return res;
-      }
-    } else if (key == "trace-out") {
-      if (value.empty()) {
-        res.error = "bad --trace-out (need a file name)";
-        return res;
-      }
-      cmd.trace_out = value;
-    } else if (key == "regions") {
-      cmd.regions = true;
-    } else if (key == "stacks") {
-      cmd.stacks = true;
-    } else if (key == "policy") {
-      cmd.policy = value;
-    } else if (key == "csv") {
-      cmd.csv = true;
-    } else if (key == "baseline") {
-      cmd.baseline = true;
-    } else if (key == "compare") {
-      cmd.compare = true;
-    } else if (key == "profile") {
-      if (value.empty() || value == "on") {
-        cmd.profile = true;
-      } else if (value == "off") {
-        cmd.profile = false;
-      } else {
-        res.error = "bad --profile '" + value + "' (use on or off)";
-        return res;
-      }
-    } else if (key == "no-verify") {
-      cmd.options.verify = false;
-    } else if (key == "store") {
-      // "off" is the explicit spelling of the default (no store attached).
-      cmd.store_dir = (value == "off") ? std::string() : value;
-      if (value.empty()) {
-        res.error = "bad --store (need a directory, or 'off')";
-        return res;
-      }
-    } else if (key == "jobs-file") {
-      if (value.empty()) {
-        res.error = "bad --jobs-file (need a file name)";
-        return res;
-      }
-      cmd.jobs_file = value;
-    } else if (key == "procs") {
-      cmd.procs = std::atoi(value.c_str());
-      if (cmd.procs < 1) {
-        res.error = "bad --procs (need an integer >= 1)";
-        return res;
-      }
-    } else if (key == "max-cells") {
-      cmd.max_cells = std::strtoull(value.c_str(), nullptr, 10);
-      if (cmd.max_cells == 0) {
-        res.error = "bad --max-cells (need an integer >= 1)";
-        return res;
-      }
-    } else if (key == "quiet") {
-      cmd.quiet = true;
-    } else {
-      res.error = "unknown flag '--" + key + "'";
+    if (fs.parse_flag(args[i], &res.error) != FlagSet::Outcome::kOk) {
       return res;
     }
   }
@@ -454,18 +614,20 @@ ParseResult parse(const std::vector<std::string>& args) {
       break;
     case Command::Kind::kStore:
       need(cmd.store_action == "stat" || cmd.store_action == "ls" ||
-               cmd.store_action == "gc" || cmd.store_action == "verify",
-           "store needs an action: stat, ls, gc or verify");
+               cmd.store_action == "gc" || cmd.store_action == "verify" ||
+               cmd.store_action == "get",
+           "store needs an action: stat, ls, gc, verify or get");
       need(!cmd.store_dir.empty(), "store needs --store=<dir>");
+      if (cmd.store_action == "get" && cmd.store_digest.empty()) {
+        need(!cmd.benches.empty() && !cmd.config_name.empty(),
+             "store get needs a <digest>, or --bench + --config naming the "
+             "cell");
+      }
       break;
     default:
       break;
   }
   if (!res.error.empty()) return res;
-  if (!cmd.machine.empty()) {
-    res.error = resolve_machine(cmd.machine, cmd.options.topology);
-    if (!res.error.empty()) return res;
-  }
   if (!cmd.config_name.empty() &&
       harness::find_config_index(configs_for_command(cmd), cmd.config_name) <
           0) {
@@ -480,14 +642,6 @@ ParseResult parse(const std::vector<std::string>& args) {
 }
 
 int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
-  // The configuration table for this command's machine; the per-case
-  // `cfg` pointers below point into this list.
-  const std::vector<harness::StudyConfig> configs = configs_for_command(cmd);
-  const auto find_cfg =
-      [&configs](const std::string& name) -> const harness::StudyConfig* {
-    const int i = harness::find_config_index(configs, name);
-    return i < 0 ? nullptr : &configs[static_cast<std::size_t>(i)];
-  };
   try {
     switch (cmd.kind) {
       case Command::Kind::kHelp:
@@ -497,6 +651,8 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return do_list(cmd, out);
       case Command::Kind::kLmbench:
         return do_lmbench(out);
+      case Command::Kind::kTune:
+        return do_tune(cmd, out, err);
       case Command::Kind::kServe: {
         serve::ServeOptions so;
         so.jobs_file = cmd.jobs_file;
@@ -508,21 +664,21 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return serve::run_serve(so, out, err);
       }
       case Command::Kind::kStore:
-        return do_store(cmd, out);
+        return do_store(cmd, out, err);
       case Command::Kind::kPredict: {
-        const auto* cfg = find_cfg(cmd.config_name);
+        const auto cell = spec_for(cmd, cmd.benches[0])
+                              .mode(harness::CellSpec::Mode::kPredict)
+                              .resolve();
         harness::ExperimentEngine engine(cmd.jobs);
         attach_store(engine, cmd);
-        const auto seed = cmd.options.trial_seed(0);
-        const auto pr =
-            engine.predict(cmd.benches[0], *cfg, cmd.options, seed);
+        const auto seed = cell.opt.trial_seed(0);
+        const auto pr = engine.predict(cell.a, cell.cfg, cell.opt, seed);
         const std::string label =
-            std::string(npb::benchmark_name(cmd.benches[0])) + "@" +
-            cmd.config_name;
+            std::string(npb::benchmark_name(cell.a)) + "@" + cmd.config_name;
         if (cmd.csv) {
           harness::print_prediction_json(
-              out, std::string(npb::benchmark_name(cmd.benches[0])),
-              cmd.config_name, pr.prediction);
+              out, std::string(npb::benchmark_name(cell.a)), cmd.config_name,
+              pr.prediction);
         } else {
           harness::print_prediction(out, label, pr.prediction, false);
           out << "  profile: "
@@ -531,10 +687,8 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
               << pr.predict_host_sec << "s\n";
         }
         if (cmd.compare) {
-          const auto sim =
-              engine.single(cmd.benches[0], *cfg, cmd.options, seed);
-          const auto serial =
-              engine.serial(cmd.benches[0], cmd.options, seed);
+          const auto sim = engine.single(cell.a, cell.cfg, cell.opt, seed);
+          const auto serial = engine.serial(cell.a, cell.opt, seed);
           const double sim_speedup = serial.wall_cycles / sim.wall_cycles;
           const auto table = harness::prediction_error_table(
               pr.prediction, sim, sim_speedup);
@@ -553,19 +707,18 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kRun: {
-        const auto* cfg = find_cfg(cmd.config_name);
+        const auto cell = spec_for(cmd, cmd.benches[0]).resolve();
         if (cmd.profile) {
-          if (!cfg->is_serial()) {
+          if (!cell.cfg.is_serial()) {
             err << "error: --profile=on requires --config=\"Serial\" (the "
                    "profile is collected from a serial run)\n";
             return 1;
           }
-          const auto seed = cmd.options.trial_seed(0);
+          const auto seed = cell.opt.trial_seed(0);
           const auto prof =
-              harness::run_profiled_serial(cmd.benches[0], cmd.options, seed);
+              harness::run_profiled_serial(cell.a, cell.opt, seed);
           print_result(out,
-                       std::string(npb::benchmark_name(cmd.benches[0])) +
-                           "@Serial",
+                       std::string(npb::benchmark_name(cell.a)) + "@Serial",
                        prof.result, cmd.csv);
           const auto& p = prof.profile;
           const double acc = static_cast<double>(p.loads + p.stores);
@@ -594,25 +747,24 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         }
         harness::ExperimentEngine engine(cmd.jobs);
         attach_store(engine, cmd);
-        auto plan = harness::ExperimentPlan(cmd.options, {*cfg})
-                        .add_benchmark(cmd.benches[0])
+        auto plan = harness::ExperimentPlan(cell.opt, {cell.cfg})
+                        .add_benchmark(cell.a)
                         .with_serial_baselines(cmd.baseline)
                         .trials(1);
         const auto study = engine.run(plan);
-        const auto& r = study.single(cmd.benches[0], 0);
+        const auto& r = study.single(cell.a, 0);
         print_result(out,
-                     std::string(npb::benchmark_name(cmd.benches[0])) + "@" +
+                     std::string(npb::benchmark_name(cell.a)) + "@" +
                          cmd.config_name,
                      r, cmd.csv);
         if (cmd.baseline) {
-          const auto& s = study.serial(cmd.benches[0]);
+          const auto& s = study.serial(cell.a);
           print_result(out,
-                       std::string(npb::benchmark_name(cmd.benches[0])) +
-                           "@Serial",
+                       std::string(npb::benchmark_name(cell.a)) + "@Serial",
                        s, cmd.csv);
-          out << "speedup," << study.speedup(cmd.benches[0], 0) << '\n';
+          out << "speedup," << study.speedup(cell.a, 0) << '\n';
         }
-        if (cmd.options.check_mode != sim::CheckMode::kOff) {
+        if (cell.opt.check_mode != sim::CheckMode::kOff) {
           if (cmd.csv) {
             harness::print_check_report_json(out, r.check);
           } else {
@@ -622,19 +774,21 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kPair: {
-        const auto* cfg = find_cfg(cmd.config_name);
-        const auto seed = cmd.options.trial_seed(0);
+        const auto cell = spec_for(cmd, cmd.benches[0])
+                              .pair_with(cmd.benches[1])
+                              .mode(harness::CellSpec::Mode::kPair)
+                              .resolve();
+        const auto seed = cell.opt.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
         attach_store(engine, cmd);
-        const auto r = engine.pair(cmd.benches[0], cmd.benches[1], *cfg,
-                                   cmd.options, seed);
+        const auto r = engine.pair(cell.a, cell.b, cell.cfg, cell.opt, seed);
         for (int p = 0; p < 2; ++p) {
           print_result(out,
                        std::string(npb::benchmark_name(cmd.benches[p])) +
                            "[" + std::to_string(p) + "]@" + cmd.config_name,
                        r.program[p], cmd.csv);
         }
-        if (cmd.options.check_mode != sim::CheckMode::kOff) {
+        if (cell.opt.check_mode != sim::CheckMode::kOff) {
           // One machine-wide checker covers both programs; the report is
           // shared, so print it once.
           if (cmd.csv) {
@@ -646,12 +800,11 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kTimeline: {
-        const auto* cfg = find_cfg(cmd.config_name);
-        const auto seed = cmd.options.trial_seed(0);
+        const auto cell = spec_for(cmd, cmd.benches[0]).resolve();
+        const auto seed = cell.opt.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
-        const auto tl = engine.timeline(cmd.benches[0], *cfg, cmd.options,
-                                        seed);
-        if (cmd.options.verify && !tl.run.verified) {
+        const auto tl = engine.timeline(cell.a, cell.cfg, cell.opt, seed);
+        if (cell.opt.verify && !tl.run.verified) {
           err << "error: verification failed\n";
           return 1;
         }
@@ -669,19 +822,19 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kTrace: {
-        const auto* cfg = find_cfg(cmd.config_name);
-        harness::RunOptions opt = cmd.options;
+        auto spec = spec_for(cmd, cmd.benches[0]);
         // The Chrome export needs the event stream; the stack tables need
         // only the accountant.  engine.trace() substitutes kStacks for kOff.
         if (!cmd.trace_out.empty() &&
-            opt.trace_mode != sim::TraceMode::kEvents &&
-            opt.trace_mode != sim::TraceMode::kFull) {
-          opt.trace_mode = sim::TraceMode::kFull;
+            cmd.options.trace_mode != sim::TraceMode::kEvents &&
+            cmd.options.trace_mode != sim::TraceMode::kFull) {
+          spec.trace(sim::TraceMode::kFull);
         }
-        const auto seed = opt.trial_seed(0);
+        const auto cell = spec.resolve();
+        const auto seed = cell.opt.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
-        const auto tr = engine.trace(cmd.benches[0], *cfg, opt, seed);
-        const std::string bench_name(npb::benchmark_name(cmd.benches[0]));
+        const auto tr = engine.trace(cell.a, cell.cfg, cell.opt, seed);
+        const std::string bench_name(npb::benchmark_name(cell.a));
         if (cmd.csv) {
           harness::print_trace_report_json(out, bench_name, cmd.config_name,
                                            tr.trace);
@@ -716,12 +869,12 @@ int execute(const Command& cmd, std::ostream& out, std::ostream& err) {
         return 0;
       }
       case Command::Kind::kSched: {
-        const auto* cfg = find_cfg(cmd.config_name);
-        const auto seed = cmd.options.trial_seed(0);
+        const auto cell = spec_for(cmd, cmd.benches[0]).resolve();
+        const auto seed = cell.opt.trial_seed(0);
         harness::ExperimentEngine engine(cmd.jobs);
         auto policy = make_policy(cmd.policy, seed);
         const auto r =
-            engine.scheduled(cmd.benches, *cfg, *policy, cmd.options, seed);
+            engine.scheduled(cmd.benches, cell.cfg, *policy, cell.opt, seed);
         for (std::size_t p = 0; p < r.program.size(); ++p) {
           print_result(out,
                        std::string(npb::benchmark_name(cmd.benches[p])) +

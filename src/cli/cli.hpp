@@ -3,6 +3,13 @@
 // The `paxsim` command-line driver, split into a testable library (command
 // parsing + execution against an abstract output stream) and a thin main.
 //
+// Flags are declarative: one cli::FlagSet table (src/cli/flags.hpp) defines
+// every flag's name, hint, default, help line and validation, and the same
+// table both parses argv and renders the flag section of usage() — the help
+// can never drift from what the parser accepts.  The bench drivers consume
+// the same register_run_flags/register_engine_flags tables, so `paxsim` and
+// bench/ agree on spellings and validation by construction.
+//
 // Subcommands:
 //   paxsim list                        — benchmarks, classes, configurations
 //   paxsim run   --bench=CG --config="HT on -4-1" [--class=B] [--trials=N]
@@ -13,9 +20,14 @@
 //   paxsim predict --bench=CG --config="HT on -8-2" [--compare]
 //   paxsim trace --bench=CG --config="HT on -8-2" [--trace=stacks|events|full]
 //                [--trace-out=FILE] [--regions] [--stacks]
+//   paxsim tune  [--bench=CG,...] [--strategy=grid|greedy|anneal] [--top-k=N]
+//                [--schedules=...] [--chunks=...] [--grains=...]
+//                [--scales=...] [--out=FILE] — model-driven autotuning
 //   paxsim serve --jobs-file=plan.json [--store=DIR] [--jobs=N] [--procs=N]
 //                [--max-cells=N] [--quiet]
 //   paxsim store <stat|ls|gc|verify> --store=DIR
+//   paxsim store get <digest> --store=DIR        — or name the cell by its
+//                [--bench=CG --config=... flags]   axes instead of a digest
 //   paxsim lmbench
 #pragma once
 
@@ -32,8 +44,8 @@ namespace paxsim::cli {
 /// Parsed command line.
 struct Command {
   enum class Kind {
-    kList, kRun, kPair, kSched, kTimeline, kPredict, kTrace, kServe, kStore,
-    kLmbench, kHelp
+    kList, kRun, kPair, kSched, kTimeline, kPredict, kTrace, kTune, kServe,
+    kStore, kLmbench, kHelp
   };
 
   Kind kind = Kind::kHelp;
@@ -41,7 +53,7 @@ struct Command {
   std::string config_name;              ///< Table-1 configuration
   /// --machine spec: a topology preset name ("paxville", "woodcrest", ...)
   /// or a path to a schema_version'd topology JSON file.  Empty runs the
-  /// default machine; parse() resolves it into options.topology.
+  /// default machine; the flag table resolves it into options.topology.
   std::string machine;
   std::string policy = "pinned-spread"; ///< sched subcommand policy
   harness::RunOptions options;
@@ -58,10 +70,24 @@ struct Command {
   /// engine).  serve may instead take the directory from the job file.
   std::string store_dir;
   std::string jobs_file;                ///< serve: the job-file path
-  std::string store_action;             ///< store: stat | ls | gc | verify
+  std::string store_action;             ///< store: stat|ls|gc|verify|get
+  std::string store_digest;             ///< store get: positional 32-hex digest
+  std::string get_mode = "single";      ///< store get: single|pair|predict
   int procs = 1;                        ///< serve: worker processes
   std::uint64_t max_cells = 0;          ///< serve: compute bound (0 = all)
   bool quiet = false;                   ///< serve: suppress per-cell lines
+
+  // ---- tune -----------------------------------------------------------------
+  std::string strategy = "greedy";      ///< --strategy=grid|greedy|anneal
+  int top_k = 2;                        ///< --top-k: validations per kernel
+  int anneal_budget = 48;               ///< --budget: anneal proposal steps
+  /// Extra search axes (--schedules/--chunks/--grains/--scales CSV lists).
+  /// Empty means single-point: the corresponding RunOptions value.
+  std::vector<int> sched_kinds;
+  std::vector<std::size_t> chunks;
+  std::vector<std::size_t> grains;
+  std::vector<double> scales;
+  std::string tune_out;                 ///< --out: tuning_report JSON file
 };
 
 /// Parse result: a command, or an error message for the user.
@@ -79,7 +105,7 @@ struct ParseResult {
 /// diagnostics to @p err.  Returns a process exit code.
 int execute(const Command& cmd, std::ostream& out, std::ostream& err);
 
-/// Usage text.
+/// Usage text (the flag section is generated from the flag table).
 [[nodiscard]] std::string usage();
 
 }  // namespace paxsim::cli

@@ -48,6 +48,8 @@ std::string params_pool_key(const sim::MachineParams& p) {
 
 /// Memo key for kernel profiles: everything run_profiled_serial's outcome
 /// depends on.  Verification and check mode do not change the profile.
+/// Schedule overrides do not either: the profiling run is single-threaded,
+/// and a one-thread team executes serial_for, which has no schedule.
 std::string profile_key(npb::Benchmark b, const RunOptions& opt,
                         std::uint64_t seed) {
   std::string s;
@@ -76,7 +78,7 @@ std::string profile_key(npb::Benchmark b, const RunOptions& opt,
 // cell's value is independent of host parallelism — including it would split
 // the cache by a knob that cannot change results.
 #if defined(__x86_64__) && defined(__LP64__)
-static_assert(sizeof(RunOptions) == 88,
+static_assert(sizeof(RunOptions) == 104,
               "RunOptions changed: audit CellKey::from for the new field, "
               "then update this expected size");
 #endif
@@ -94,6 +96,8 @@ CellKey CellKey::from(Kind kind, npb::Benchmark a, npb::Benchmark b,
   k.seed = seed;  // per-trial seed; opt.trials/base_seed are plan-level
   k.verify = opt.verify;
   k.grain = opt.grain;
+  k.sched_kind = opt.sched_kind;
+  k.sched_chunk = opt.sched_chunk;
   k.check = opt.check_mode;
   k.trace = opt.trace_mode;
   if (opt.topology != nullptr) k.machine = opt.topology->fingerprint();
@@ -171,6 +175,11 @@ std::string cell_fingerprint(const CellKey& k) {
   s += k.verify ? '1' : '0';
   s += ";grain=";
   append_hex(s, static_cast<std::uint64_t>(k.grain), 16);
+  s += ";skind=";
+  // Sign-extended so the -1 kernel-default sentinel stays injective.
+  append_hex(s, static_cast<std::uint64_t>(static_cast<std::int64_t>(k.sched_kind)), 16);
+  s += ";schunk=";
+  append_hex(s, static_cast<std::uint64_t>(k.sched_chunk), 16);
   s += ";check=";
   append_hex(s, static_cast<std::uint64_t>(k.check), 2);
   s += ";trace=";
@@ -218,6 +227,8 @@ std::size_t CellKeyHash::operator()(const CellKey& k) const noexcept {
   mix(k.seed);
   mix(k.verify ? 1u : 0u);
   mix(static_cast<std::uint64_t>(k.grain));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(k.sched_kind)));
+  mix(static_cast<std::uint64_t>(k.sched_chunk));
   mix(static_cast<std::uint64_t>(k.check));
   mix(static_cast<std::uint64_t>(k.trace));
   mix(static_cast<std::uint64_t>(std::hash<std::string>{}(k.machine)));

@@ -130,6 +130,11 @@ struct CellKey {
   std::uint64_t seed = 0;
   bool verify = true;
   std::size_t grain = 1;   ///< RunOptions::grain (changes interleaving)
+  /// RunOptions::sched_kind / sched_chunk: a loop-schedule override changes
+  /// the interleaving exactly like grain does, so overridden cells never
+  /// alias kernel-default ones.  -1 / 0 is the kernel-default identity.
+  int sched_kind = -1;
+  std::size_t sched_chunk = 0;
   /// RunOptions::check_mode: checked cells route through the reference path
   /// and carry a CheckReport, so they never alias unchecked ones.
   sim::CheckMode check = sim::CheckMode::kOff;
@@ -166,8 +171,9 @@ struct CellKeyHash {
 /// Version of the explicit CellKey wire fingerprint below.  Bump whenever a
 /// field changes meaning, width or order — on-disk stores key entries by
 /// the digest of this serialization, so a silent format change would alias
-/// incompatible results.
-inline constexpr int kCellFingerprintVersion = 1;
+/// incompatible results.  v2 added the schedule-override fields
+/// (sched_kind/sched_chunk) for the paxtune schedule axis.
+inline constexpr int kCellFingerprintVersion = 2;
 
 /// Canonical serialized identity of a cell: every CellKey field rendered
 /// explicitly (field-by-field, fixed-width hex for scalars, length-prefixed

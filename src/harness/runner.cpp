@@ -83,6 +83,10 @@ std::unique_ptr<Program> make_program(npb::Benchmark bench, int slot,
   prog->team = std::make_unique<xomp::Team>(machine, std::move(cpus),
                                             &prog->counters, *prog->space);
   prog->team->set_grain(opt.grain);
+  if (opt.sched_kind >= 0) {
+    prog->team->set_schedule_override(xomp::Schedule{
+        static_cast<xomp::ScheduleKind>(opt.sched_kind), opt.sched_chunk});
+  }
   return prog;
 }
 

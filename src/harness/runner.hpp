@@ -49,6 +49,15 @@ struct RunOptions {
   /// full-fidelity setting; larger grains change the interleaving, so
   /// grained runs are never comparable against grain-1 golden signatures).
   std::size_t grain = 1;
+  /// Loop-schedule override (the paxtune schedule axis).  -1 leaves every
+  /// parallel loop on the schedule its kernel passes (bit-identical to the
+  /// pre-override harness); 0/1/2 force xomp::ScheduleKind
+  /// static/dynamic/guided with chunk parameter sched_chunk on every loop
+  /// via Team::set_schedule_override.  An override changes the interleaving
+  /// — and with it every emergent contention number — so both fields are
+  /// part of CellKey.
+  int sched_kind = -1;
+  std::size_t sched_chunk = 0;
   /// Opt-in runtime analyses (race detection / invariant auditing).  Any
   /// mode but kOff routes the machine through the reference path and
   /// attaches a check::Checker for the duration of each run.

@@ -109,6 +109,10 @@ ScheduledResult run_scheduled(sim::Machine& machine,
         machine, placement[static_cast<std::size_t>(p)], &prog->counters,
         *prog->space);
     prog->team->set_grain(opt.grain);
+    if (opt.sched_kind >= 0) {
+      prog->team->set_schedule_override(xomp::Schedule{
+          static_cast<xomp::ScheduleKind>(opt.sched_kind), opt.sched_chunk});
+    }
     progs.push_back(std::move(prog));
   }
   refresh_smt_activity(machine, progs);

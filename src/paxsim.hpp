@@ -16,6 +16,7 @@
 //              result store, job files and the batch driver
 //   lmb::      the LMbench-analog calibration probes
 //   sched::    scheduler policies for the co-scheduling extension
+//   tune::     model-driven autotuning (SearchSpace, strategies, tuner)
 //   xomp::     the OpenMP-analog runtime, for authoring custom kernels
 //   par::      the host-parallel backend (RunOptions::par, stats, Abort)
 //
@@ -29,6 +30,7 @@
 
 #include "check/checker.hpp"
 #include "check/report.hpp"
+#include "harness/cellspec.hpp"
 #include "harness/config.hpp"
 #include "harness/engine.hpp"
 #include "harness/plot.hpp"
@@ -56,6 +58,9 @@
 #include "sim/params.hpp"
 #include "sim/topology.hpp"
 #include "trace/chrome.hpp"
+#include "tune/space.hpp"
+#include "tune/strategy.hpp"
+#include "tune/tuner.hpp"
 #include "trace/report.hpp"
 #include "trace/ring.hpp"
 #include "trace/stack.hpp"

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "harness/cellspec.hpp"
 #include "npb/kernel.hpp"
 #include "report/json.hpp"
 #include "report/parse.hpp"
@@ -35,6 +36,8 @@ struct Knobs {
   bool verify = true;
   std::size_t grain = 1;
   double scale = 16.0;
+  std::string sched = "default";  ///< loop schedule; CellSpec owns the names
+  std::size_t sched_chunk = 0;
 };
 
 /// Applies @p obj's knob members on top of @p base.  Unknown members are an
@@ -79,6 +82,23 @@ bool apply_knobs(const report::JsonValue& obj, Knobs* k, bool is_sweep,
         return false;
       }
       k->scale = v.number;
+    } else if (name == "schedule") {
+      if (!v.is_string() ||
+          (v.string != "default" && v.string != "static" &&
+           v.string != "dynamic" && v.string != "guided")) {
+        *error =
+            "bad \"schedule\" (use \"default\", \"static\", \"dynamic\" or "
+            "\"guided\")";
+        return false;
+      }
+      k->sched = v.string;
+    } else if (name == "chunk") {
+      std::uint64_t c = 0;
+      if (!v.as_u64(&c)) {
+        *error = "bad \"chunk\" (need an unsigned integer)";
+        return false;
+      }
+      k->sched_chunk = static_cast<std::size_t>(c);
     } else if (is_sweep && (name == "benches" || name == "machines" ||
                             name == "configs" || name == "modes" ||
                             name == "pairs")) {
@@ -252,19 +272,19 @@ bool select_configs(const report::JsonValue& sweep, const ResolvedMachine& m,
   return true;
 }
 
-/// Appends one expanded cell, collapsing duplicates by fingerprint.
-void emit_cell(harness::CellKey::Kind kind, npb::Benchmark a, npb::Benchmark b,
-               const harness::StudyConfig& cfg, const harness::RunOptions& opt,
-               std::uint64_t seed, const ResolvedMachine& m, JobPlan* plan,
+/// Appends one trial of a resolved cell, collapsing duplicates by
+/// fingerprint.
+void emit_cell(const harness::CellSpec::Resolved& cell, int trial,
+               const ResolvedMachine& m, JobPlan* plan,
                std::unordered_set<std::string>* seen) {
-  JobCell cell;
-  cell.key = harness::CellKey::from(kind, a, b, cfg, opt, seed);
-  if (!seen->insert(harness::cell_fingerprint(cell.key)).second) return;
-  cell.cfg = cfg;
-  cell.opt = opt;
-  cell.seed = seed;
-  cell.machine = m.spec;
-  plan->cells.push_back(std::move(cell));
+  if (!seen->insert(cell.fingerprint(trial)).second) return;
+  JobCell jc;
+  jc.key = cell.key(trial);
+  jc.cfg = cell.cfg;
+  jc.opt = cell.opt;
+  jc.seed = cell.opt.trial_seed(trial);
+  jc.machine = m.spec;
+  plan->cells.push_back(std::move(jc));
 }
 
 bool expand_sweep(const report::JsonValue& sweep, const Knobs& defaults,
@@ -290,43 +310,49 @@ bool expand_sweep(const report::JsonValue& sweep, const Knobs& defaults,
     }
   }
 
-  harness::RunOptions opt;
-  opt.cls = k.cls;
-  opt.machine_scale = k.scale;
-  opt.trials = k.trials;
-  opt.base_seed = k.seed;
-  opt.verify = k.verify;
-  opt.grain = k.grain;
-
   for (const ResolvedMachine& m : machines) {
-    opt.topology = m.topology;
     for (const Mode mode : modes) {
       std::vector<const harness::StudyConfig*> configs;
       if (!select_configs(sweep, m, mode == Mode::kPair, &configs, error)) {
         return false;
       }
       for (const harness::StudyConfig* cfg : configs) {
-        for (int t = 0; t < k.trials; ++t) {
-          const std::uint64_t seed = opt.trial_seed(t);
-          switch (mode) {
-            case Mode::kSingle:
-              for (const npb::Benchmark b : benches) {
-                emit_cell(harness::CellKey::Kind::kSingle, b, b, *cfg, opt,
-                          seed, m, plan, seen);
-              }
-              break;
-            case Mode::kPredict:
-              for (const npb::Benchmark b : benches) {
-                emit_cell(harness::CellKey::Kind::kPredict, b, b, *cfg, opt,
-                          seed, m, plan, seen);
-              }
-              break;
-            case Mode::kPair:
-              for (const auto& [a, b] : pairs) {
-                emit_cell(harness::CellKey::Kind::kPair, a, b, *cfg, opt,
-                          seed, m, plan, seen);
-              }
-              break;
+        // One CellSpec per (machine, mode, config, programs): resolve()
+        // validates the cell once, then every trial mints its key from the
+        // same Resolved.
+        std::vector<harness::CellSpec> specs;
+        switch (mode) {
+          case Mode::kSingle:
+            for (const npb::Benchmark b : benches) {
+              specs.push_back(harness::CellSpec::bench(b));
+            }
+            break;
+          case Mode::kPredict:
+            for (const npb::Benchmark b : benches) {
+              specs.push_back(harness::CellSpec::bench(b).mode(
+                  harness::CellSpec::Mode::kPredict));
+            }
+            break;
+          case Mode::kPair:
+            for (const auto& [a, b] : pairs) {
+              specs.push_back(harness::CellSpec::bench(a).pair_with(b));
+            }
+            break;
+        }
+        for (harness::CellSpec& spec : specs) {
+          spec.machine(m.topology)
+              .config(*cfg)
+              .problem_class(k.cls)
+              .scale(k.scale)
+              .grain(k.grain)
+              .schedule(k.sched, k.sched_chunk)
+              .trials(k.trials)
+              .seed(k.seed)
+              .verify(k.verify);
+          harness::CellSpec::Resolved cell;
+          if (!spec.resolve(&cell, error)) return false;
+          for (int t = 0; t < k.trials; ++t) {
+            emit_cell(cell, t, m, plan, seen);
           }
         }
       }

@@ -276,6 +276,16 @@ bool ResultStore::contains(const harness::CellKey& key) const {
       object_path(harness::cell_digest(harness::cell_fingerprint(key))));
 }
 
+bool ResultStore::read_object(const std::string& digest,
+                              std::string* payload) const {
+  if (digest.size() != 32) return false;
+  for (const char c : digest) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return read_file(object_path(digest), payload);
+}
+
 void ResultStore::quarantine(const std::string& path) {
   std::error_code ec;
   fs::rename(path, path + kQuarantineSuffix, ec);

@@ -113,6 +113,12 @@ class ResultStore final : public harness::CellStore {
   /// Existence probe by key (no parse, no counters).
   [[nodiscard]] bool contains(const harness::CellKey& key) const;
 
+  /// Raw committed entry text by 32-hex digest — the `paxsim store get`
+  /// front-end.  Returns the exact bytes of the entry envelope (one JSON
+  /// document); false when the digest is malformed or no entry exists.
+  [[nodiscard]] bool read_object(const std::string& digest,
+                                 std::string* payload) const;
+
   // ---- maintenance (the `paxsim store` subcommand) --------------------------
   [[nodiscard]] StoreScan scan() const;
   /// Every committed entry, parsed and sorted by digest.  Unparseable

@@ -1,0 +1,73 @@
+// paxsim/tune/space.hpp
+//
+// The paxtune search space: the cross-product of every axis a configuration
+// question spans — Table-1 row (threads x placement, from the machine's
+// configuration table), loop-schedule override, schedule chunk, iteration
+// grain and machine capacity scale.  Machines themselves are the outer axis
+// of a tuning run (each machine has its own configuration table, so the
+// driver builds one SearchSpace per machine rather than forcing a jagged
+// axis into the product).
+//
+// Points are axis-index tuples (not resolved values), which is what the
+// search strategies want: coordinate descent moves along one index axis at
+// a time, and the annealer proposes single-axis perturbations.  A point's
+// flat index is its mixed-radix encoding; canonicalize() collapses the
+// points that name the same cell (the kernel-default schedule has no chunk
+// parameter) so strategies never spend two evaluations on one cell.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+
+namespace paxsim::tune {
+
+/// One candidate: indices into each SearchSpace axis.
+struct Point {
+  std::size_t config = 0;
+  std::size_t sched = 0;
+  std::size_t chunk = 0;
+  std::size_t grain = 0;
+  std::size_t scale = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// The per-machine axis lists.  Defaults make every axis but the
+/// configuration a single point, so the default space IS the Table-1 row
+/// set — the space the paper's Table 2 brute-forced.
+struct SearchSpace {
+  std::vector<harness::StudyConfig> configs;  ///< the machine's Table-1 rows
+  std::vector<int> sched_kinds{-1};           ///< -1 = kernel default
+  std::vector<std::size_t> chunks{0};         ///< 0 = schedule's default
+  std::vector<std::size_t> grains{1};
+  std::vector<double> scales{16.0};
+
+  static constexpr std::size_t kAxes = 5;
+
+  [[nodiscard]] std::size_t axis_size(std::size_t axis) const;
+  /// Product of all axis sizes (canonical duplicates included).
+  [[nodiscard]] std::size_t size() const;
+  /// Number of DISTINCT cells (canonical points) in the space.
+  [[nodiscard]] std::size_t distinct_cells() const;
+
+  [[nodiscard]] std::size_t to_flat(const Point& p) const;
+  [[nodiscard]] Point from_flat(std::size_t flat) const;
+
+  /// Collapses aliases of the same cell: the kernel-default schedule
+  /// (sched_kinds[p.sched] == -1) ignores the chunk parameter, so its chunk
+  /// index is forced to 0.
+  [[nodiscard]] Point canonicalize(Point p) const;
+
+  /// Human-readable axis values of @p p (for trajectories and reports).
+  [[nodiscard]] std::string describe(const Point& p) const;
+
+  /// Throws std::invalid_argument unless every axis is non-empty and every
+  /// index of @p p is in range.
+  void validate() const;
+};
+
+}  // namespace paxsim::tune

@@ -1,0 +1,211 @@
+// paxsim/tune/strategy.cpp
+#include "tune/strategy.hpp"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace paxsim::tune {
+
+namespace {
+
+/// Exploration log shared by every strategy: distinct canonical points in
+/// first-visit order, deduplicated by flat index.
+class Visited {
+ public:
+  explicit Visited(const SearchSpace& space) : space_(space) {}
+
+  /// Canonicalizes @p p, records the first visit, and returns the model
+  /// score (memoized by the evaluator, so revisits are free).
+  double visit(Point p, Evaluator& eval) {
+    p = space_.canonicalize(p);
+    if (seen_.insert(space_.to_flat(p)).second) order_.push_back(p);
+    return eval.predicted_wall(p);
+  }
+
+  [[nodiscard]] std::vector<Point> take() { return std::move(order_); }
+
+ private:
+  const SearchSpace& space_;
+  std::unordered_set<std::size_t> seen_;
+  std::vector<Point> order_;
+};
+
+class GridStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "grid"; }
+  [[nodiscard]] bool exhaustive() const override { return true; }
+
+  std::vector<Point> explore(const SearchSpace& space, Evaluator& eval,
+                             std::uint64_t /*seed*/) override {
+    space.validate();
+    Visited v(space);
+    const std::size_t n = space.size();
+    for (std::size_t flat = 0; flat < n; ++flat) {
+      v.visit(space.from_flat(flat), eval);
+    }
+    return v.take();
+  }
+};
+
+class GreedyStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greedy"; }
+
+  std::vector<Point> explore(const SearchSpace& space, Evaluator& eval,
+                             std::uint64_t /*seed*/) override {
+    space.validate();
+    Visited v(space);
+    Point cur;  // all-zero indices: Table-1 row 0 with default knobs
+    double cur_score = v.visit(cur, eval);
+
+    // Coordinate descent: sweep every axis, trying every value of that axis
+    // with the other axes pinned; move only on strict improvement (ties
+    // keep the incumbent, which makes the walk deterministic).  Stop when a
+    // full sweep moves nothing.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (std::size_t axis = 0; axis < SearchSpace::kAxes; ++axis) {
+        const std::size_t n = space.axis_size(axis);
+        std::size_t best_idx = axis_index(cur, axis);
+        double best_score = cur_score;
+        for (std::size_t i = 0; i < n; ++i) {
+          Point cand = cur;
+          set_axis_index(&cand, axis, i);
+          const double s = v.visit(cand, eval);
+          if (s < best_score) {
+            best_score = s;
+            best_idx = i;
+          }
+        }
+        if (best_idx != axis_index(cur, axis)) {
+          set_axis_index(&cur, axis, best_idx);
+          cur = space.canonicalize(cur);
+          cur_score = best_score;
+          moved = true;
+        }
+      }
+    }
+    return v.take();
+  }
+
+ private:
+  static std::size_t axis_index(const Point& p, std::size_t axis) {
+    switch (axis) {
+      case 0: return p.config;
+      case 1: return p.sched;
+      case 2: return p.chunk;
+      case 3: return p.grain;
+      default: return p.scale;
+    }
+  }
+  static void set_axis_index(Point* p, std::size_t axis, std::size_t i) {
+    switch (axis) {
+      case 0: p->config = i; break;
+      case 1: p->sched = i; break;
+      case 2: p->chunk = i; break;
+      case 3: p->grain = i; break;
+      default: p->scale = i; break;
+    }
+  }
+};
+
+class AnnealStrategy final : public Strategy {
+ public:
+  explicit AnnealStrategy(int budget) : budget_(budget < 1 ? 1 : budget) {}
+
+  [[nodiscard]] std::string_view name() const override { return "anneal"; }
+
+  std::vector<Point> explore(const SearchSpace& space, Evaluator& eval,
+                             std::uint64_t seed) override {
+    space.validate();
+    Visited v(space);
+    SplitMix64 rng(seed);
+
+    Point cur = space.from_flat(rng.below(space.size()));
+    double cur_score = v.visit(cur, eval);
+
+    // Geometric ladder from a 20% relative-delta acceptance scale down to
+    // 0.5% over the budget; epsilon-greedy jumps keep the walk from
+    // pinning to one basin on rugged model landscapes.
+    const double t0 = 0.20;
+    const double t1 = 0.005;
+    const double decay =
+        budget_ > 1 ? std::exp(std::log(t1 / t0) / (budget_ - 1)) : 1.0;
+    constexpr double kEpsilon = 0.10;
+
+    double temp = t0;
+    for (int step = 0; step < budget_; ++step, temp *= decay) {
+      Point cand;
+      if (rng.uniform() < kEpsilon) {
+        cand = space.from_flat(rng.below(space.size()));
+      } else {
+        // Single-axis perturbation to a different value of that axis.
+        cand = cur;
+        const std::size_t axis = rng.below(SearchSpace::kAxes);
+        const std::size_t n = space.axis_size(axis);
+        if (n > 1) {
+          const std::size_t shift = 1 + rng.below(n - 1);
+          const std::size_t cur_i = GreedyAxis::get(cand, axis);
+          GreedyAxis::set(&cand, axis, (cur_i + shift) % n);
+        }
+      }
+      const double s = v.visit(cand, eval);
+      const double rel =
+          cur_score > 0 ? (s - cur_score) / cur_score : (s - cur_score);
+      if (rel <= 0 || rng.uniform() < std::exp(-rel / temp)) {
+        cur = space.canonicalize(cand);
+        cur_score = s;
+      }
+    }
+    return v.take();
+  }
+
+ private:
+  // Axis accessors shared with the greedy walk.
+  struct GreedyAxis {
+    static std::size_t get(const Point& p, std::size_t axis) {
+      switch (axis) {
+        case 0: return p.config;
+        case 1: return p.sched;
+        case 2: return p.chunk;
+        case 3: return p.grain;
+        default: return p.scale;
+      }
+    }
+    static void set(Point* p, std::size_t axis, std::size_t i) {
+      switch (axis) {
+        case 0: p->config = i; break;
+        case 1: p->sched = i; break;
+        case 2: p->chunk = i; break;
+        case 3: p->grain = i; break;
+        default: p->scale = i; break;
+      }
+    }
+  };
+
+  int budget_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_grid() { return std::make_unique<GridStrategy>(); }
+
+std::unique_ptr<Strategy> make_greedy() {
+  return std::make_unique<GreedyStrategy>();
+}
+
+std::unique_ptr<Strategy> make_anneal(int budget) {
+  return std::make_unique<AnnealStrategy>(budget);
+}
+
+std::unique_ptr<Strategy> make_strategy(std::string_view name,
+                                        int anneal_budget) {
+  if (name == "grid") return make_grid();
+  if (name == "greedy") return make_greedy();
+  if (name == "anneal") return make_anneal(anneal_budget);
+  return nullptr;
+}
+
+}  // namespace paxsim::tune

@@ -1,0 +1,106 @@
+// paxsim/tune/strategy.hpp
+//
+// Search strategies over a tune::SearchSpace, behind one Strategy
+// interface.  A strategy explores the space by scoring candidate points
+// through an Evaluator — the MODEL tier (ExperimentEngine::predict), which
+// answers in microseconds — and returns the points it visited in
+// exploration order.  The driver (tuner.hpp) then validates the most
+// promising explored points on the SIMULATOR and crowns the best by
+// measured wall cycles; a strategy that declares itself exhaustive() (the
+// grid) gets every explored point validated, making it the brute-force
+// ground truth the cheaper strategies are judged against.
+//
+// Determinism is part of the interface contract: explore() must be a pure
+// function of (space, evaluator answers, seed).  All randomness flows from
+// the seeded SplitMix64 below — never from host entropy — so the same seed
+// replays the same trajectory on any machine (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "tune/space.hpp"
+
+namespace paxsim::tune {
+
+/// Deterministic 64-bit PRNG (Steele et al.'s SplitMix64): tiny state,
+/// full-period, and — unlike std::mt19937 adapters — identical output on
+/// every platform and standard library.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The model-tier scorer a strategy explores through.  Implementations
+/// memoize per distinct cell, so re-asking a point is free.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Model-predicted wall cycles of (the cell named by) @p p — lower is
+  /// better.  @p p is canonical.
+  virtual double predicted_wall(const Point& p) = 0;
+};
+
+/// One search strategy.  Stateless across explore() calls.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when every explored point must be simulator-validated (the
+  /// exhaustive grid — the ground-truth reference).  False strategies get
+  /// only their top-k validated.
+  [[nodiscard]] virtual bool exhaustive() const { return false; }
+
+  /// Explores @p space, scoring points via @p eval.  Returns the DISTINCT
+  /// canonical points visited, in exploration order.  Deterministic for a
+  /// given (space, eval, seed).
+  [[nodiscard]] virtual std::vector<Point> explore(const SearchSpace& space,
+                                                   Evaluator& eval,
+                                                   std::uint64_t seed) = 0;
+};
+
+/// Exhaustive enumeration in flat (Table-1-major) order.
+[[nodiscard]] std::unique_ptr<Strategy> make_grid();
+
+/// Greedy coordinate descent: sweep each axis in turn, move to the axis
+/// value with the best model score, repeat until a full sweep improves
+/// nothing.  Deterministic (ties keep the current value); the seed is
+/// unused.
+[[nodiscard]] std::unique_ptr<Strategy> make_greedy();
+
+/// Simulated annealing with epsilon-greedy restarts: single-axis random
+/// proposals accepted by Metropolis on the relative score delta, a
+/// geometric temperature ladder, and an epsilon chance per step of jumping
+/// to a uniformly random point.  @p budget bounds the number of proposal
+/// steps.
+[[nodiscard]] std::unique_ptr<Strategy> make_anneal(int budget);
+
+/// Factory by CLI name: "grid", "greedy" or "anneal"; null on unknown.
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(std::string_view name,
+                                                      int anneal_budget);
+
+}  // namespace paxsim::tune

@@ -78,6 +78,24 @@ class Team {
   }
   [[nodiscard]] std::size_t grain() const noexcept { return grain_; }
 
+  /// Overrides the schedule of every parallel loop the team runs, replacing
+  /// whatever Schedule the kernel passed (the paxtune schedule axis: tune a
+  /// kernel's loops across static/dynamic/guided without editing kernels).
+  /// Applied at run_loop entry, so it covers parallel_for, parallel_reduce,
+  /// the serial heap and the host-parallel backend alike.  Single-thread
+  /// teams execute serial_for, which has no schedule — overrides are
+  /// placement-neutral there by construction.  Like grain, an override
+  /// changes the interleaving, so the experiment engine keys its memo cache
+  /// on it.
+  void set_schedule_override(Schedule sched) noexcept {
+    sched_override_ = sched;
+    has_sched_override_ = true;
+  }
+  void clear_schedule_override() noexcept { has_sched_override_ = false; }
+  [[nodiscard]] bool has_schedule_override() const noexcept {
+    return has_sched_override_;
+  }
+
   [[nodiscard]] sim::Machine& machine() noexcept { return *machine_; }
   [[nodiscard]] sim::HwContext& context_of(int rank) noexcept { return *ctxs_[rank]; }
   [[nodiscard]] perf::CounterSet& counters() noexcept { return *counters_; }
@@ -295,6 +313,7 @@ class Team {
   template <typename Body>
   void run_loop(std::size_t begin, std::size_t end, Schedule sched,
                 CodeBlock body_block, Body&& body) {
+    if (has_sched_override_) sched = sched_override_;
     notify_loop(body_block.id, begin, end);
     const int nt = size();
     if (nt == 1) {
@@ -522,6 +541,8 @@ class Team {
   sim::Addr barrier_addr_;
   sim::Addr reduction_addr_;
   std::size_t grain_ = kDefaultGrain;
+  Schedule sched_override_{};          ///< see set_schedule_override
+  bool has_sched_override_ = false;
   /// Context flat cpu id per rank (chip-major, then core, then SMT context):
   /// the machine-global heap tie-break.  Recomputed on repin.
   std::vector<int> tie_of_;

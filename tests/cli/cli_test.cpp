@@ -409,5 +409,108 @@ TEST(CliExecTest, RunWithStoreIsIdenticalAcrossRuns) {
   EXPECT_EQ(cold, warm) << "stored answers must render identically";
 }
 
+// ---------------------------------------------------------------------------
+// paxtune: the tune subcommand.
+// ---------------------------------------------------------------------------
+
+TEST(CliParseTest, TuneParsesItsFlags) {
+  const auto r = P({"tune", "--bench=CG,MG", "--class=S", "--strategy=anneal",
+                    "--top-k=3", "--budget=24", "--schedules=default,dynamic",
+                    "--chunks=1,8", "--grains=1,2", "--scales=8,16",
+                    "--out=/tmp/tune.json"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Command& c = *r.command;
+  EXPECT_EQ(c.kind, Command::Kind::kTune);
+  ASSERT_EQ(c.benches.size(), 2u);
+  EXPECT_EQ(c.strategy, "anneal");
+  EXPECT_EQ(c.top_k, 3);
+  EXPECT_EQ(c.anneal_budget, 24);
+  EXPECT_EQ(c.sched_kinds, (std::vector<int>{-1, 1}));
+  EXPECT_EQ(c.chunks, (std::vector<std::size_t>{1, 8}));
+  EXPECT_EQ(c.grains, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(c.scales, (std::vector<double>{8.0, 16.0}));
+  EXPECT_EQ(c.tune_out, "/tmp/tune.json");
+}
+
+TEST(CliParseTest, TuneDefaultsAndRejections) {
+  const auto r = P({"tune"});
+  ASSERT_TRUE(r.ok()) << r.error;  // benches default to the whole suite
+  EXPECT_TRUE(r.command->benches.empty());
+  EXPECT_EQ(r.command->strategy, "greedy");
+  EXPECT_EQ(r.command->top_k, 2);
+  EXPECT_FALSE(P({"tune", "--strategy=bogus"}).ok());
+  EXPECT_FALSE(P({"tune", "--top-k=0"}).ok());
+  EXPECT_FALSE(P({"tune", "--schedules=fastest"}).ok());
+  EXPECT_FALSE(P({"tune", "--grains=0"}).ok());
+}
+
+TEST(CliExecTest, TuneFindsTheKnownWinnerForCG) {
+  std::string out;
+  EXPECT_EQ(run_cli({"tune", "--bench=CG", "--class=S"}, out), 0);
+  EXPECT_NE(out.find("CG: best"), std::string::npos);
+  EXPECT_NE(out.find("HT on -8-2"), std::string::npos);
+  EXPECT_NE(out.find("engine:"), std::string::npos);
+}
+
+TEST(CliExecTest, TuneCsvEmitsTheTuningReport) {
+  std::string out;
+  EXPECT_EQ(run_cli({"tune", "--bench=IS", "--class=S", "--csv"}, out), 0);
+  EXPECT_NE(out.find("\"kind\":\"tuning_report\""), std::string::npos);
+  EXPECT_NE(out.find("\"strategy\":\"greedy\""), std::string::npos);
+  EXPECT_NE(out.find("\"best\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// store get: the query front-end.
+// ---------------------------------------------------------------------------
+
+TEST(CliParseTest, StoreGetParsesDigestOrCellAxes) {
+  const auto by_digest = P({"store", "get", "0123456789abcdef0123456789abcdef",
+                            "--store=results"});
+  ASSERT_TRUE(by_digest.ok()) << by_digest.error;
+  EXPECT_EQ(by_digest.command->store_action, "get");
+  EXPECT_EQ(by_digest.command->store_digest,
+            "0123456789abcdef0123456789abcdef");
+
+  const auto by_axes = P({"store", "get", "--store=results", "--bench=EP",
+                          "--config=Serial", "--class=S"});
+  ASSERT_TRUE(by_axes.ok()) << by_axes.error;
+  EXPECT_TRUE(by_axes.command->store_digest.empty());
+
+  EXPECT_FALSE(P({"store", "get", "--store=results"}).ok());  // no cell named
+  EXPECT_FALSE(P({"store", "get", "0123"}).ok());             // no --store
+}
+
+TEST(CliExecTest, StoreGetRoundTripsAComputedCell) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "paxsim_cli_storeget";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string store_flag = "--store=" + (dir / "store").string();
+
+  std::string run_out;
+  EXPECT_EQ(run_cli({"run", "--bench=EP", "--config=Serial", "--class=S",
+                     store_flag.c_str()},
+                    run_out),
+            0);
+
+  // Name the cell by its axes: the CellSpec digest must hit the store.
+  std::string got;
+  EXPECT_EQ(run_cli({"store", "get", store_flag.c_str(), "--bench=EP",
+                     "--config=Serial", "--class=S"},
+                    got),
+            0);
+  EXPECT_NE(got.find("\"kind\":\"stored_cell\""), std::string::npos);
+  EXPECT_NE(got.find("\"wall_cycles\""), std::string::npos);
+
+  // An absent digest is a clean failure, not a crash.
+  std::string miss;
+  EXPECT_EQ(run_cli({"store", "get", "00000000000000000000000000000000",
+                     store_flag.c_str()},
+                    miss),
+            1);
+  EXPECT_NE(miss.find("no stored object"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace paxsim::cli

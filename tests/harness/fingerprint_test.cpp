@@ -30,22 +30,24 @@ TEST(CellFingerprintTest, GoldenFingerprint) {
   // Pinned verbatim.  If this test fails, either bump
   // kCellFingerprintVersion (breaking stored-entry compatibility on
   // purpose) or revert the encoding change — never just update the string.
+  // (v1 -> v2: the schedule-override fields skind/schunk joined the key.)
   EXPECT_EQ(cell_fingerprint(golden_key()),
-            "cellkey-v1;kind=00;a=00;b=00;cls=00;"
+            "cellkey-v2;kind=00;a=00;b=00;cls=00;"
             "scale=4030000000000000;seed=0000000012b9b0a1;verify=1;"
-            "grain=0000000000000001;check=00;trace=00;"
+            "grain=0000000000000001;skind=ffffffffffffffff;"
+            "schunk=0000000000000000;check=00;trace=00;"
             "config=0000001f:HT on -2-1|1|ht|2/1:0.0.0:0.0.1;"
             "machine=00000000:");
 }
 
 TEST(CellFingerprintTest, GoldenDigest) {
   EXPECT_EQ(cell_digest(cell_fingerprint(golden_key())),
-            "5c445eb80a6bf3b0211f7573d9c8f7cf");
+            "0872bad47f5bd520498b319814c4caf1");
 }
 
 TEST(CellFingerprintTest, VersionStampLeadsTheSerialization) {
-  ASSERT_EQ(kCellFingerprintVersion, 1);
-  EXPECT_EQ(cell_fingerprint(golden_key()).rfind("cellkey-v1;", 0), 0u);
+  ASSERT_EQ(kCellFingerprintVersion, 2);
+  EXPECT_EQ(cell_fingerprint(golden_key()).rfind("cellkey-v2;", 0), 0u);
 }
 
 TEST(CellFingerprintTest, DigestIs32LowercaseHex) {
@@ -99,6 +101,14 @@ TEST(CellFingerprintTest, EveryFieldChangesTheFingerprint) {
   k = base;
   k.grain = 4;
   EXPECT_NE(cell_fingerprint(k), ref) << "grain";
+
+  k = base;
+  k.sched_kind = 1;
+  EXPECT_NE(cell_fingerprint(k), ref) << "sched_kind";
+
+  k = base;
+  k.sched_chunk = 8;
+  EXPECT_NE(cell_fingerprint(k), ref) << "sched_chunk";
 
   k = base;
   k.check = sim::CheckMode::kRace;

@@ -150,6 +150,34 @@ TEST(JobFileTest, PerSweepOverridesBeatDefaults) {
   EXPECT_EQ(plan.cells[0].key.machine_scale, 8.0);
 }
 
+TEST(JobFileTest, ScheduleKnobsLandInTheCellIdentity) {
+  const JobPlan plan = parse_ok(
+      R"({"schema_version":1,"kind":"job_file",
+          "defaults":{"schedule":"dynamic","chunk":8},
+          "sweeps":[{"benches":["CG"],"configs":["HT on -2-1"],
+                     "modes":["single"]}]})");
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].opt.sched_kind, 1);
+  EXPECT_EQ(plan.cells[0].opt.sched_chunk, 8u);
+
+  // A chunk next to the kernel-default schedule canonicalizes away, so the
+  // cell dedups against the plain spelling.
+  const JobPlan dup = parse_ok(
+      R"({"schema_version":1,"kind":"job_file",
+          "sweeps":[{"benches":["CG"],"configs":["Serial"],
+                     "modes":["single"]},
+                    {"benches":["CG"],"configs":["Serial"],
+                     "modes":["single"],"schedule":"default","chunk":16}]})");
+  EXPECT_EQ(dup.cells.size(), 1u);
+
+  EXPECT_NE(parse_fail(
+                R"({"schema_version":1,"kind":"job_file",
+                    "sweeps":[{"benches":["CG"],"configs":["Serial"],
+                               "modes":["single"],"schedule":"fastest"}]})")
+                .find("schedule"),
+            std::string::npos);
+}
+
 TEST(JobFileTest, RejectsWrongKindAndVersion) {
   EXPECT_NE(parse_fail(R"({"schema_version":1,"kind":"report",
                            "sweeps":[]})")

@@ -264,7 +264,7 @@ TEST(ResultStoreTest, ListReportsEveryEntry) {
   for (const StoreEntry& e : rows) {
     EXPECT_EQ(e.digest.size(), 32u);
     EXPECT_TRUE(e.payload == "single" || e.payload == "pair") << e.payload;
-    EXPECT_EQ(e.fingerprint.rfind("cellkey-v1;", 0), 0u);
+    EXPECT_EQ(e.fingerprint.rfind("cellkey-v2;", 0), 0u);
     EXPECT_GT(e.bytes, 0u);
   }
   EXPECT_NE(rows[0].digest, rows[1].digest);
